@@ -1,0 +1,349 @@
+package gomp
+
+// The benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (Section V), plus the ablations listed in DESIGN.md.
+//
+//	Table I  / Fig. 3 — CG runtime / speedup vs threads
+//	Table II / Fig. 4 — EP runtime / speedup vs threads
+//	Table III/ Fig. 5 — IS runtime / speedup vs threads
+//
+// The problem class defaults to S so the full suite is CI-sized; set
+// NPB_CLASS=W (or A…) to scale up, and use cmd/npbsuite for the paper's
+// full 5-run mean protocol. Thread ladders are capped at the host's
+// processor count; the paper's 128-thread points had 128 physical cores
+// (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"gomp/internal/atomicx"
+	"gomp/internal/bench"
+	"gomp/internal/core"
+	"gomp/internal/kmp"
+	"gomp/internal/npb"
+	"gomp/internal/omp"
+)
+
+func benchClass() npb.Class {
+	if s := os.Getenv("NPB_CLASS"); s != "" {
+		if c, err := npb.ParseClass(s); err == nil {
+			return c
+		}
+	}
+	return npb.ClassS
+}
+
+func benchThreads() []int {
+	max := runtime.NumCPU()
+	var out []int
+	for _, t := range []int{1, 2, 4, 8} {
+		if t <= max {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// benchTable measures runtime per (impl, threads) cell — the shape of the
+// paper's Tables I–III.
+func benchTable(b *testing.B, kernel string) {
+	class := benchClass()
+	for _, impl := range []string{"omp", "goroutines"} {
+		for _, threads := range benchThreads() {
+			b.Run(fmt.Sprintf("%s/threads=%d", impl, threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := bench.Run(kernel, impl, class, threads)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Verified {
+						b.Fatalf("%s/%s threads=%d failed verification", kernel, impl, threads)
+					}
+					b.ReportMetric(res.Seconds, "kernel-s/op")
+					b.ReportMetric(res.MopsTotal, "Mop/s")
+				}
+			})
+		}
+	}
+}
+
+// benchFigure measures speedup versus the flavour's own single-thread
+// kernel time — how the paper's Figures 3–5 are normalised.
+func benchFigure(b *testing.B, kernel string) {
+	class := benchClass()
+	base := map[string]float64{}
+	for _, impl := range []string{"omp", "goroutines"} {
+		res, err := bench.Run(kernel, impl, class, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base[impl] = res.Seconds
+	}
+	for _, impl := range []string{"omp", "goroutines"} {
+		for _, threads := range benchThreads() {
+			b.Run(fmt.Sprintf("%s/threads=%d", impl, threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := bench.Run(kernel, impl, class, threads)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Seconds > 0 {
+						b.ReportMetric(base[impl]/res.Seconds, "speedup")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable1CG regenerates Table I: CG runtime when strong scaling.
+func BenchmarkTable1CG(b *testing.B) { benchTable(b, "cg") }
+
+// BenchmarkFig3CG regenerates Figure 3: CG speedup against thread count.
+func BenchmarkFig3CG(b *testing.B) { benchFigure(b, "cg") }
+
+// BenchmarkTable2EP regenerates Table II: EP runtime when strong scaling.
+func BenchmarkTable2EP(b *testing.B) { benchTable(b, "ep") }
+
+// BenchmarkFig4EP regenerates Figure 4: EP speedup against thread count.
+func BenchmarkFig4EP(b *testing.B) { benchFigure(b, "ep") }
+
+// BenchmarkTable3IS regenerates Table III: IS runtime when strong scaling.
+func BenchmarkTable3IS(b *testing.B) { benchTable(b, "is") }
+
+// BenchmarkFig5IS regenerates Figure 5: IS speedup against thread count.
+func BenchmarkFig5IS(b *testing.B) { benchFigure(b, "is") }
+
+// ---------------------------------------------------------------------
+// Ablation A1 — reduction lowering: the paper's shared atomic cells (CAS
+// loop for *, Listing 6) vs a mutex-guarded combine, under a contended
+// parallel sum.
+
+func benchReduction(b *testing.B, strategy omp.CombineStrategy) {
+	threads := runtime.NumCPU()
+	if threads > 8 {
+		threads = 8
+	}
+	const trip = 1 << 16
+	for i := 0; i < b.N; i++ {
+		r := omp.NewFloat64ReductionWith(omp.ReduceSum, 0, strategy)
+		omp.Parallel(func(t *omp.Thread) {
+			local := r.Identity()
+			omp.For(t, trip, func(j int64) { local += float64(j) })
+			r.Combine(local)
+		}, omp.NumThreads(threads))
+		if r.Value() != float64(trip*(trip-1)/2) {
+			b.Fatal("wrong sum")
+		}
+	}
+}
+
+// BenchmarkAblationReductionAtomic is the paper's lowering (atomic cells).
+func BenchmarkAblationReductionAtomic(b *testing.B) { benchReduction(b, omp.CombineAtomic) }
+
+// BenchmarkAblationReductionCritical is the locked-combine alternative.
+func BenchmarkAblationReductionCritical(b *testing.B) { benchReduction(b, omp.CombineCritical) }
+
+// BenchmarkAblationReductionCASMul measures the raw Listing 6 CAS loop
+// under full contention: every thread multiplying one shared cell.
+func BenchmarkAblationReductionCASMul(b *testing.B) {
+	threads := runtime.NumCPU()
+	if threads > 8 {
+		threads = 8
+	}
+	cell := atomicx.NewFloat64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		omp.Parallel(func(t *omp.Thread) {
+			omp.For(t, 1024, func(int64) {
+				cell.Mul(2)
+				cell.Mul(0.5)
+			})
+		}, omp.NumThreads(threads))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation A2 — barrier algorithm: cost of one full-team rendezvous under
+// each algorithm. libomp hard-wires one; this runtime exposes all three.
+
+func benchBarrier(b *testing.B, kind kmp.BarrierKind) {
+	for _, n := range benchThreads() {
+		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
+			bar := kmp.NewBarrier(kind, n, kmp.WaitPassive)
+			b.ResetTimer()
+			var wg = make(chan struct{}, n)
+			for g := 0; g < n; g++ {
+				go func(tid int) {
+					for i := 0; i < b.N; i++ {
+						bar.Wait(tid)
+					}
+					wg <- struct{}{}
+				}(g)
+			}
+			for g := 0; g < n; g++ {
+				<-wg
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBarrierCentral measures the central counter barrier.
+func BenchmarkAblationBarrierCentral(b *testing.B) { benchBarrier(b, kmp.BarrierCentral) }
+
+// BenchmarkAblationBarrierTree measures the arity-4 tree barrier.
+func BenchmarkAblationBarrierTree(b *testing.B) { benchBarrier(b, kmp.BarrierTree) }
+
+// BenchmarkAblationBarrierDissemination measures the dissemination barrier.
+func BenchmarkAblationBarrierDissemination(b *testing.B) { benchBarrier(b, kmp.BarrierDissemination) }
+
+// ---------------------------------------------------------------------
+// Ablation A3 — schedule kinds over a deliberately imbalanced loop
+// (cost ∝ i²): static suffers tail imbalance, dynamic/guided rebalance.
+
+func benchSchedule(b *testing.B, kind omp.SchedKind, chunk int64) {
+	threads := runtime.NumCPU()
+	if threads > 8 {
+		threads = 8
+	}
+	const trip = 2048
+	sink := omp.NewFloat64Reduction(omp.ReduceSum, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		omp.Parallel(func(t *omp.Thread) {
+			local := 0.0
+			omp.For(t, trip, func(j int64) {
+				for k := int64(0); k < j; k++ {
+					local += float64(k&7) * 1e-9
+				}
+			}, omp.Schedule(kind, chunk))
+			sink.Combine(local)
+		}, omp.NumThreads(threads))
+	}
+	_ = sink.Value()
+}
+
+// BenchmarkAblationScheduleStatic: block partition (tail-heavy here).
+func BenchmarkAblationScheduleStatic(b *testing.B) { benchSchedule(b, omp.Static, 0) }
+
+// BenchmarkAblationScheduleStatic1: cyclic, the IS rank() distribution.
+func BenchmarkAblationScheduleStatic1(b *testing.B) { benchSchedule(b, omp.Static, 1) }
+
+// BenchmarkAblationScheduleDynamic: work stealing from a shared counter.
+func BenchmarkAblationScheduleDynamic(b *testing.B) { benchSchedule(b, omp.Dynamic, 16) }
+
+// BenchmarkAblationScheduleGuided: exponentially shrinking chunks.
+func BenchmarkAblationScheduleGuided(b *testing.B) { benchSchedule(b, omp.Guided, 16) }
+
+// BenchmarkAblationScheduleTrapezoidal: linear taper (runtime extension).
+func BenchmarkAblationScheduleTrapezoidal(b *testing.B) { benchSchedule(b, omp.Trapezoidal, 16) }
+
+// ---------------------------------------------------------------------
+// Ablation A4 — fork/join overhead: the EPCC syncbench "PARALLEL"
+// microbenchmark — an empty region, so the hot-team wake/join path is all
+// that is measured.
+
+func BenchmarkAblationFork(b *testing.B) {
+	for _, n := range benchThreads() {
+		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				omp.Parallel(func(t *omp.Thread) {}, omp.NumThreads(n))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationForkBarrier adds one explicit barrier inside the region
+// (syncbench "BARRIER").
+func BenchmarkAblationForkBarrier(b *testing.B) {
+	for _, n := range benchThreads() {
+		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				omp.Parallel(func(t *omp.Thread) { omp.Barrier(t) }, omp.NumThreads(n))
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation A5 — front-end throughput: the preprocessor over a pragma-dense
+// source file, and the packed clause encode/decode round trip.
+
+var preprocessInput = []byte(`package p
+
+func kernels(a, b []float64, n int) float64 {
+	sum := 0.0
+	//omp parallel for reduction(+:sum) schedule(static) num_threads(8)
+	for i := 0; i < n; i++ {
+		sum += a[i] * b[i]
+	}
+	//omp parallel private(i) default(shared)
+	{
+		//omp for schedule(dynamic,16) nowait
+		for i := 0; i < n; i++ {
+			a[i] = b[i] * 2
+		}
+		//omp barrier
+		//omp single
+		{
+			b[0] = 0
+		}
+		//omp critical(update)
+		{
+			sum += 1
+		}
+	}
+	//omp parallel for collapse(2) schedule(guided,4)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			a[i*64+j] = float64(i + j)
+		}
+	}
+	return sum
+}
+`)
+
+// BenchmarkPreprocess measures the full tokenise→parse→pack→rewrite→gofmt
+// pipeline on a representative annotated file.
+func BenchmarkPreprocess(b *testing.B) {
+	b.SetBytes(int64(len(preprocessInput)))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Preprocess(preprocessInput, core.Options{Filename: "bench.go"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClausePack measures the Section III-A2 packed encoding: a full
+// directive into the 32-bit extra_data array and back.
+func BenchmarkClausePack(b *testing.B) {
+	d, err := core.ParseDirective("parallel for private(i,j) firstprivate(c) reduction(+:sx,sy) schedule(guided,64) collapse(2) num_threads(8)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tree := core.NewTree()
+		idx, err := tree.Encode(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tree.Decode(idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectiveParse measures tokeniser + parser alone (the front
+// half of the front-end).
+func BenchmarkDirectiveParse(b *testing.B) {
+	const text = "parallel for private(i,j) reduction(+:sum) schedule(dynamic,64) if(n > 100) num_threads(2*k)"
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ParseDirective(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

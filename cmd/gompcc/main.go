@@ -1,0 +1,100 @@
+// Command gompcc is the pragma preprocessor — the user-facing entry point
+// of the paper's contribution. It rewrites Go source annotated with
+// //omp … comments into plain Go that calls the gomp runtime, after which
+// the ordinary Go toolchain compiles it (the paper integrates the
+// equivalent pass into the Zig compiler ahead of its cache).
+//
+// Usage:
+//
+//	gompcc [-o output.go] input.go    # write transformed source
+//	gompcc -stdout input.go           # print to stdout
+//	gompcc -dir pkgdir -suffix _omp   # transform every *.go in a package
+//
+// Files without pragmas pass through unchanged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gomp/internal/core"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default: <input>_omp.go)")
+		toStdout = flag.Bool("stdout", false, "write the transformed source to stdout")
+		dir      = flag.String("dir", "", "transform every .go file in this directory instead of a single file")
+		suffix   = flag.String("suffix", "_omp", "filename suffix for -dir outputs")
+	)
+	flag.Parse()
+
+	if *dir != "" {
+		if err := processDir(*dir, *suffix); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go | -stdout] input.go")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	res, err := processFile(in)
+	if err != nil {
+		fail(err)
+	}
+	if *toStdout {
+		os.Stdout.Write(res)
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".go") + "_omp.go"
+	}
+	if err := os.WriteFile(dst, res, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "gompcc: %s -> %s\n", in, dst)
+}
+
+func processFile(path string) ([]byte, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.Preprocess(src, core.Options{Filename: filepath.Base(path)})
+}
+
+func processDir(dir, suffix string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasSuffix(name, suffix+".go") {
+			continue
+		}
+		in := filepath.Join(dir, name)
+		res, err := processFile(in)
+		if err != nil {
+			return fmt.Errorf("%s: %w", in, err)
+		}
+		dst := filepath.Join(dir, strings.TrimSuffix(name, ".go")+suffix+".go")
+		if err := os.WriteFile(dst, res, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gompcc: %s -> %s\n", in, dst)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gompcc:", err)
+	os.Exit(1)
+}

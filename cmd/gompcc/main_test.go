@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProcessFileTransformsPragmas(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.go")
+	src := `package p
+
+func f(a []int) {
+	//omp parallel for
+	for i := 0; i < len(a); i++ {
+		a[i] = i
+	}
+}
+`
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := processFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "omp.Parallel(") {
+		t.Fatalf("no lowering in output:\n%s", out)
+	}
+}
+
+func TestProcessFilePassThrough(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "plain.go")
+	src := "package p\n\nfunc f() {}\n"
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := processFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != src {
+		t.Fatalf("pragma-free file modified:\n%s", out)
+	}
+}
+
+func TestProcessFileReportsErrorsWithPosition(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.go")
+	src := `package p
+
+func f() {
+	//omp paralel
+	{
+	}
+}
+`
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := processFile(in)
+	if err == nil {
+		t.Fatal("bad pragma accepted")
+	}
+	if !strings.Contains(err.Error(), "bad.go:4") {
+		t.Fatalf("error lacks file:line: %v", err)
+	}
+}
+
+func TestProcessDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.go": "package p\n\nfunc a(v []int) {\n\t//omp parallel for\n\tfor i := 0; i < len(v); i++ {\n\t\tv[i] = i\n\t}\n}\n",
+		"b.go": "package p\n\nfunc b() {}\n",
+		// Must be skipped: tests, and already-generated outputs.
+		"c_test.go": "package p\n",
+		"a_omp.go":  "package p\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := processDir(dir, "_omp"); err != nil {
+		t.Fatal(err)
+	}
+	outA, err := os.ReadFile(filepath.Join(dir, "a_omp.go"))
+	if err != nil {
+		t.Fatal("a_omp.go not produced")
+	}
+	if !strings.Contains(string(outA), "omp.Parallel(") {
+		t.Fatal("a_omp.go not lowered")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b_omp.go")); err != nil {
+		t.Fatal("b_omp.go not produced (pass-through file should still be emitted)")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "c_test_omp.go")); err == nil {
+		t.Fatal("test file was transformed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a_omp_omp.go")); err == nil {
+		t.Fatal("generated output was re-transformed")
+	}
+}

@@ -1,0 +1,52 @@
+// Command npb runs one NAS Parallel Benchmark kernel in one flavour — the
+// per-run driver underneath the npbsuite sweeps.
+//
+// Usage:
+//
+//	npb -kernel cg -class A -threads 8 -impl omp [-runs 3]
+//
+// Kernels: cg, ep, is. Implementations: serial (reference), omp (this
+// repository's OpenMP runtime — the paper's "Zig + OpenMP" side), and
+// goroutines (idiomatic Go — the paper's Fortran/C baseline side).
+// Exits non-zero if any run fails NPB verification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gomp/internal/bench"
+	"gomp/internal/npb"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "cg", "kernel: cg, ep, is")
+		classF  = flag.String("class", "S", "problem class: S, W, A, B, C")
+		threads = flag.Int("threads", 1, "thread count for parallel flavours")
+		impl    = flag.String("impl", "omp", "implementation: serial, omp, goroutines")
+		runs    = flag.Int("runs", 1, "repetitions (each reported)")
+	)
+	flag.Parse()
+
+	class, err := npb.ParseClass(*classF)
+	if err != nil {
+		fail(err)
+	}
+	for r := 0; r < *runs; r++ {
+		res, err := bench.Run(*kernel, *impl, class, *threads)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+		if !res.Verified {
+			os.Exit(1)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "npb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command npbsuite regenerates the paper's evaluation: strong-scaling
+// sweeps of NPB CG, EP and IS comparing the OpenMP-runtime flavour against
+// the goroutine baseline, printed as the analogues of the paper's
+// Tables I–III and Figures 3–5.
+//
+// Usage:
+//
+//	npbsuite                                  # all kernels, class S, host thread ladder
+//	npbsuite -kernel cg -class A -runs 5      # one kernel, paper's 5-run protocol
+//	npbsuite -paper-threads                   # the paper's {1,2,16,32,64,96,128}
+//	npbsuite -threads 1,2,4,8                 # explicit thread list
+//
+// Thread counts above the host's processor count run oversubscribed and
+// are flagged; the paper's 128-thread points had 128 physical cores.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gomp/internal/bench"
+	"gomp/internal/npb"
+)
+
+func main() {
+	var (
+		kernels  = flag.String("kernel", "cg,ep,is", "comma-separated kernels to sweep")
+		classF   = flag.String("class", "S", "problem class: S, W, A, B, C")
+		threadsF = flag.String("threads", "", "comma-separated thread counts (default: host ladder)")
+		paperTh  = flag.Bool("paper-threads", false, "use the paper's thread counts {1,2,16,32,64,96,128}")
+		runs     = flag.Int("runs", 1, "repetitions per configuration (paper uses 5)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	class, err := npb.ParseClass(*classF)
+	if err != nil {
+		fail(err)
+	}
+	threads := bench.DefaultThreads()
+	if *paperTh {
+		threads = bench.PaperThreads
+	}
+	if *threadsF != "" {
+		threads, err = parseInts(*threadsF)
+		if err != nil {
+			fail(err)
+		}
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r\033[K%s", msg)
+		}
+	}
+
+	exit := 0
+	for _, kernel := range strings.Split(*kernels, ",") {
+		kernel = strings.TrimSpace(kernel)
+		if kernel == "" {
+			continue
+		}
+		sw, err := bench.RunSweep(kernel, class, threads, *runs, progress)
+		if err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		fmt.Println(sw.RuntimeTable())
+		fmt.Println(sw.SpeedupFigure())
+		for _, pts := range sw.Points {
+			for _, p := range pts {
+				if !p.Verified {
+					exit = 1
+				}
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "npbsuite:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Package gomp is a from-scratch Go reproduction of "Pragma driven shared
+// memory parallelism in Zig by supporting OpenMP loop directives"
+// (Kacs, Lee, Zarins, Brown — EPCC; SC 2024 workshops; arXiv:2409.20148).
+//
+// The paper grafts OpenMP loop directives onto Zig — a language with no
+// pragma mechanism — as special comments, lowered by a multi-pass
+// preprocessor onto LLVM's OpenMP runtime, and evaluates the result on the
+// NAS Parallel Benchmarks CG, EP and IS against Fortran and C references.
+// This repository rebuilds every layer of that stack for Go:
+//
+//   - internal/core — the contribution: pragma tokeniser (keywords stay
+//     identifiers), directive parser, bit-packed 32-bit clause encoding
+//     (extra_data emulation), and the multi-pass source-to-source
+//     preprocessor over go/ast.
+//   - internal/kmp — the libomp analog: hot goroutine teams, ForkCall,
+//     three barrier algorithms, static partitioning, dynamic/guided
+//     dispatch rings, criticals, locks, single/master, threadprivate.
+//   - internal/omp — the user-facing API (omp_* routines with the prefix
+//     dropped) and the structured constructs generated code targets.
+//   - internal/atomicx — atomic cells with the paper's Listing 6 CAS-loop
+//     lowering for multiply/divide/logical reductions.
+//   - internal/npb{,/cg,/ep,/is} — the three benchmark kernels, each as
+//     serial reference, omp-runtime port, and idiomatic-goroutine baseline.
+//   - internal/fortran — the Section IV interop simulation (column-major
+//     1-based arrays, trailing-underscore symbol mangling).
+//   - internal/bench + cmd/npbsuite — the evaluation harness regenerating
+//     the analogues of the paper's Tables I–III and Figures 3–5.
+//
+// The benchmarks in bench_test.go map one-to-one onto the paper's tables
+// and figures (BenchmarkTable1CG … BenchmarkFig5IS) plus the ablations
+// catalogued in DESIGN.md (BenchmarkAblation*).
+package gomp

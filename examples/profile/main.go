@@ -1,0 +1,66 @@
+// Profiling: the paper's future-work item made real — runtime-driven
+// instrumentation "providing functionality similar to that of gprof"
+// (Section VI). A profiler subscribes to the runtime's event hook, an NPB
+// CG run executes underneath it, and the flat profile attributes time,
+// barrier counts and loop initialisations to each parallel region.
+//
+//	go run ./examples/profile
+package main
+
+import (
+	"fmt"
+
+	"gomp/internal/npb"
+	"gomp/internal/npb/cg"
+	"gomp/internal/omp"
+	"gomp/internal/trace"
+)
+
+func main() {
+	prof := trace.New()
+	prof.Start()
+	defer prof.Stop()
+
+	// An application-level zone (the Tracy usage pattern) around setup.
+	endSetup := prof.Zone("makea (matrix generation)")
+	m, err := cg.MakeA(npb.ClassS)
+	if err != nil {
+		panic(err)
+	}
+	endSetup()
+
+	// A few instrumented parallel regions of our own.
+	n := m.N
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	for rep := 0; rep < 20; rep++ {
+		omp.Parallel(func(t *omp.Thread) {
+			omp.ForRange(t, int64(n), func(lo, hi int64) {
+				for j := int(lo); j < int(hi); j++ {
+					sum := 0.0
+					for k := m.RowStr[j]; k < m.RowStr[j+1]; k++ {
+						sum += m.A[k] * x[m.ColIdx[k]]
+					}
+					y[j] = sum
+				}
+			}, omp.Schedule(omp.Dynamic, 128))
+			omp.Barrier(t)
+		}, omp.NumThreads(4), omp.Loc("profile.go", 48, "parallel spmv"))
+	}
+
+	// And a full instrumented benchmark run.
+	endCG := prof.Zone("cg class S (omp flavour)")
+	st, err := cg.RunParallel(npb.ClassS, 4)
+	if err != nil {
+		panic(err)
+	}
+	endCG()
+
+	prof.Stop()
+	fmt.Printf("CG class S on 4 threads: zeta=%.10f verified=%v\n\n", st.Zeta, cg.Verify(st))
+	fmt.Println("flat profile (gprof-style):")
+	fmt.Print(prof.Report())
+}

@@ -1,0 +1,66 @@
+// Quickstart: the runtime API in five minutes — a parallel dot product and
+// a parallel-region reduction, the two shapes every NPB kernel in this
+// repository is built from.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"gomp/internal/omp"
+)
+
+func main() {
+	const n = 1 << 20
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%1000) * 0.001
+		b[i] = float64((i+1)%1000) * 0.002
+	}
+
+	// A fused parallel-for: the lowering of
+	//   //omp parallel for reduction(+:dot) schedule(static)
+	dot := omp.NewFloat64Reduction(omp.ReduceSum, 0)
+	start := omp.GetWtime()
+	omp.Parallel(func(t *omp.Thread) {
+		local := dot.Identity()
+		omp.ForRange(t, n, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				local += a[i] * b[i]
+			}
+		})
+		dot.Combine(local)
+	})
+	elapsed := omp.GetWtime() - start
+
+	serial := 0.0
+	for i := range a {
+		serial += a[i] * b[i]
+	}
+	fmt.Printf("dot product over %d elements on %d threads: %.6f (serial %.6f, diff %.2e) in %.3f ms\n",
+		n, omp.GetMaxThreads(), dot.Value(), serial, math.Abs(dot.Value()-serial), elapsed*1e3)
+
+	// Worksharing with a dynamic schedule and a max reduction: find the
+	// largest |a[i]−b[i]| gap.
+	gap := omp.NewFloat64Reduction(omp.ReduceMax, math.Inf(-1))
+	omp.Parallel(func(t *omp.Thread) {
+		local := gap.Identity()
+		omp.For(t, n, func(i int64) {
+			if d := math.Abs(a[i] - b[i]); d > local {
+				local = d
+			}
+		}, omp.Schedule(omp.Dynamic, 4096))
+		gap.Combine(local)
+	}, omp.NumThreads(4))
+	fmt.Printf("largest gap (4 threads, dynamic schedule): %.3f\n", gap.Value())
+
+	// Thread introspection inside a region.
+	omp.Parallel(func(t *omp.Thread) {
+		omp.Critical("io", func() {
+			fmt.Printf("  hello from thread %d of %d\n", t.Tid, t.NumThreads())
+		})
+	}, omp.NumThreads(3))
+}

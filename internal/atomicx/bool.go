@@ -1,0 +1,63 @@
+package atomicx
+
+import "sync/atomic"
+
+// Bool is an atomic boolean cell used to lower the logical-AND and
+// logical-OR reduction operators (&& and || in the OpenMP reduction clause),
+// which have no native atomic support and therefore use the CAS loop of the
+// paper's Listing 6.
+//
+// The zero value is ready to use and holds false.
+type Bool struct {
+	v atomic.Uint32
+}
+
+// NewBool returns a cell initialised to v.
+func NewBool(v bool) *Bool {
+	c := new(Bool)
+	c.Store(v)
+	return c
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Load atomically returns the current value.
+func (c *Bool) Load() bool { return c.v.Load() != 0 }
+
+// Store atomically replaces the value with v.
+func (c *Bool) Store(v bool) { c.v.Store(b2u(v)) }
+
+// Swap atomically replaces the value with v and returns the previous value.
+func (c *Bool) Swap(v bool) bool { return c.v.Swap(b2u(v)) != 0 }
+
+// CompareAndSwap executes the compare-and-swap operation.
+func (c *Bool) CompareAndSwap(old, new bool) bool {
+	return c.v.CompareAndSwap(b2u(old), b2u(new))
+}
+
+// LogicalAnd atomically ANDs v into the cell and returns the new value.
+func (c *Bool) LogicalAnd(v bool) bool {
+	for {
+		old := c.v.Load()
+		new := b2u(old != 0 && v)
+		if c.v.CompareAndSwap(old, new) {
+			return new != 0
+		}
+	}
+}
+
+// LogicalOr atomically ORs v into the cell and returns the new value.
+func (c *Bool) LogicalOr(v bool) bool {
+	for {
+		old := c.v.Load()
+		new := b2u(old != 0 || v)
+		if c.v.CompareAndSwap(old, new) {
+			return new != 0
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package atomicx
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoolBasic(t *testing.T) {
+	var c Bool
+	if c.Load() {
+		t.Fatal("zero value should be false")
+	}
+	c.Store(true)
+	if !c.Load() {
+		t.Fatal("Load after Store(true) = false")
+	}
+	if prev := c.Swap(false); !prev {
+		t.Fatal("Swap returned false, want true")
+	}
+	if c.Load() {
+		t.Fatal("Load after Swap(false) = true")
+	}
+}
+
+func TestBoolNew(t *testing.T) {
+	if !NewBool(true).Load() {
+		t.Fatal("NewBool(true).Load() = false")
+	}
+	if NewBool(false).Load() {
+		t.Fatal("NewBool(false).Load() = true")
+	}
+}
+
+func TestBoolCAS(t *testing.T) {
+	c := NewBool(false)
+	if c.CompareAndSwap(true, false) {
+		t.Fatal("CAS with wrong old succeeded")
+	}
+	if !c.CompareAndSwap(false, true) {
+		t.Fatal("CAS with correct old failed")
+	}
+	if !c.Load() {
+		t.Fatal("Load after CAS = false")
+	}
+}
+
+func TestBoolLogicalAndTruthTable(t *testing.T) {
+	cases := []struct{ init, op, want bool }{
+		{false, false, false},
+		{false, true, false},
+		{true, false, false},
+		{true, true, true},
+	}
+	for _, tc := range cases {
+		c := NewBool(tc.init)
+		if got := c.LogicalAnd(tc.op); got != tc.want {
+			t.Errorf("LogicalAnd(%v) on %v = %v, want %v", tc.op, tc.init, got, tc.want)
+		}
+	}
+}
+
+func TestBoolLogicalOrTruthTable(t *testing.T) {
+	cases := []struct{ init, op, want bool }{
+		{false, false, false},
+		{false, true, true},
+		{true, false, true},
+		{true, true, true},
+	}
+	for _, tc := range cases {
+		c := NewBool(tc.init)
+		if got := c.LogicalOr(tc.op); got != tc.want {
+			t.Errorf("LogicalOr(%v) on %v = %v, want %v", tc.op, tc.init, got, tc.want)
+		}
+	}
+}
+
+// An AND-reduction over values with a single false must end false no matter
+// the interleaving; an OR-reduction over values with a single true must end
+// true. This is exactly how the preprocessor lowers reduction(&&:x).
+func TestBoolConcurrentReduction(t *testing.T) {
+	const goroutines = 16
+	and := NewBool(true)
+	or := NewBool(false)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				and.LogicalAnd(!(g == 7 && i == 128)) // exactly one false
+				or.LogicalOr(g == 7 && i == 128)      // exactly one true
+			}
+		}(g)
+	}
+	wg.Wait()
+	if and.Load() {
+		t.Fatal("AND reduction with a false contribution ended true")
+	}
+	if !or.Load() {
+		t.Fatal("OR reduction with a true contribution ended false")
+	}
+}
+
+// Property: logical ops match the && / || operators.
+func TestBoolAlgebra(t *testing.T) {
+	f := func(x, y bool) bool {
+		a := NewBool(x)
+		o := NewBool(x)
+		return a.LogicalAnd(y) == (x && y) && o.LogicalOr(y) == (x || y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

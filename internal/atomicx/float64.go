@@ -1,0 +1,87 @@
+package atomicx
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Float64 is an atomic float64 cell.
+//
+// Go (like Zig) has no native floating-point atomics, so every
+// read-modify-write on Float64 is a compare-and-swap loop over the value's
+// bit pattern — the general form of the paper's Listing 6. Plain loads and
+// stores are single atomic word operations.
+//
+// The zero value is ready to use and holds 0.
+type Float64 struct {
+	bits atomic.Uint64
+}
+
+// NewFloat64 returns a cell initialised to v.
+func NewFloat64(v float64) *Float64 {
+	c := new(Float64)
+	c.Store(v)
+	return c
+}
+
+// Load atomically returns the current value.
+func (c *Float64) Load() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Store atomically replaces the value with v.
+func (c *Float64) Store(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// Swap atomically replaces the value with v and returns the previous value.
+func (c *Float64) Swap(v float64) float64 {
+	return math.Float64frombits(c.bits.Swap(math.Float64bits(v)))
+}
+
+// CompareAndSwap executes the compare-and-swap operation on the value's bit
+// pattern. Note that NaN never compares equal as a float but does as bits;
+// bit equality is the semantics required by a CAS reduction loop.
+func (c *Float64) CompareAndSwap(old, new float64) bool {
+	return c.bits.CompareAndSwap(math.Float64bits(old), math.Float64bits(new))
+}
+
+// RMW atomically applies f to the cell with a CAS loop and returns the value
+// f produced. f may be called more than once and must be pure.
+func (c *Float64) RMW(f func(float64) float64) float64 {
+	oldBits := c.bits.Load()
+	for {
+		newVal := f(math.Float64frombits(oldBits))
+		if c.bits.CompareAndSwap(oldBits, math.Float64bits(newVal)) {
+			return newVal
+		}
+		oldBits = c.bits.Load()
+	}
+}
+
+// Add atomically adds delta and returns the new value.
+func (c *Float64) Add(delta float64) float64 {
+	return c.RMW(func(v float64) float64 { return v + delta })
+}
+
+// Sub atomically subtracts delta and returns the new value.
+func (c *Float64) Sub(delta float64) float64 {
+	return c.RMW(func(v float64) float64 { return v - delta })
+}
+
+// Mul atomically multiplies by operand and returns the new value — the
+// multiplication reduction of the paper's Listing 6.
+func (c *Float64) Mul(operand float64) float64 {
+	return c.RMW(func(v float64) float64 { return v * operand })
+}
+
+// Div atomically divides by operand and returns the new value.
+func (c *Float64) Div(operand float64) float64 {
+	return c.RMW(func(v float64) float64 { return v / operand })
+}
+
+// Min atomically stores min(current, v) and returns the new value.
+func (c *Float64) Min(v float64) float64 {
+	return c.RMW(func(cur float64) float64 { return math.Min(cur, v) })
+}
+
+// Max atomically stores max(current, v) and returns the new value.
+func (c *Float64) Max(v float64) float64 {
+	return c.RMW(func(cur float64) float64 { return math.Max(cur, v) })
+}

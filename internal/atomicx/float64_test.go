@@ -1,0 +1,169 @@
+package atomicx
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64Basic(t *testing.T) {
+	c := NewFloat64(3.5)
+	if got := c.Load(); got != 3.5 {
+		t.Fatalf("Load = %g, want 3.5", got)
+	}
+	c.Store(-1.25)
+	if got := c.Load(); got != -1.25 {
+		t.Fatalf("Load after Store = %g, want -1.25", got)
+	}
+	if prev := c.Swap(2.5); prev != -1.25 {
+		t.Fatalf("Swap returned %g, want -1.25", prev)
+	}
+}
+
+func TestFloat64ZeroValue(t *testing.T) {
+	var c Float64
+	if got := c.Load(); got != 0 {
+		t.Fatalf("zero value Load = %g, want 0", got)
+	}
+}
+
+func TestFloat64CAS(t *testing.T) {
+	c := NewFloat64(1.5)
+	if c.CompareAndSwap(2.0, 3.0) {
+		t.Fatal("CAS with wrong old succeeded")
+	}
+	if !c.CompareAndSwap(1.5, 3.0) {
+		t.Fatal("CAS with correct old failed")
+	}
+	if got := c.Load(); got != 3.0 {
+		t.Fatalf("Load after CAS = %g, want 3.0", got)
+	}
+}
+
+func TestFloat64CASNaN(t *testing.T) {
+	nan := math.NaN()
+	c := NewFloat64(nan)
+	// Bit-pattern equality must make NaN CAS-able — required for reduction
+	// loops to terminate even when a partial result is NaN.
+	if !c.CompareAndSwap(nan, 1.0) {
+		t.Fatal("CAS over identical NaN bit pattern failed")
+	}
+	if got := c.Load(); got != 1.0 {
+		t.Fatalf("Load = %g, want 1.0", got)
+	}
+}
+
+func TestFloat64Arithmetic(t *testing.T) {
+	c := NewFloat64(10)
+	if got := c.Add(2.5); got != 12.5 {
+		t.Fatalf("Add = %g, want 12.5", got)
+	}
+	if got := c.Sub(0.5); got != 12 {
+		t.Fatalf("Sub = %g, want 12", got)
+	}
+	if got := c.Mul(0.5); got != 6 {
+		t.Fatalf("Mul = %g, want 6", got)
+	}
+	if got := c.Div(3); got != 2 {
+		t.Fatalf("Div = %g, want 2", got)
+	}
+}
+
+func TestFloat64MinMax(t *testing.T) {
+	c := NewFloat64(1.0)
+	if got := c.Min(-2.0); got != -2.0 {
+		t.Fatalf("Min = %g, want -2", got)
+	}
+	if got := c.Max(7.5); got != 7.5 {
+		t.Fatalf("Max = %g, want 7.5", got)
+	}
+}
+
+func TestFloat64SpecialValues(t *testing.T) {
+	c := NewFloat64(math.Inf(1))
+	if got := c.Load(); !math.IsInf(got, 1) {
+		t.Fatalf("Load = %g, want +Inf", got)
+	}
+	c.Store(math.Inf(-1))
+	if got := c.Max(0); got != 0 {
+		t.Fatalf("Max(-Inf, 0) = %g, want 0", got)
+	}
+	// Negative zero round-trips bit-exactly.
+	c.Store(math.Copysign(0, -1))
+	if got := c.Load(); math.Signbit(got) != true || got != 0 {
+		t.Fatalf("negative zero did not round-trip: %g signbit=%v", got, math.Signbit(got))
+	}
+}
+
+// Concurrent sum of 1.0s is exact in float64 well below 2^53.
+func TestFloat64ConcurrentAdd(t *testing.T) {
+	const goroutines, perG = 16, 2048
+	var c Float64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("concurrent Add lost updates: %g, want %d", got, goroutines*perG)
+	}
+}
+
+// Concurrent multiplication by powers of two is exact and order-independent.
+func TestFloat64ConcurrentMul(t *testing.T) {
+	const goroutines = 8
+	c := NewFloat64(1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				c.Mul(2)
+				c.Mul(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 1 {
+		t.Fatalf("concurrent Mul = %g, want 1", got)
+	}
+}
+
+// Property: Store/Load round-trips every bit pattern, including NaN payloads.
+func TestFloat64RoundTrip(t *testing.T) {
+	f := func(bits uint64) bool {
+		v := math.Float64frombits(bits)
+		var c Float64
+		c.Store(v)
+		return math.Float64bits(c.Load()) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: atomic Add agrees with non-atomic addition in the absence of
+// contention.
+func TestFloat64AddMatchesSequential(t *testing.T) {
+	f := func(init float64, deltas []float64) bool {
+		c := NewFloat64(init)
+		want := init
+		for _, d := range deltas {
+			c.Add(d)
+			want += d
+		}
+		got := c.Load()
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package atomicx
+
+import "sync/atomic"
+
+// Int64 is an atomic 64-bit signed integer cell.
+//
+// The zero value is ready to use and holds 0.
+type Int64 struct {
+	v atomic.Int64
+}
+
+// NewInt64 returns a cell initialised to v.
+func NewInt64(v int64) *Int64 {
+	c := new(Int64)
+	c.v.Store(v)
+	return c
+}
+
+// Load atomically returns the current value.
+func (c *Int64) Load() int64 { return c.v.Load() }
+
+// Store atomically replaces the value with v.
+func (c *Int64) Store(v int64) { c.v.Store(v) }
+
+// Swap atomically replaces the value with v and returns the previous value.
+func (c *Int64) Swap(v int64) int64 { return c.v.Swap(v) }
+
+// CompareAndSwap executes the compare-and-swap operation: if the cell holds
+// old it is replaced by new and true is returned.
+func (c *Int64) CompareAndSwap(old, new int64) bool { return c.v.CompareAndSwap(old, new) }
+
+// Add atomically adds delta and returns the new value (native RMW).
+func (c *Int64) Add(delta int64) int64 { return c.v.Add(delta) }
+
+// Sub atomically subtracts delta and returns the new value (native RMW).
+func (c *Int64) Sub(delta int64) int64 { return c.v.Add(-delta) }
+
+// RMW atomically applies f to the cell using the CAS-loop algorithm of the
+// paper's Listing 6 and returns the value f produced. f may be called more
+// than once and must be pure.
+func (c *Int64) RMW(f func(int64) int64) int64 {
+	old := c.v.Load()
+	for {
+		new := f(old)
+		// compare-and-swap returns exchange-success; on failure Go's
+		// CompareAndSwap does not hand back the actual value, so reload.
+		if c.v.CompareAndSwap(old, new) {
+			return new
+		}
+		old = c.v.Load()
+	}
+}
+
+// Mul atomically multiplies the cell by operand and returns the new value.
+// Multiplication is not a native atomic op; this is the CAS loop of
+// Listing 6 verbatim.
+func (c *Int64) Mul(operand int64) int64 {
+	old := c.v.Load()
+	new := old * operand
+	for {
+		if c.v.CompareAndSwap(old, new) {
+			return new
+		}
+		old = c.v.Load()
+		new = old * operand
+	}
+}
+
+// Div atomically divides the cell by operand and returns the new value.
+// Division by zero panics, matching the non-atomic operator.
+func (c *Int64) Div(operand int64) int64 {
+	return c.RMW(func(v int64) int64 { return v / operand })
+}
+
+// Min atomically stores min(current, v) and returns the new value.
+func (c *Int64) Min(v int64) int64 {
+	return c.RMW(func(cur int64) int64 {
+		if v < cur {
+			return v
+		}
+		return cur
+	})
+}
+
+// Max atomically stores max(current, v) and returns the new value.
+func (c *Int64) Max(v int64) int64 {
+	return c.RMW(func(cur int64) int64 {
+		if v > cur {
+			return v
+		}
+		return cur
+	})
+}
+
+// And atomically performs a bitwise AND with v and returns the new value.
+func (c *Int64) And(v int64) int64 {
+	return c.RMW(func(cur int64) int64 { return cur & v })
+}
+
+// Or atomically performs a bitwise OR with v and returns the new value.
+func (c *Int64) Or(v int64) int64 {
+	return c.RMW(func(cur int64) int64 { return cur | v })
+}
+
+// Xor atomically performs a bitwise XOR with v and returns the new value.
+func (c *Int64) Xor(v int64) int64 {
+	return c.RMW(func(cur int64) int64 { return cur ^ v })
+}
+
+// Nand atomically performs a bitwise NAND with v and returns the new value.
+// NAND has no native atomic on any Go target, so it always takes the CAS loop.
+func (c *Int64) Nand(v int64) int64 {
+	return c.RMW(func(cur int64) int64 { return ^(cur & v) })
+}

@@ -1,0 +1,246 @@
+package atomicx
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64Basic(t *testing.T) {
+	c := NewInt64(7)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+	c.Store(11)
+	if got := c.Load(); got != 11 {
+		t.Fatalf("Load after Store = %d, want 11", got)
+	}
+	if prev := c.Swap(13); prev != 11 {
+		t.Fatalf("Swap returned %d, want 11", prev)
+	}
+	if got := c.Load(); got != 13 {
+		t.Fatalf("Load after Swap = %d, want 13", got)
+	}
+}
+
+func TestInt64ZeroValue(t *testing.T) {
+	var c Int64
+	if got := c.Load(); got != 0 {
+		t.Fatalf("zero value Load = %d, want 0", got)
+	}
+	if got := c.Add(5); got != 5 {
+		t.Fatalf("Add on zero value = %d, want 5", got)
+	}
+}
+
+func TestInt64CompareAndSwap(t *testing.T) {
+	c := NewInt64(1)
+	if c.CompareAndSwap(2, 3) {
+		t.Fatal("CAS with wrong old succeeded")
+	}
+	if got := c.Load(); got != 1 {
+		t.Fatalf("value changed by failed CAS: %d", got)
+	}
+	if !c.CompareAndSwap(1, 3) {
+		t.Fatal("CAS with correct old failed")
+	}
+	if got := c.Load(); got != 3 {
+		t.Fatalf("Load after CAS = %d, want 3", got)
+	}
+}
+
+func TestInt64AddSub(t *testing.T) {
+	c := NewInt64(10)
+	if got := c.Add(5); got != 15 {
+		t.Fatalf("Add = %d, want 15", got)
+	}
+	if got := c.Sub(7); got != 8 {
+		t.Fatalf("Sub = %d, want 8", got)
+	}
+}
+
+func TestInt64MulDiv(t *testing.T) {
+	c := NewInt64(3)
+	if got := c.Mul(7); got != 21 {
+		t.Fatalf("Mul = %d, want 21", got)
+	}
+	if got := c.Div(3); got != 7 {
+		t.Fatalf("Div = %d, want 7", got)
+	}
+	// Negative operands.
+	c.Store(-4)
+	if got := c.Mul(-5); got != 20 {
+		t.Fatalf("Mul(-5) = %d, want 20", got)
+	}
+}
+
+func TestInt64MinMax(t *testing.T) {
+	c := NewInt64(10)
+	if got := c.Min(3); got != 3 {
+		t.Fatalf("Min(3) = %d, want 3", got)
+	}
+	if got := c.Min(5); got != 3 {
+		t.Fatalf("Min(5) = %d, want 3 (no change)", got)
+	}
+	if got := c.Max(42); got != 42 {
+		t.Fatalf("Max(42) = %d, want 42", got)
+	}
+	if got := c.Max(1); got != 42 {
+		t.Fatalf("Max(1) = %d, want 42 (no change)", got)
+	}
+}
+
+func TestInt64Bitwise(t *testing.T) {
+	c := NewInt64(0b1100)
+	if got := c.And(0b1010); got != 0b1000 {
+		t.Fatalf("And = %b, want 1000", got)
+	}
+	if got := c.Or(0b0011); got != 0b1011 {
+		t.Fatalf("Or = %b, want 1011", got)
+	}
+	if got := c.Xor(0b0110); got != 0b1101 {
+		t.Fatalf("Xor = %b, want 1101", got)
+	}
+}
+
+func TestInt64Nand(t *testing.T) {
+	c := NewInt64(0b1100)
+	want := ^(int64(0b1100) & int64(0b1010))
+	if got := c.Nand(0b1010); got != want {
+		t.Fatalf("Nand = %d, want %d", got, want)
+	}
+}
+
+func TestInt64RMW(t *testing.T) {
+	c := NewInt64(5)
+	got := c.RMW(func(v int64) int64 { return v*v + 1 })
+	if got != 26 {
+		t.Fatalf("RMW = %d, want 26", got)
+	}
+	if c.Load() != 26 {
+		t.Fatalf("Load after RMW = %d, want 26", c.Load())
+	}
+}
+
+// TestInt64ConcurrentAdd checks linearizability of the native path under
+// contention: N goroutines × M increments must sum exactly.
+func TestInt64ConcurrentAdd(t *testing.T) {
+	const goroutines, perG = 16, 2048
+	var c Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("concurrent Add lost updates: %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestInt64ConcurrentMul checks the CAS-loop path under contention.
+// Multiplication is commutative and associative, so the result must equal
+// the product regardless of interleaving. Using ±1 factors keeps the value
+// in range while still forcing real CAS conflicts.
+func TestInt64ConcurrentMul(t *testing.T) {
+	const goroutines = 16
+	c := NewInt64(1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1001; i++ { // odd count of -1 multiplications
+				c.Mul(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	// 16 goroutines × 1001 = 16016 flips, even → product is +1.
+	if got := c.Load(); got != 1 {
+		t.Fatalf("concurrent Mul = %d, want 1", got)
+	}
+}
+
+// TestInt64ConcurrentMinMax: the final min/max must equal the global extremum
+// of all submitted values.
+func TestInt64ConcurrentMinMax(t *testing.T) {
+	const goroutines = 8
+	mn := NewInt64(1 << 40)
+	mx := NewInt64(-(1 << 40))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := int64(g*1000 + i)
+				mn.Min(v)
+				mx.Max(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := mn.Load(); got != 0 {
+		t.Fatalf("concurrent Min = %d, want 0", got)
+	}
+	if got := mx.Load(); got != 7499 {
+		t.Fatalf("concurrent Max = %d, want 7499", got)
+	}
+}
+
+// Property: for any sequence of operands, Mul behaves exactly like repeated
+// non-atomic multiplication.
+func TestInt64MulMatchesSequential(t *testing.T) {
+	f := func(init int64, ops []int8) bool {
+		c := NewInt64(init)
+		want := init
+		for _, op := range ops {
+			c.Mul(int64(op))
+			want *= int64(op)
+		}
+		return c.Load() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Nand twice with all-ones is involutive on the low bits only when
+// applied as NOT; spot-check algebra instead: Nand(x, y) == ^(x&y).
+func TestInt64NandAlgebra(t *testing.T) {
+	f := func(x, y int64) bool {
+		c := NewInt64(x)
+		got := c.Nand(y)
+		return got == ^(x&y) && c.Load() == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Min/Max agree with the builtin comparisons for any pair.
+func TestInt64MinMaxAlgebra(t *testing.T) {
+	f := func(x, y int64) bool {
+		mn := NewInt64(x)
+		mx := NewInt64(x)
+		gotMin := mn.Min(y)
+		gotMax := mx.Max(y)
+		wantMin, wantMax := x, y
+		if y < x {
+			wantMin = y
+		}
+		if y < x {
+			wantMax = x
+		}
+		return gotMin == wantMin && gotMax == wantMax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package atomicx
+
+import "sync/atomic"
+
+// Uint64 is an atomic 64-bit unsigned integer cell.
+//
+// The zero value is ready to use and holds 0.
+type Uint64 struct {
+	v atomic.Uint64
+}
+
+// NewUint64 returns a cell initialised to v.
+func NewUint64(v uint64) *Uint64 {
+	c := new(Uint64)
+	c.v.Store(v)
+	return c
+}
+
+// Load atomically returns the current value.
+func (c *Uint64) Load() uint64 { return c.v.Load() }
+
+// Store atomically replaces the value with v.
+func (c *Uint64) Store(v uint64) { c.v.Store(v) }
+
+// Swap atomically replaces the value with v and returns the previous value.
+func (c *Uint64) Swap(v uint64) uint64 { return c.v.Swap(v) }
+
+// CompareAndSwap executes the compare-and-swap operation: if the cell holds
+// old it is replaced by new and true is returned.
+func (c *Uint64) CompareAndSwap(old, new uint64) bool { return c.v.CompareAndSwap(old, new) }
+
+// Add atomically adds delta and returns the new value (native RMW).
+func (c *Uint64) Add(delta uint64) uint64 { return c.v.Add(delta) }
+
+// RMW atomically applies f to the cell using the CAS-loop algorithm and
+// returns the value f produced. f may be called more than once and must be
+// pure.
+func (c *Uint64) RMW(f func(uint64) uint64) uint64 {
+	old := c.v.Load()
+	for {
+		new := f(old)
+		if c.v.CompareAndSwap(old, new) {
+			return new
+		}
+		old = c.v.Load()
+	}
+}
+
+// Mul atomically multiplies the cell by operand (CAS loop).
+func (c *Uint64) Mul(operand uint64) uint64 {
+	return c.RMW(func(v uint64) uint64 { return v * operand })
+}
+
+// Min atomically stores min(current, v) and returns the new value.
+func (c *Uint64) Min(v uint64) uint64 {
+	return c.RMW(func(cur uint64) uint64 {
+		if v < cur {
+			return v
+		}
+		return cur
+	})
+}
+
+// Max atomically stores max(current, v) and returns the new value.
+func (c *Uint64) Max(v uint64) uint64 {
+	return c.RMW(func(cur uint64) uint64 {
+		if v > cur {
+			return v
+		}
+		return cur
+	})
+}
+
+// And atomically performs a bitwise AND with v and returns the new value.
+func (c *Uint64) And(v uint64) uint64 {
+	return c.RMW(func(cur uint64) uint64 { return cur & v })
+}
+
+// Or atomically performs a bitwise OR with v and returns the new value.
+func (c *Uint64) Or(v uint64) uint64 {
+	return c.RMW(func(cur uint64) uint64 { return cur | v })
+}
+
+// Xor atomically performs a bitwise XOR with v and returns the new value.
+func (c *Uint64) Xor(v uint64) uint64 {
+	return c.RMW(func(cur uint64) uint64 { return cur ^ v })
+}
+
+// Nand atomically performs a bitwise NAND with v and returns the new value.
+func (c *Uint64) Nand(v uint64) uint64 {
+	return c.RMW(func(cur uint64) uint64 { return ^(cur & v) })
+}

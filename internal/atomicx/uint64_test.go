@@ -1,0 +1,147 @@
+package atomicx
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64Basic(t *testing.T) {
+	c := NewUint64(7)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load = %d", got)
+	}
+	c.Store(11)
+	if prev := c.Swap(13); prev != 11 {
+		t.Fatalf("Swap returned %d", prev)
+	}
+	if got := c.Load(); got != 13 {
+		t.Fatalf("Load after Swap = %d", got)
+	}
+}
+
+func TestUint64ZeroValue(t *testing.T) {
+	var c Uint64
+	if c.Load() != 0 {
+		t.Fatal("zero value not 0")
+	}
+	if got := c.Add(5); got != 5 {
+		t.Fatalf("Add = %d", got)
+	}
+}
+
+func TestUint64CAS(t *testing.T) {
+	c := NewUint64(1)
+	if c.CompareAndSwap(2, 3) {
+		t.Fatal("CAS with wrong old succeeded")
+	}
+	if !c.CompareAndSwap(1, 3) {
+		t.Fatal("CAS with correct old failed")
+	}
+}
+
+func TestUint64MulMinMax(t *testing.T) {
+	c := NewUint64(6)
+	if got := c.Mul(7); got != 42 {
+		t.Fatalf("Mul = %d", got)
+	}
+	if got := c.Min(40); got != 40 {
+		t.Fatalf("Min = %d", got)
+	}
+	if got := c.Min(99); got != 40 {
+		t.Fatalf("Min no-change = %d", got)
+	}
+	if got := c.Max(100); got != 100 {
+		t.Fatalf("Max = %d", got)
+	}
+	if got := c.Max(1); got != 100 {
+		t.Fatalf("Max no-change = %d", got)
+	}
+}
+
+func TestUint64Bitwise(t *testing.T) {
+	c := NewUint64(0b1100)
+	if got := c.And(0b1010); got != 0b1000 {
+		t.Fatalf("And = %b", got)
+	}
+	if got := c.Or(0b0011); got != 0b1011 {
+		t.Fatalf("Or = %b", got)
+	}
+	if got := c.Xor(0b0110); got != 0b1101 {
+		t.Fatalf("Xor = %b", got)
+	}
+	want := ^(uint64(0b1101) & uint64(0b1001))
+	if got := c.Nand(0b1001); got != want {
+		t.Fatalf("Nand = %x, want %x", got, want)
+	}
+}
+
+func TestUint64RMW(t *testing.T) {
+	c := NewUint64(5)
+	if got := c.RMW(func(v uint64) uint64 { return v*v + 1 }); got != 26 {
+		t.Fatalf("RMW = %d", got)
+	}
+}
+
+func TestUint64ConcurrentMixed(t *testing.T) {
+	var c Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000*3 {
+		t.Fatalf("concurrent Add = %d", got)
+	}
+}
+
+// Property: wrapping multiplication matches the native operator.
+func TestUint64MulAlgebra(t *testing.T) {
+	f := func(x, y uint64) bool {
+		c := NewUint64(x)
+		return c.Mul(y) == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Int64 Div coverage: truncation and negative operands match the operator.
+func TestInt64DivAlgebra(t *testing.T) {
+	f := func(x int64, y int32) bool {
+		if y == 0 {
+			return true
+		}
+		c := NewInt64(x)
+		return c.Div(int64(y)) == x/int64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Float64 RMW and Swap/Sub coverage under concurrency.
+func TestFloat64RMWConcurrent(t *testing.T) {
+	c := NewFloat64(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.RMW(func(v float64) float64 { return v + 2 })
+				c.Sub(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*500 {
+		t.Fatalf("RMW/Sub ladder = %g, want %d", got, 8*500)
+	}
+}

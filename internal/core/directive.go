@@ -1,0 +1,197 @@
+package core
+
+import "fmt"
+
+// DirKind enumerates directives. Each kind corresponds to one AST node tag
+// in the paper's modified compiler ("each OpenMP directive is provided with
+// an AST node tag").
+type DirKind int
+
+const (
+	DirInvalid DirKind = iota
+	// DirParallel is `parallel`: fork a team over the following block.
+	DirParallel
+	// DirFor is `for`: workshare the following for statement.
+	DirFor
+	// DirParallelFor is the fused `parallel for`.
+	DirParallelFor
+	// DirSections / DirSection distribute marked blocks across the team.
+	DirSections
+	DirSection
+	// DirSingle runs the following block on one thread.
+	DirSingle
+	// DirMaster runs the following block on thread 0 only.
+	DirMaster
+	// DirCritical serialises the following block under a (named) lock.
+	DirCritical
+	// DirBarrier is a standalone team barrier.
+	DirBarrier
+	// DirAtomic makes the following update statement atomic.
+	DirAtomic
+	// DirThreadPrivate gives the named package-level variables one
+	// instance per thread.
+	DirThreadPrivate
+)
+
+// String returns the OpenMP surface spelling.
+func (k DirKind) String() string {
+	switch k {
+	case DirParallel:
+		return "parallel"
+	case DirFor:
+		return "for"
+	case DirParallelFor:
+		return "parallel for"
+	case DirSections:
+		return "sections"
+	case DirSection:
+		return "section"
+	case DirSingle:
+		return "single"
+	case DirMaster:
+		return "master"
+	case DirCritical:
+		return "critical"
+	case DirBarrier:
+		return "barrier"
+	case DirAtomic:
+		return "atomic"
+	case DirThreadPrivate:
+		return "threadprivate"
+	}
+	return fmt.Sprintf("DirKind(%d)", int(k))
+}
+
+// SchedEnum is the 3-bit schedule kind of the paper's packed clause encoding
+// (Section III-A2). Values fit in 3 bits; SchedNone means no schedule clause.
+type SchedEnum uint8
+
+const (
+	SchedNone SchedEnum = iota
+	SchedStatic
+	SchedDynamic
+	SchedGuided
+	SchedRuntime
+	SchedAuto
+	SchedTrapezoid
+)
+
+// String returns the clause spelling.
+func (s SchedEnum) String() string {
+	switch s {
+	case SchedStatic:
+		return "static"
+	case SchedDynamic:
+		return "dynamic"
+	case SchedGuided:
+		return "guided"
+	case SchedRuntime:
+		return "runtime"
+	case SchedAuto:
+		return "auto"
+	case SchedTrapezoid:
+		return "trapezoidal"
+	}
+	return "none"
+}
+
+// DefaultKind is the 2-bit default clause encoding.
+type DefaultKind uint8
+
+const (
+	DefaultUnset DefaultKind = iota
+	DefaultShared
+	DefaultNone
+)
+
+// ReduceOp enumerates reduction-clause operators; the order is shared with
+// the runtime's omp.ReduceOp so codegen can emit the constant by name.
+type ReduceOp int
+
+const (
+	RedSum ReduceOp = iota
+	RedProd
+	RedMin
+	RedMax
+	RedBitAnd
+	RedBitOr
+	RedBitXor
+	RedLogicalAnd
+	RedLogicalOr
+)
+
+// String returns the clause operator spelling.
+func (op ReduceOp) String() string {
+	return [...]string{"+", "*", "min", "max", "&", "|", "^", "&&", "||"}[op]
+}
+
+// RuntimeName returns the omp package constant that codegen references.
+func (op ReduceOp) RuntimeName() string {
+	return [...]string{
+		"omp.ReduceSum", "omp.ReduceProd", "omp.ReduceMin", "omp.ReduceMax",
+		"omp.ReduceBitAnd", "omp.ReduceBitOr", "omp.ReduceBitXor",
+		"omp.ReduceLogicalAnd", "omp.ReduceLogicalOr",
+	}[op]
+}
+
+// GoOperator returns the Go binary operator that folds two partial values,
+// used when codegen needs an inline fold ("a = a OP b"); min/max fold via
+// the builtins instead.
+func (op ReduceOp) GoOperator() string {
+	switch op {
+	case RedSum:
+		return "+"
+	case RedProd:
+		return "*"
+	case RedBitAnd:
+		return "&"
+	case RedBitOr:
+		return "|"
+	case RedBitXor:
+		return "^"
+	case RedLogicalAnd:
+		return "&&"
+	case RedLogicalOr:
+		return "||"
+	}
+	return ""
+}
+
+// ReductionClause is one reduction(op:var,…) clause.
+type ReductionClause struct {
+	Op   ReduceOp
+	Vars []string
+}
+
+// Clauses carries every clause a directive may hold. One structure serves
+// all directives, as in the paper ("all clauses are stored in a single data
+// structure"); validation restricts which fields are allowed per kind.
+type Clauses struct {
+	Private      []string
+	FirstPrivate []string
+	LastPrivate  []string
+	Shared       []string
+	CopyPrivate  []string
+	Reductions   []ReductionClause
+
+	Sched       SchedEnum
+	Chunk       int64 // 0 = no chunk specified (chunk must be > 0 per spec)
+	HasSchedule bool
+
+	Default  DefaultKind
+	NoWait   bool
+	Collapse int // 0 = absent; must fit 4 bits
+	Ordered  bool
+
+	NumThreads string // raw host expression, empty = absent
+	If         string // raw host expression, empty = absent
+	Name       string // critical section name, empty = unnamed
+
+	ThreadPrivateVars []string // threadprivate(…) list
+}
+
+// Directive is a parsed pragma.
+type Directive struct {
+	Kind    DirKind
+	Clauses Clauses
+}

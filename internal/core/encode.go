@@ -1,0 +1,252 @@
+package core
+
+import "fmt"
+
+// This file reproduces the Zig compiler's extra_data representation of
+// clause data (Section III-A1/2): every directive becomes a node whose
+// clause record lives in a flat array of 32-bit integers.
+//
+// Record layout (uint32 words, fixed prefix then list payloads):
+//
+//	word 0  schedule: kind in bits 0-2 (3 bits), chunk in bits 3-31
+//	        (29 bits; 0 = no chunk, since a legal chunk is > 0 — the
+//	        paper's exact trick)
+//	word 1  flags: default (2 bits) | nowait (1) | collapse (4) |
+//	        ordered (1) | hasSchedule (1)
+//	word 2  num_threads expression: string-table index + 1, 0 = absent
+//	word 3  if expression: string-table index + 1, 0 = absent
+//	word 4  critical name: string-table index + 1, 0 = absent/unnamed
+//	words 5..18  seven (begin,end) list slices into ExtraData:
+//	        private, firstprivate, lastprivate, shared, copyprivate,
+//	        threadprivate, reduction
+//
+// List payloads follow the record: identifier lists are string-table
+// indices stored contiguously (Figure 2 of the paper); the reduction list
+// stores (op, var-index) pairs.
+
+// Packing geometry of word 0 — the constants the paper quotes: 3-bit
+// schedule enumeration, 29-bit chunk, maximum chunk 2^29 iterations.
+const (
+	schedKindBits = 3
+	schedKindMask = 1<<schedKindBits - 1
+	// MaxChunk is the largest encodable chunk size (the paper's
+	// "maximum chunk of 536870912 iterations").
+	MaxChunk = 1 << (32 - schedKindBits) // 2^29
+)
+
+// Flag bit positions in word 1.
+const (
+	flagDefaultShift  = 0 // 2 bits
+	flagNoWaitShift   = 2 // 1 bit
+	flagCollapseShift = 3 // 4 bits
+	flagOrderedShift  = 7 // 1 bit
+	flagHasSchedShift = 8 // 1 bit
+
+	// MaxCollapse is the largest encodable collapse depth: 4 bits, "as
+	// it is unlikely that a user would wish to collapse more than 16
+	// loops".
+	MaxCollapse = 1<<4 - 1
+)
+
+const recordWords = 5 + 2*7 // fixed prefix + seven (begin,end) slices
+
+// Node is one directive in encoded form.
+type Node struct {
+	Kind DirKind
+	// ClauseIdx is the index of the clause record in Tree.ExtraData —
+	// "a directive node contains an index into the extra_data array
+	// denoting the start of the clauses structure".
+	ClauseIdx uint32
+}
+
+// Tree is the encoded directive store: the analog of the Zig AST's node
+// list, extra_data array and string table for the OpenMP subset.
+type Tree struct {
+	Nodes     []Node
+	ExtraData []uint32
+	// Strings is the identifier/expression table; ExtraData references
+	// entries by index.
+	Strings []string
+
+	interned map[string]uint32
+}
+
+// NewTree returns an empty encoded store.
+func NewTree() *Tree {
+	return &Tree{interned: make(map[string]uint32)}
+}
+
+func (t *Tree) intern(s string) uint32 {
+	if t.interned == nil {
+		t.interned = make(map[string]uint32)
+	}
+	if idx, ok := t.interned[s]; ok {
+		return idx
+	}
+	idx := uint32(len(t.Strings))
+	t.Strings = append(t.Strings, s)
+	t.interned[s] = idx
+	return idx
+}
+
+// optStr encodes an optional string as index+1 (0 = absent).
+func (t *Tree) optStr(s string) uint32 {
+	if s == "" {
+		return 0
+	}
+	return t.intern(s) + 1
+}
+
+// PackSchedule packs a schedule kind and chunk into one 32-bit word.
+// Chunk 0 encodes "no chunk specified".
+func PackSchedule(kind SchedEnum, chunk int64) (uint32, error) {
+	if uint32(kind) > schedKindMask {
+		return 0, fmt.Errorf("core: schedule kind %d does not fit %d bits", kind, schedKindBits)
+	}
+	if chunk < 0 || chunk >= MaxChunk {
+		return 0, fmt.Errorf("core: chunk %d outside [0, %d)", chunk, MaxChunk)
+	}
+	return uint32(kind) | uint32(chunk)<<schedKindBits, nil
+}
+
+// UnpackSchedule reverses PackSchedule.
+func UnpackSchedule(w uint32) (SchedEnum, int64) {
+	return SchedEnum(w & schedKindMask), int64(w >> schedKindBits)
+}
+
+// packFlags packs the sub-32-bit clauses into one word, "grouped into a
+// single packed structure".
+func packFlags(c *Clauses) (uint32, error) {
+	if c.Collapse < 0 || c.Collapse > MaxCollapse {
+		return 0, fmt.Errorf("core: collapse %d outside [0, %d]", c.Collapse, MaxCollapse)
+	}
+	w := uint32(c.Default) << flagDefaultShift
+	if c.NoWait {
+		w |= 1 << flagNoWaitShift
+	}
+	w |= uint32(c.Collapse) << flagCollapseShift
+	if c.Ordered {
+		w |= 1 << flagOrderedShift
+	}
+	if c.HasSchedule {
+		w |= 1 << flagHasSchedShift
+	}
+	return w, nil
+}
+
+func unpackFlags(w uint32, c *Clauses) {
+	c.Default = DefaultKind(w >> flagDefaultShift & 0b11)
+	c.NoWait = w>>flagNoWaitShift&1 != 0
+	c.Collapse = int(w >> flagCollapseShift & 0b1111)
+	c.Ordered = w>>flagOrderedShift&1 != 0
+	c.HasSchedule = w>>flagHasSchedShift&1 != 0
+}
+
+// Encode appends d to the tree and returns its node index. Clause data is
+// flattened into ExtraData exactly as described in Section III-A: packed
+// words first, then (begin,end) slices whose payloads are appended after
+// the record.
+func (t *Tree) Encode(d *Directive) (int, error) {
+	c := &d.Clauses
+	sched, err := PackSchedule(c.Sched, c.Chunk)
+	if err != nil {
+		return 0, err
+	}
+	flags, err := packFlags(c)
+	if err != nil {
+		return 0, err
+	}
+
+	recIdx := uint32(len(t.ExtraData))
+	t.ExtraData = append(t.ExtraData,
+		sched,
+		flags,
+		t.optStr(c.NumThreads),
+		t.optStr(c.If),
+		t.optStr(c.Name),
+	)
+	// Reserve the seven (begin,end) slice headers; payload offsets are
+	// known only after the record.
+	sliceHdr := len(t.ExtraData)
+	t.ExtraData = append(t.ExtraData, make([]uint32, 2*7)...)
+
+	writeList := func(slot int, vars []string) {
+		begin := uint32(len(t.ExtraData))
+		for _, v := range vars {
+			t.ExtraData = append(t.ExtraData, t.intern(v))
+		}
+		t.ExtraData[sliceHdr+2*slot] = begin
+		t.ExtraData[sliceHdr+2*slot+1] = uint32(len(t.ExtraData))
+	}
+	writeList(0, c.Private)
+	writeList(1, c.FirstPrivate)
+	writeList(2, c.LastPrivate)
+	writeList(3, c.Shared)
+	writeList(4, c.CopyPrivate)
+	writeList(5, c.ThreadPrivateVars)
+
+	// Reduction slice: (op, var) pairs.
+	begin := uint32(len(t.ExtraData))
+	for _, r := range c.Reductions {
+		for _, v := range r.Vars {
+			t.ExtraData = append(t.ExtraData, uint32(r.Op), t.intern(v))
+		}
+	}
+	t.ExtraData[sliceHdr+12] = begin
+	t.ExtraData[sliceHdr+13] = uint32(len(t.ExtraData))
+
+	t.Nodes = append(t.Nodes, Node{Kind: d.Kind, ClauseIdx: recIdx})
+	return len(t.Nodes) - 1, nil
+}
+
+// Decode reconstructs directive node i from the packed representation.
+// Encode→Decode is lossless up to reduction-clause grouping (a clause
+// listing several variables decodes as one clause per variable, which is
+// semantically identical).
+func (t *Tree) Decode(i int) (*Directive, error) {
+	if i < 0 || i >= len(t.Nodes) {
+		return nil, fmt.Errorf("core: node index %d out of range", i)
+	}
+	n := t.Nodes[i]
+	rec := t.ExtraData[n.ClauseIdx:]
+	d := &Directive{Kind: n.Kind}
+	c := &d.Clauses
+	c.Sched, c.Chunk = UnpackSchedule(rec[0])
+	unpackFlags(rec[1], c)
+	str := func(w uint32) string {
+		if w == 0 {
+			return ""
+		}
+		return t.Strings[w-1]
+	}
+	c.NumThreads = str(rec[2])
+	c.If = str(rec[3])
+	c.Name = str(rec[4])
+
+	readList := func(slot int) []string {
+		begin, end := rec[5+2*slot], rec[5+2*slot+1]
+		if begin == end {
+			return nil
+		}
+		vars := make([]string, 0, end-begin)
+		for _, w := range t.ExtraData[begin:end] {
+			vars = append(vars, t.Strings[w])
+		}
+		return vars
+	}
+	c.Private = readList(0)
+	c.FirstPrivate = readList(1)
+	c.LastPrivate = readList(2)
+	c.Shared = readList(3)
+	c.CopyPrivate = readList(4)
+	c.ThreadPrivateVars = readList(5)
+
+	begin, end := rec[5+12], rec[5+13]
+	for w := begin; w < end; w += 2 {
+		c.Reductions = append(c.Reductions, ReductionClause{
+			Op:   ReduceOp(t.ExtraData[w]),
+			Vars: []string{t.Strings[t.ExtraData[w+1]]},
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackScheduleRoundTrip(t *testing.T) {
+	for kind := SchedNone; kind <= SchedTrapezoid; kind++ {
+		for _, chunk := range []int64{0, 1, 7, 512, MaxChunk - 1} {
+			w, err := PackSchedule(kind, chunk)
+			if err != nil {
+				t.Fatalf("Pack(%v,%d): %v", kind, chunk, err)
+			}
+			k2, c2 := UnpackSchedule(w)
+			if k2 != kind || c2 != chunk {
+				t.Fatalf("round trip (%v,%d) → %#x → (%v,%d)", kind, chunk, w, k2, c2)
+			}
+		}
+	}
+}
+
+func TestPackScheduleLimits(t *testing.T) {
+	if _, err := PackSchedule(SchedStatic, MaxChunk); err == nil {
+		t.Error("chunk 2^29 accepted")
+	}
+	if _, err := PackSchedule(SchedStatic, -1); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	// The paper's headline number: 536870912 possible iterations → the
+	// max encodable chunk is 2^29-1 with 0 reserved for "unspecified".
+	if MaxChunk != 536870912 {
+		t.Errorf("MaxChunk = %d, want 536870912", MaxChunk)
+	}
+}
+
+// Property: any 29-bit chunk and 3-bit kind survive the packing.
+func TestPackScheduleQuick(t *testing.T) {
+	f := func(kindRaw uint8, chunkRaw uint32) bool {
+		kind := SchedEnum(kindRaw % 7)
+		chunk := int64(chunkRaw % MaxChunk)
+		w, err := PackSchedule(kind, chunk)
+		if err != nil {
+			return false
+		}
+		k2, c2 := UnpackSchedule(w)
+		return k2 == kind && c2 == chunk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagsRoundTrip(t *testing.T) {
+	for _, c := range []Clauses{
+		{},
+		{NoWait: true},
+		{Default: DefaultShared},
+		{Default: DefaultNone, NoWait: true},
+		{Collapse: 15},
+		{Collapse: 3, NoWait: true, Default: DefaultNone, HasSchedule: true},
+		{Ordered: true},
+	} {
+		w, err := packFlags(&c)
+		if err != nil {
+			t.Fatalf("packFlags(%+v): %v", c, err)
+		}
+		var got Clauses
+		unpackFlags(w, &got)
+		if got.Default != c.Default || got.NoWait != c.NoWait ||
+			got.Collapse != c.Collapse || got.Ordered != c.Ordered ||
+			got.HasSchedule != c.HasSchedule {
+			t.Fatalf("flags round trip %+v → %#x → %+v", c, w, got)
+		}
+	}
+}
+
+func TestFlagsCollapseLimit(t *testing.T) {
+	c := Clauses{Collapse: 16}
+	if _, err := packFlags(&c); err == nil {
+		t.Error("collapse 16 packed into 4 bits without error")
+	}
+}
+
+// The central invariant of Section III-A: a parsed directive, encoded into
+// the 32-bit extra_data array and decoded back, is semantically identical.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	pragmas := []string{
+		"parallel",
+		"parallel private(a,b) firstprivate(c) shared(d) default(none) num_threads(2*k) if(n > 3)",
+		"for schedule(dynamic,64) nowait private(i,j)",
+		"for schedule(static) collapse(3) firstprivate(x) lastprivate(y)",
+		"parallel for reduction(+:sx,sy) reduction(*:p) schedule(guided,8)",
+		"single copyprivate(v) nowait",
+		"critical(name_x)",
+		"barrier",
+		"atomic",
+		"threadprivate(alpha, beta)",
+		"sections nowait",
+		"master",
+	}
+	tree := NewTree()
+	var want []*Directive
+	for _, p := range pragmas {
+		d := mustParse(t, p)
+		if _, err := tree.Encode(d); err != nil {
+			t.Fatalf("Encode(%q): %v", p, err)
+		}
+		want = append(want, d)
+	}
+	for i, w := range want {
+		got, err := tree.Decode(i)
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", i, err)
+		}
+		// Normalise reduction grouping: decode splits multi-var
+		// clauses into one clause per variable.
+		wantNorm := *w
+		wantNorm.Clauses.Reductions = splitReductions(w.Clauses.Reductions)
+		if got.Kind != wantNorm.Kind {
+			t.Errorf("node %d kind = %v, want %v", i, got.Kind, wantNorm.Kind)
+		}
+		if !reflect.DeepEqual(got.Clauses, wantNorm.Clauses) {
+			t.Errorf("node %d clauses:\n got  %+v\n want %+v", i, got.Clauses, wantNorm.Clauses)
+		}
+	}
+}
+
+func splitReductions(rs []ReductionClause) []ReductionClause {
+	var out []ReductionClause
+	for _, r := range rs {
+		for _, v := range r.Vars {
+			out = append(out, ReductionClause{Op: r.Op, Vars: []string{v}})
+		}
+	}
+	return out
+}
+
+// Figure 2 of the paper: list-clause identifiers are stored contiguously in
+// extra_data, with begin/end indices in the clause record.
+func TestListClauseLayout(t *testing.T) {
+	tree := NewTree()
+	d := mustParse(t, "parallel private(alpha,beta,gamma)")
+	idx, err := tree.Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tree.ExtraData[tree.Nodes[idx].ClauseIdx:]
+	begin, end := rec[5], rec[6] // private slice header
+	if end-begin != 3 {
+		t.Fatalf("private slice length %d, want 3", end-begin)
+	}
+	got := []string{}
+	for _, w := range tree.ExtraData[begin:end] {
+		got = append(got, tree.Strings[w])
+	}
+	if !reflect.DeepEqual(got, []string{"alpha", "beta", "gamma"}) {
+		t.Fatalf("contiguous private list = %v", got)
+	}
+}
+
+// Identifiers are interned: the same name in two directives shares one
+// string-table slot.
+func TestStringInterning(t *testing.T) {
+	tree := NewTree()
+	for _, p := range []string{"parallel private(x)", "for private(x) nowait", "parallel shared(x)"} {
+		if _, err := tree.Encode(mustParse(t, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	for _, s := range tree.Strings {
+		if s == "x" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("identifier x interned %d times, want 1", count)
+	}
+}
+
+func TestDecodeOutOfRange(t *testing.T) {
+	tree := NewTree()
+	if _, err := tree.Decode(0); err == nil {
+		t.Error("Decode on empty tree succeeded")
+	}
+	if _, err := tree.Decode(-1); err == nil {
+		t.Error("Decode(-1) succeeded")
+	}
+}
+
+// Every word of the packed record is 32-bit by construction; this guards
+// the invariant the paper highlights ("every element of the structure must
+// be a 32 bit integer") against future field additions.
+func TestRecordIsPure32Bit(t *testing.T) {
+	tree := NewTree()
+	d := mustParse(t, "parallel for private(i) reduction(+:s) schedule(static,7) collapse(2) num_threads(8)")
+	if _, err := tree.Encode(d); err != nil {
+		t.Fatal(err)
+	}
+	var _ []uint32 = tree.ExtraData // compile-time: the array is []uint32
+	if len(tree.ExtraData) < recordWords {
+		t.Fatalf("record shorter than the fixed prefix: %d < %d", len(tree.ExtraData), recordWords)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runPreprocessed lowers src and executes it with `go run`, returning
+// stdout. The generated file must live inside the module tree so its
+// gomp/internal imports resolve; t.TempDir() would fall outside it.
+func runPreprocessed(t *testing.T, src string) string {
+	t.Helper()
+	out, err := Preprocess([]byte(src), Options{Filename: "main.go"})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	dir, err := os.MkdirTemp(".", "e2e-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	path := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./"+dir)
+	cmd.Env = append(os.Environ(), "OMP_NUM_THREADS=4")
+	stdout, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n--- output ---\n%s\n--- generated ---\n%s", err, stdout, out)
+	}
+	return string(stdout)
+}
+
+// The quickstart of the paper's workflow: annotate, preprocess, run. A
+// parallel-for sum with a reduction must produce the exact serial answer.
+func TestEndToEndParallelForReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	n := 100000
+	sum := 0.0
+	//omp parallel for reduction(+:sum) schedule(static)
+	for i := 0; i < n; i++ {
+		sum += float64(i)
+	}
+	fmt.Println(sum == float64(n)*float64(n-1)/2)
+}
+`)
+	if strings.TrimSpace(got) != "true" {
+		t.Fatalf("output = %q, want true", got)
+	}
+}
+
+// Exercises the full clause spread on one program: private, firstprivate,
+// schedules, single, critical, barrier, atomic, master.
+func TestEndToEndDirectiveMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	const n = 10000
+	a := make([]float64, n)
+	scale := 2.0
+	singles := 0
+	total := 0
+	//omp parallel firstprivate(scale)
+	{
+		//omp single
+		{
+			singles++
+		}
+		//omp for schedule(guided,16) nowait
+		for i := 0; i < n; i++ {
+			a[i] = scale * float64(i)
+		}
+		//omp barrier
+		//omp for reduction(+:total) schedule(dynamic,64)
+		for i := 0; i < n; i++ {
+			if a[i] == 2*float64(i) {
+				total++
+			}
+		}
+		//omp master
+		{
+			//omp critical
+			{
+				total += 0
+			}
+		}
+	}
+	fmt.Println(singles, total)
+}
+`)
+	if strings.TrimSpace(got) != "1 10000" {
+		t.Fatalf("output = %q, want \"1 10000\"", got)
+	}
+}
+
+// Collapse(2) over a rectangular nest must touch every cell exactly once.
+func TestEndToEndCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	const ni, nj = 37, 53
+	m := make([][]int, ni)
+	for i := range m {
+		m[i] = make([]int, nj)
+	}
+	//omp parallel
+	{
+		//omp for collapse(2) schedule(dynamic,7)
+		for i := 0; i < ni; i++ {
+			for j := 0; j < nj; j++ {
+				m[i][j]++
+			}
+		}
+	}
+	bad := 0
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != 1 {
+				bad++
+			}
+		}
+	}
+	fmt.Println(bad)
+}
+`)
+	if strings.TrimSpace(got) != "0" {
+		t.Fatalf("output = %q, want 0", got)
+	}
+}
+
+// Threadprivate counters must accumulate independently per thread and
+// persist across regions (hot team keeps gtids stable).
+func TestEndToEndThreadPrivate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+//omp threadprivate(counter)
+var counter int
+
+func main() {
+	total := 0
+	//omp parallel num_threads(4)
+	{
+		counter++
+	}
+	//omp parallel num_threads(4)
+	{
+		counter++
+		//omp atomic
+		total += counter
+	}
+	fmt.Println(total)
+}
+`)
+	// Same 4 threads in both regions → every counter reaches 2 → 4*2=8.
+	if strings.TrimSpace(got) != "8" {
+		t.Fatalf("output = %q, want 8", got)
+	}
+}
+
+// Lastprivate: the sequentially-last iteration's value survives the loop,
+// regardless of schedule.
+func TestEndToEndLastPrivate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	last := -1
+	//omp parallel
+	{
+		//omp for lastprivate(last) schedule(dynamic,3)
+		for i := 0; i < 1000; i++ {
+			last = i * 2
+		}
+	}
+	fmt.Println(last)
+}
+`)
+	if strings.TrimSpace(got) != "1998" {
+		t.Fatalf("output = %q, want 1998", got)
+	}
+}
+
+// Sections distribute blocks; copyprivate broadcasts the single winner's
+// value.
+func TestEndToEndSectionsAndCopyPrivate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	var a, b, c int
+	v := 0
+	//omp parallel num_threads(3)
+	{
+		//omp sections
+		{
+			a = 1
+			//omp section
+			b = 2
+			//omp section
+			c = 3
+		}
+		//omp single copyprivate(v)
+		{
+			v = 7
+		}
+		//omp atomic
+		v += 0
+	}
+	fmt.Println(a+b+c, v)
+}
+`)
+	if strings.TrimSpace(got) != "6 7" {
+		t.Fatalf("output = %q, want \"6 7\"", got)
+	}
+}
+
+// The paper's Listing 6 path end to end: a multiplication reduction, which
+// has no native atomic and goes through the CAS loop.
+func TestEndToEndMulReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	p := int64(1)
+	//omp parallel for reduction(*:p) num_threads(8)
+	for i := 0; i < 62; i++ {
+		p *= 2
+	}
+	fmt.Println(p == 1<<62)
+}
+`)
+	if strings.TrimSpace(got) != "true" {
+		t.Fatalf("output = %q, want true", got)
+	}
+}

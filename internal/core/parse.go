@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser consumes the token stream of one pragma. Its central primitive is
+// eatToken, the paper's modified accessor: it "accept[s] both existing and
+// new tags, and parse[s] the identifier tag accordingly if an OpenMP keyword
+// tag was used" — keywords reach the parser as identifiers and are
+// recognised through the keyword hash map, never reserved.
+type dirParser struct {
+	text string // pragma text after the sentinel (for raw-expression slices)
+	toks []Token
+	pos  int
+}
+
+// eatToken returns the next token and advances iff it matches tag; otherwise
+// nil. For keyword tags the match is "identifier whose spelling maps to the
+// tag"; for ordinary tags it is tag equality.
+func (p *dirParser) eatToken(tag TokenTag) *Token {
+	tok := &p.toks[p.pos]
+	if tag > tokKeywordBase {
+		if tok.Tag == TokIdent && keywordTags[tok.Text] == tag {
+			p.pos++
+			return tok
+		}
+		return nil
+	}
+	if tok.Tag == tag {
+		p.pos++
+		return tok
+	}
+	return nil
+}
+
+func (p *dirParser) peek() *Token { return &p.toks[p.pos] }
+
+func (p *dirParser) expect(tag TokenTag, what string) (*Token, error) {
+	if tok := p.eatToken(tag); tok != nil {
+		return tok, nil
+	}
+	return nil, fmt.Errorf("pragma: expected %s, found %s", what, p.peek())
+}
+
+// ParseDirective tokenises and parses one pragma's text (sentinel already
+// stripped) into a Directive.
+func ParseDirective(text string) (*Directive, error) {
+	toks, err := Tokenize(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &dirParser{text: text, toks: toks}
+	d := &Directive{}
+
+	switch {
+	case p.eatToken(TokParallel) != nil:
+		if p.eatToken(TokFor) != nil {
+			d.Kind = DirParallelFor
+		} else {
+			d.Kind = DirParallel
+		}
+	case p.eatToken(TokFor) != nil:
+		d.Kind = DirFor
+	case p.eatToken(TokSections) != nil:
+		d.Kind = DirSections
+	case p.eatToken(TokSection) != nil:
+		d.Kind = DirSection
+	case p.eatToken(TokSingle) != nil:
+		d.Kind = DirSingle
+	case p.eatToken(TokMaster) != nil, p.eatToken(TokMasked) != nil:
+		d.Kind = DirMaster
+	case p.eatToken(TokCritical) != nil:
+		d.Kind = DirCritical
+		if p.eatToken(TokLParen) != nil {
+			name, err := p.expect(TokIdent, "critical section name")
+			if err != nil {
+				return nil, err
+			}
+			d.Clauses.Name = name.Text
+			if _, err := p.expect(TokRParen, "')'"); err != nil {
+				return nil, err
+			}
+		}
+	case p.eatToken(TokBarrier) != nil:
+		d.Kind = DirBarrier
+	case p.eatToken(TokAtomic) != nil:
+		d.Kind = DirAtomic
+	case p.eatToken(TokThreadPrivate) != nil:
+		d.Kind = DirThreadPrivate
+		vars, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		d.Clauses.ThreadPrivateVars = vars
+	case p.eatToken(TokFlush) != nil:
+		return nil, fmt.Errorf("pragma: the flush directive is not supported (Go's memory model provides no standalone fence; use atomic cells)")
+	default:
+		return nil, fmt.Errorf("pragma: unknown directive at %s", p.peek())
+	}
+
+	if err := p.parseClauses(d); err != nil {
+		return nil, err
+	}
+	if err := Validate(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseClauses consumes clause* until EOF. Clauses may be separated by
+// commas or whitespace, as the OpenMP grammar allows.
+func (p *dirParser) parseClauses(d *Directive) error {
+	c := &d.Clauses
+	for {
+		p.eatToken(TokComma) // optional separator
+		if p.peek().Tag == TokEOF {
+			return nil
+		}
+		switch {
+		case p.eatToken(TokPrivate) != nil:
+			vars, err := p.parseIdentList()
+			if err != nil {
+				return err
+			}
+			c.Private = append(c.Private, vars...)
+		case p.eatToken(TokFirstPrivate) != nil:
+			vars, err := p.parseIdentList()
+			if err != nil {
+				return err
+			}
+			c.FirstPrivate = append(c.FirstPrivate, vars...)
+		case p.eatToken(TokLastPrivate) != nil:
+			vars, err := p.parseIdentList()
+			if err != nil {
+				return err
+			}
+			c.LastPrivate = append(c.LastPrivate, vars...)
+		case p.eatToken(TokShared) != nil:
+			vars, err := p.parseIdentList()
+			if err != nil {
+				return err
+			}
+			c.Shared = append(c.Shared, vars...)
+		case p.eatToken(TokCopyPrivate) != nil:
+			vars, err := p.parseIdentList()
+			if err != nil {
+				return err
+			}
+			c.CopyPrivate = append(c.CopyPrivate, vars...)
+		case p.eatToken(TokReduction) != nil:
+			if err := p.parseReduction(c); err != nil {
+				return err
+			}
+		case p.eatToken(TokSchedule) != nil:
+			if err := p.parseSchedule(c); err != nil {
+				return err
+			}
+		case p.eatToken(TokDefault) != nil:
+			if err := p.parseDefault(c); err != nil {
+				return err
+			}
+		case p.eatToken(TokCollapse) != nil:
+			n, err := p.parseIntArg("collapse")
+			if err != nil {
+				return err
+			}
+			c.Collapse = int(n)
+		case p.eatToken(TokNumThreads) != nil:
+			expr, err := p.parseRawExpr("num_threads")
+			if err != nil {
+				return err
+			}
+			c.NumThreads = expr
+		case p.eatToken(TokIf) != nil:
+			expr, err := p.parseRawExpr("if")
+			if err != nil {
+				return err
+			}
+			c.If = expr
+		case p.eatToken(TokNoWait) != nil:
+			c.NoWait = true
+		case p.eatToken(TokOrdered) != nil:
+			c.Ordered = true
+		default:
+			return fmt.Errorf("pragma: unknown clause at %s", p.peek())
+		}
+	}
+}
+
+// parseIdentList parses "( ident {, ident} )".
+func (p *dirParser) parseIdentList() ([]string, error) {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var vars []string
+	for {
+		// Keywords are identifiers here: private(static) is legal, as
+		// the paper requires ("in Zig keywords may not be used as
+		// identifiers, and adding these would break compatibility").
+		id, err := p.expect(TokIdent, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, id.Text)
+		if p.eatToken(TokComma) == nil {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return vars, nil
+}
+
+// parseReduction parses "( op : ident {, ident} )".
+func (p *dirParser) parseReduction(c *Clauses) error {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return err
+	}
+	var op ReduceOp
+	switch {
+	case p.eatToken(TokPlus) != nil, p.eatToken(TokMinus) != nil:
+		op = RedSum // OpenMP: the - operator reduces identically to +
+	case p.eatToken(TokStar) != nil:
+		op = RedProd
+	case p.eatToken(TokMin) != nil:
+		op = RedMin
+	case p.eatToken(TokMax) != nil:
+		op = RedMax
+	case p.eatToken(TokAmpAmp) != nil:
+		op = RedLogicalAnd
+	case p.eatToken(TokAmp) != nil:
+		op = RedBitAnd
+	case p.eatToken(TokPipePipe) != nil:
+		op = RedLogicalOr
+	case p.eatToken(TokPipe) != nil:
+		op = RedBitOr
+	case p.eatToken(TokCaret) != nil:
+		op = RedBitXor
+	default:
+		return fmt.Errorf("pragma: bad reduction operator at %s", p.peek())
+	}
+	if _, err := p.expect(TokColon, "':'"); err != nil {
+		return err
+	}
+	var vars []string
+	for {
+		id, err := p.expect(TokIdent, "reduction variable")
+		if err != nil {
+			return err
+		}
+		vars = append(vars, id.Text)
+		if p.eatToken(TokComma) == nil {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return err
+	}
+	c.Reductions = append(c.Reductions, ReductionClause{Op: op, Vars: vars})
+	return nil
+}
+
+// parseSchedule parses "( kind [, chunk] )".
+func (p *dirParser) parseSchedule(c *Clauses) error {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return err
+	}
+	switch {
+	case p.eatToken(TokStatic) != nil:
+		c.Sched = SchedStatic
+	case p.eatToken(TokDynamic) != nil:
+		c.Sched = SchedDynamic
+	case p.eatToken(TokGuided) != nil:
+		c.Sched = SchedGuided
+	case p.eatToken(TokRuntime) != nil:
+		c.Sched = SchedRuntime
+	case p.eatToken(TokAuto) != nil:
+		c.Sched = SchedAuto
+	case p.eatToken(TokTrapezoidal) != nil:
+		c.Sched = SchedTrapezoid
+	default:
+		return fmt.Errorf("pragma: bad schedule kind at %s", p.peek())
+	}
+	c.HasSchedule = true
+	if p.eatToken(TokComma) != nil {
+		tok, err := p.expect(TokInt, "chunk size")
+		if err != nil {
+			return err
+		}
+		chunk, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil || chunk <= 0 {
+			return fmt.Errorf("pragma: schedule chunk must be a positive integer, got %q", tok.Text)
+		}
+		c.Chunk = chunk
+	}
+	_, err := p.expect(TokRParen, "')'")
+	return err
+}
+
+// parseDefault parses "( shared | none )".
+func (p *dirParser) parseDefault(c *Clauses) error {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return err
+	}
+	switch {
+	case p.eatToken(TokShared) != nil:
+		c.Default = DefaultShared
+	case p.eatToken(TokNone) != nil:
+		c.Default = DefaultNone
+	default:
+		return fmt.Errorf("pragma: default requires shared or none, found %s", p.peek())
+	}
+	_, err := p.expect(TokRParen, "')'")
+	return err
+}
+
+// parseIntArg parses "( positive-int )".
+func (p *dirParser) parseIntArg(clause string) (int64, error) {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return 0, err
+	}
+	tok, err := p.expect(TokInt, clause+" count")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(tok.Text, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("pragma: %s requires a positive integer, got %q", clause, tok.Text)
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// parseRawExpr captures the balanced-parenthesis content of "( … )" as raw
+// host-language text, for clauses (if, num_threads) whose argument is an
+// arbitrary Go expression the pragma grammar does not model.
+func (p *dirParser) parseRawExpr(clause string) (string, error) {
+	open, err := p.expect(TokLParen, "'('")
+	if err != nil {
+		return "", err
+	}
+	depth := 1
+	for {
+		tok := p.peek()
+		switch tok.Tag {
+		case TokEOF:
+			return "", fmt.Errorf("pragma: unterminated %s(...)", clause)
+		case TokLParen:
+			depth++
+		case TokRParen:
+			depth--
+			if depth == 0 {
+				expr := strings.TrimSpace(p.text[open.Off+1 : tok.Off])
+				if expr == "" {
+					return "", fmt.Errorf("pragma: empty %s(...)", clause)
+				}
+				p.pos++
+				return expr, nil
+			}
+		}
+		p.pos++
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, text string) *Directive {
+	t.Helper()
+	d, err := ParseDirective(text)
+	if err != nil {
+		t.Fatalf("ParseDirective(%q): %v", text, err)
+	}
+	return d
+}
+
+func TestParseDirectiveKinds(t *testing.T) {
+	cases := map[string]DirKind{
+		"parallel":         DirParallel,
+		"for":              DirFor,
+		"do":               DirFor,
+		"parallel for":     DirParallelFor,
+		"sections":         DirSections,
+		"section":          DirSection,
+		"single":           DirSingle,
+		"master":           DirMaster,
+		"masked":           DirMaster,
+		"critical":         DirCritical,
+		"barrier":          DirBarrier,
+		"atomic":           DirAtomic,
+		"threadprivate(x)": DirThreadPrivate,
+	}
+	for text, want := range cases {
+		if d := mustParse(t, text); d.Kind != want {
+			t.Errorf("ParseDirective(%q).Kind = %v, want %v", text, d.Kind, want)
+		}
+	}
+}
+
+func TestParseListClauses(t *testing.T) {
+	d := mustParse(t, "parallel private(a,b) firstprivate(c) shared(d,e,f)")
+	if !reflect.DeepEqual(d.Clauses.Private, []string{"a", "b"}) {
+		t.Errorf("Private = %v", d.Clauses.Private)
+	}
+	if !reflect.DeepEqual(d.Clauses.FirstPrivate, []string{"c"}) {
+		t.Errorf("FirstPrivate = %v", d.Clauses.FirstPrivate)
+	}
+	if !reflect.DeepEqual(d.Clauses.Shared, []string{"d", "e", "f"}) {
+		t.Errorf("Shared = %v", d.Clauses.Shared)
+	}
+}
+
+func TestParseRepeatedListClausesAccumulate(t *testing.T) {
+	d := mustParse(t, "parallel private(a) private(b)")
+	if !reflect.DeepEqual(d.Clauses.Private, []string{"a", "b"}) {
+		t.Errorf("Private = %v, want accumulated [a b]", d.Clauses.Private)
+	}
+}
+
+// Keywords must be usable as variable names inside clause lists — the
+// compatibility constraint that drove the paper's keyword-as-identifier
+// tokenisation.
+func TestParseKeywordAsVariableName(t *testing.T) {
+	d := mustParse(t, "parallel private(static, parallel, shared)")
+	want := []string{"static", "parallel", "shared"}
+	if !reflect.DeepEqual(d.Clauses.Private, want) {
+		t.Errorf("Private = %v, want %v", d.Clauses.Private, want)
+	}
+}
+
+func TestParseReductionOperators(t *testing.T) {
+	ops := map[string]ReduceOp{
+		"+": RedSum, "-": RedSum, "*": RedProd,
+		"min": RedMin, "max": RedMax,
+		"&": RedBitAnd, "|": RedBitOr, "^": RedBitXor,
+		"&&": RedLogicalAnd, "||": RedLogicalOr,
+	}
+	for opText, want := range ops {
+		d := mustParse(t, "parallel reduction("+opText+":x)")
+		if len(d.Clauses.Reductions) != 1 || d.Clauses.Reductions[0].Op != want {
+			t.Errorf("reduction(%s:x) parsed as %+v, want op %v", opText, d.Clauses.Reductions, want)
+		}
+	}
+}
+
+func TestParseReductionMultipleVars(t *testing.T) {
+	d := mustParse(t, "parallel for reduction(+:sx,sy)")
+	r := d.Clauses.Reductions
+	if len(r) != 1 || !reflect.DeepEqual(r[0].Vars, []string{"sx", "sy"}) {
+		t.Errorf("Reductions = %+v", r)
+	}
+}
+
+func TestParseSchedules(t *testing.T) {
+	cases := map[string]struct {
+		kind  SchedEnum
+		chunk int64
+	}{
+		"for schedule(static)":         {SchedStatic, 0},
+		"for schedule(static,1)":       {SchedStatic, 1},
+		"for schedule(dynamic, 64)":    {SchedDynamic, 64},
+		"for schedule(guided,8)":       {SchedGuided, 8},
+		"for schedule(runtime)":        {SchedRuntime, 0},
+		"for schedule(auto)":           {SchedAuto, 0},
+		"for schedule(trapezoidal,16)": {SchedTrapezoid, 16},
+	}
+	for text, want := range cases {
+		d := mustParse(t, text)
+		if d.Clauses.Sched != want.kind || d.Clauses.Chunk != want.chunk {
+			t.Errorf("%q → %v,%d want %v,%d", text, d.Clauses.Sched, d.Clauses.Chunk, want.kind, want.chunk)
+		}
+	}
+}
+
+func TestParseMiscClauses(t *testing.T) {
+	d := mustParse(t, "parallel for default(none) collapse(2) num_threads(2*n) if(n > 100) private(i)")
+	c := d.Clauses
+	if c.Default != DefaultNone {
+		t.Errorf("Default = %v", c.Default)
+	}
+	if c.Collapse != 2 {
+		t.Errorf("Collapse = %d", c.Collapse)
+	}
+	if c.NumThreads != "2*n" {
+		t.Errorf("NumThreads = %q", c.NumThreads)
+	}
+	if c.If != "n > 100" {
+		t.Errorf("If = %q", c.If)
+	}
+	d2 := mustParse(t, "for nowait")
+	if !d2.Clauses.NoWait {
+		t.Error("NoWait = false")
+	}
+}
+
+func TestParseIfNestedParens(t *testing.T) {
+	d := mustParse(t, "parallel if(f(x, g(y)) > (n/2))")
+	if d.Clauses.If != "f(x, g(y)) > (n/2)" {
+		t.Errorf("If = %q", d.Clauses.If)
+	}
+}
+
+func TestParseCriticalName(t *testing.T) {
+	if d := mustParse(t, "critical(updates)"); d.Clauses.Name != "updates" {
+		t.Errorf("Name = %q", d.Clauses.Name)
+	}
+	if d := mustParse(t, "critical"); d.Clauses.Name != "" {
+		t.Errorf("unnamed critical Name = %q", d.Clauses.Name)
+	}
+}
+
+func TestParseThreadPrivate(t *testing.T) {
+	d := mustParse(t, "threadprivate(x, y)")
+	if !reflect.DeepEqual(d.Clauses.ThreadPrivateVars, []string{"x", "y"}) {
+		t.Errorf("ThreadPrivateVars = %v", d.Clauses.ThreadPrivateVars)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                   // no directive
+		"banana",                             // unknown directive
+		"parallel banana(x)",                 // unknown clause
+		"parallel private(",                  // unterminated list
+		"parallel private()",                 // empty list
+		"parallel private(1)",                // not an identifier
+		"for schedule(bogus)",                // bad schedule kind
+		"for schedule(static,0)",             // chunk must be positive
+		"for schedule(static,-4)",            // negative chunk
+		"for schedule(static,1x)",            // trailing junk in chunk
+		"parallel reduction(?:x)",            // bad operator
+		"parallel reduction(+x)",             // missing colon
+		"parallel default(dynamic)",          // bad default
+		"for collapse(0)",                    // collapse must be positive
+		"parallel if()",                      // empty expression
+		"parallel num_threads((n)",           // unbalanced parens
+		"flush",                              // unsupported directive
+		"parallel nowait",                    // clause not allowed on directive
+		"barrier private(x)",                 // clause on bare directive
+		"for num_threads(4)",                 // parallel-only clause on for
+		"parallel schedule(static)",          // loop-only clause on parallel
+		"for ordered",                        // declared unsupported
+		"for collapse(16)",                   // exceeds 4-bit packing
+		"parallel private(x) shared(x)",      // duplicate data-sharing
+		"parallel reduction(+:x) private(x)", // reduction vs private
+		"sections reduction(+:x)",            // not lowered on sections
+		"sections lastprivate(x)",            // not lowered on sections
+		"threadprivate",                      // missing list
+	}
+	for _, text := range cases {
+		if _, err := ParseDirective(text); err == nil {
+			t.Errorf("ParseDirective(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestParseChunkAtPackingLimit(t *testing.T) {
+	if _, err := ParseDirective("for schedule(static,536870911)"); err != nil {
+		t.Errorf("chunk 2^29-1 rejected: %v", err)
+	}
+	if _, err := ParseDirective("for schedule(static,536870912)"); err == nil {
+		t.Error("chunk 2^29 accepted, but it does not fit 29 bits")
+	}
+}
+
+func TestParseFirstLastPrivateCombination(t *testing.T) {
+	// OpenMP allows a variable in both firstprivate and lastprivate.
+	if _, err := ParseDirective("for firstprivate(x) lastprivate(x)"); err != nil {
+		t.Errorf("firstprivate+lastprivate combination rejected: %v", err)
+	}
+	if _, err := ParseDirective("for private(x) lastprivate(x)"); err == nil {
+		t.Error("private+lastprivate accepted")
+	}
+}
+
+func TestDistributeParallelFor(t *testing.T) {
+	d := mustParse(t, "parallel for private(i) firstprivate(c) shared(s) reduction(+:sum) schedule(dynamic,4) num_threads(8) if(ok) default(none) collapse(2)")
+	par, loop := DistributeParallelFor(d)
+	if par.Kind != DirParallel || loop.Kind != DirFor {
+		t.Fatalf("kinds = %v/%v", par.Kind, loop.Kind)
+	}
+	if !reflect.DeepEqual(par.Clauses.Private, []string{"i"}) ||
+		par.Clauses.NumThreads != "8" || par.Clauses.If != "ok" ||
+		par.Clauses.Default != DefaultNone {
+		t.Errorf("parallel half = %+v", par.Clauses)
+	}
+	if len(par.Clauses.Reductions) != 0 {
+		t.Error("reduction leaked to the parallel half")
+	}
+	if loop.Clauses.Sched != SchedDynamic || loop.Clauses.Chunk != 4 ||
+		loop.Clauses.Collapse != 2 || len(loop.Clauses.Reductions) != 1 {
+		t.Errorf("loop half = %+v", loop.Clauses)
+	}
+	if !loop.Clauses.NoWait {
+		t.Error("fused loop should elide its redundant barrier (nowait)")
+	}
+	// Both halves must validate independently.
+	if err := Validate(par); err != nil {
+		t.Errorf("parallel half invalid: %v", err)
+	}
+	if err := Validate(loop); err != nil {
+		t.Errorf("loop half invalid: %v", err)
+	}
+}
+
+func TestDirectiveString(t *testing.T) {
+	d := mustParse(t, "parallel for private(a) reduction(*:p) schedule(guided,4) num_threads(n)")
+	s := d.String()
+	for _, want := range []string{"parallel for", "private(a)", "reduction(*:p)", "schedule(guided,4)", "num_threads(n)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSentinel(t *testing.T) {
+	cases := []struct {
+		comment string
+		text    string
+		ok      bool
+	}{
+		{"//omp parallel", "parallel", true},
+		{"//$omp for nowait", "for nowait", true},
+		{"//#pragma omp parallel for", "parallel for", true},
+		{"//omp barrier", "barrier", true},
+		{"//omp", "", true},
+		{"// omp parallel", "", false}, // space before sentinel word: prose, not pragma
+		{"//ompx parallel", "", false},
+		{"// plain comment", "", false},
+		{"//", "", false},
+	}
+	for _, c := range cases {
+		text, _, ok := Sentinel(c.comment)
+		if ok != c.ok || text != c.text {
+			t.Errorf("Sentinel(%q) = %q,%v want %q,%v", c.comment, text, ok, c.text, c.ok)
+		}
+	}
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks, err := Tokenize("parallel private(a, b2) reduction(+:sum)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		tag  TokenTag
+		text string
+	}{
+		{TokIdent, "parallel"},
+		{TokIdent, "private"},
+		{TokLParen, "("},
+		{TokIdent, "a"},
+		{TokComma, ","},
+		{TokIdent, "b2"},
+		{TokRParen, ")"},
+		{TokIdent, "reduction"},
+		{TokLParen, "("},
+		{TokPlus, "+"},
+		{TokColon, ":"},
+		{TokIdent, "sum"},
+		{TokRParen, ")"},
+		{TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Tag != w.tag || (w.text != "" && toks[i].Text != w.text) {
+			t.Errorf("token %d = {%d %q}, want {%d %q}", i, toks[i].Tag, toks[i].Text, w.tag, w.text)
+		}
+	}
+}
+
+// The defining property of the paper's design: OpenMP keywords leave the
+// tokeniser as plain identifiers, never as reserved words.
+func TestKeywordsAreIdentifiers(t *testing.T) {
+	toks, err := Tokenize("parallel shared static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Tag != TokIdent {
+			t.Errorf("keyword %q tokenised as tag %d, want TokIdent", tok.Text, tok.Tag)
+		}
+	}
+	if KeywordTag("parallel") != TokParallel {
+		t.Error("KeywordTag(parallel) != TokParallel")
+	}
+	if KeywordTag("banana") != TokInvalid {
+		t.Error("KeywordTag(banana) != TokInvalid")
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("&& & || | ^ * + - :")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTags := []TokenTag{TokAmpAmp, TokAmp, TokPipePipe, TokPipe, TokCaret, TokStar, TokPlus, TokMinus, TokColon, TokEOF}
+	for i, w := range wantTags {
+		if toks[i].Tag != w {
+			t.Errorf("token %d tag = %d, want %d", i, toks[i].Tag, w)
+		}
+	}
+}
+
+func TestTokenizeIntegers(t *testing.T) {
+	toks, err := Tokenize("schedule(static,512)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Tag == TokInt {
+			found = true
+			if tok.Text != "512" {
+				t.Errorf("int literal %q, want 512", tok.Text)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no int token found")
+	}
+}
+
+func TestTokenizeHostExpressionChars(t *testing.T) {
+	// Characters with no pragma meaning (/, <, ., ==) must tokenise as
+	// TokOther instead of failing: they appear inside if(...) clauses.
+	toks, err := Tokenize("if(n/2 < x.limit)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	others := 0
+	for _, tok := range toks {
+		if tok.Tag == TokOther {
+			others++
+		}
+	}
+	if others == 0 {
+		t.Fatal("expected TokOther tokens for host-expression characters")
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "for schedule(guided)"
+	toks, err := Tokenize(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Tag == TokEOF {
+			continue
+		}
+		if text[tok.Off:tok.Off+len(tok.Text)] != tok.Text {
+			t.Errorf("token %q offset %d does not slice back to itself", tok.Text, tok.Off)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// clauseSet names clause groups for the per-directive compatibility table.
+type clauseSet uint32
+
+const (
+	allowPrivate clauseSet = 1 << iota
+	allowFirstPrivate
+	allowLastPrivate
+	allowShared
+	allowCopyPrivate
+	allowReduction
+	allowSchedule
+	allowDefault
+	allowNoWait
+	allowCollapse
+	allowOrdered
+	allowNumThreads
+	allowIf
+)
+
+// allowedClauses is the directive/clause compatibility matrix, the OpenMP
+// 5.2 subset covered by loop directives. The parser builds a single Clauses
+// value for any directive; this table is what makes
+// `//omp barrier nowait` an error rather than silently ignored.
+var allowedClauses = map[DirKind]clauseSet{
+	DirParallel: allowPrivate | allowFirstPrivate | allowShared |
+		allowReduction | allowDefault | allowNumThreads | allowIf,
+	DirFor: allowPrivate | allowFirstPrivate | allowLastPrivate |
+		allowReduction | allowSchedule | allowNoWait | allowCollapse | allowOrdered,
+	DirParallelFor: allowPrivate | allowFirstPrivate | allowLastPrivate |
+		allowShared | allowReduction | allowSchedule | allowDefault |
+		allowCollapse | allowOrdered | allowNumThreads | allowIf,
+	// OpenMP also allows lastprivate/reduction on sections; this
+	// implementation does not lower them there, so they are rejected
+	// rather than silently ignored (README "Known limits").
+	DirSections:      allowPrivate | allowFirstPrivate | allowNoWait,
+	DirSection:       0,
+	DirSingle:        allowPrivate | allowFirstPrivate | allowCopyPrivate | allowNoWait,
+	DirMaster:        0,
+	DirCritical:      0,
+	DirBarrier:       0,
+	DirAtomic:        0,
+	DirThreadPrivate: 0,
+}
+
+// Validate checks directive/clause compatibility and clause-level
+// constraints. ParseDirective calls it on every pragma; the preprocessor
+// adds position information to any error it returns.
+func Validate(d *Directive) error {
+	allowed, ok := allowedClauses[d.Kind]
+	if !ok {
+		return fmt.Errorf("pragma: unknown directive kind %v", d.Kind)
+	}
+	c := &d.Clauses
+
+	type check struct {
+		present bool
+		set     clauseSet
+		name    string
+	}
+	for _, ch := range []check{
+		{len(c.Private) > 0, allowPrivate, "private"},
+		{len(c.FirstPrivate) > 0, allowFirstPrivate, "firstprivate"},
+		{len(c.LastPrivate) > 0, allowLastPrivate, "lastprivate"},
+		{len(c.Shared) > 0, allowShared, "shared"},
+		{len(c.CopyPrivate) > 0, allowCopyPrivate, "copyprivate"},
+		{len(c.Reductions) > 0, allowReduction, "reduction"},
+		{c.HasSchedule, allowSchedule, "schedule"},
+		{c.Default != DefaultUnset, allowDefault, "default"},
+		{c.NoWait, allowNoWait, "nowait"},
+		{c.Collapse > 0, allowCollapse, "collapse"},
+		{c.Ordered, allowOrdered, "ordered"},
+		{c.NumThreads != "", allowNumThreads, "num_threads"},
+		{c.If != "", allowIf, "if"},
+	} {
+		if ch.present && allowed&ch.set == 0 {
+			return fmt.Errorf("pragma: clause %s is not permitted on the %s directive", ch.name, d.Kind)
+		}
+	}
+
+	if c.HasSchedule && c.Chunk >= MaxChunk {
+		return fmt.Errorf("pragma: chunk %d exceeds the encodable maximum %d", c.Chunk, MaxChunk-1)
+	}
+	if c.Collapse > MaxCollapse {
+		return fmt.Errorf("pragma: collapse %d exceeds the encodable maximum %d", c.Collapse, MaxCollapse)
+	}
+	if c.Ordered {
+		return fmt.Errorf("pragma: the ordered clause is not supported by this implementation")
+	}
+	if c.Chunk > 0 && !c.HasSchedule {
+		return fmt.Errorf("pragma: chunk without schedule clause")
+	}
+
+	// A variable may appear in at most one data-sharing clause
+	// (data-sharing attribute rules, OpenMP 5.2 §5.4).
+	seen := map[string]string{}
+	record := func(vars []string, clause string) error {
+		for _, v := range vars {
+			if prev, dup := seen[v]; dup {
+				return fmt.Errorf("pragma: variable %s appears in both %s and %s clauses", v, prev, clause)
+			}
+			seen[v] = clause
+		}
+		return nil
+	}
+	for _, pair := range []struct {
+		vars   []string
+		clause string
+	}{
+		{c.Private, "private"},
+		{c.FirstPrivate, "firstprivate"},
+		{c.Shared, "shared"},
+	} {
+		if err := record(pair.vars, pair.clause); err != nil {
+			return err
+		}
+	}
+	// lastprivate may combine with firstprivate (OpenMP allows the pair)
+	// but not with private/shared.
+	for _, v := range c.LastPrivate {
+		if prev, dup := seen[v]; dup && prev != "firstprivate" {
+			return fmt.Errorf("pragma: variable %s appears in both %s and lastprivate clauses", v, prev)
+		}
+	}
+	for _, r := range c.Reductions {
+		if err := record(r.Vars, "reduction("+r.Op.String()+")"); err != nil {
+			return err
+		}
+	}
+
+	if d.Kind == DirThreadPrivate && len(c.ThreadPrivateVars) == 0 {
+		return fmt.Errorf("pragma: threadprivate requires a variable list")
+	}
+	return nil
+}
+
+// DistributeParallelFor splits the clause set of a fused parallel-for into
+// the parallel part and the for part, per the OpenMP rules for combined
+// constructs: data-sharing and team clauses go to parallel, loop clauses to
+// for. Reductions ride on the loop (the loop-level lowering folds into the
+// shared variable, which the region shares by default).
+func DistributeParallelFor(d *Directive) (par, loop *Directive) {
+	c := d.Clauses
+	par = &Directive{Kind: DirParallel, Clauses: Clauses{
+		Private:      c.Private,
+		FirstPrivate: c.FirstPrivate,
+		Shared:       c.Shared,
+		Default:      c.Default,
+		NumThreads:   c.NumThreads,
+		If:           c.If,
+	}}
+	loop = &Directive{Kind: DirFor, Clauses: Clauses{
+		LastPrivate: c.LastPrivate,
+		Reductions:  c.Reductions,
+		Sched:       c.Sched,
+		Chunk:       c.Chunk,
+		HasSchedule: c.HasSchedule,
+		Collapse:    c.Collapse,
+		// No nowait: the fused construct's single implicit barrier is
+		// the parallel join; the inner loop barrier is redundant but
+		// harmless, so we keep OpenMP's semantics and elide it.
+		NoWait: true,
+	}}
+	return par, loop
+}
+
+// String renders a directive back to pragma surface syntax (diagnostics,
+// golden tests).
+func (d *Directive) String() string {
+	var b strings.Builder
+	b.WriteString(d.Kind.String())
+	c := &d.Clauses
+	if d.Kind == DirCritical && c.Name != "" {
+		fmt.Fprintf(&b, "(%s)", c.Name)
+	}
+	list := func(name string, vars []string) {
+		if len(vars) > 0 {
+			fmt.Fprintf(&b, " %s(%s)", name, strings.Join(vars, ","))
+		}
+	}
+	list("private", c.Private)
+	list("firstprivate", c.FirstPrivate)
+	list("lastprivate", c.LastPrivate)
+	list("shared", c.Shared)
+	list("copyprivate", c.CopyPrivate)
+	for _, r := range c.Reductions {
+		fmt.Fprintf(&b, " reduction(%s:%s)", r.Op, strings.Join(r.Vars, ","))
+	}
+	if c.HasSchedule {
+		if c.Chunk > 0 {
+			fmt.Fprintf(&b, " schedule(%s,%d)", c.Sched, c.Chunk)
+		} else {
+			fmt.Fprintf(&b, " schedule(%s)", c.Sched)
+		}
+	}
+	switch c.Default {
+	case DefaultShared:
+		b.WriteString(" default(shared)")
+	case DefaultNone:
+		b.WriteString(" default(none)")
+	}
+	if c.Collapse > 0 {
+		fmt.Fprintf(&b, " collapse(%d)", c.Collapse)
+	}
+	if c.NumThreads != "" {
+		fmt.Fprintf(&b, " num_threads(%s)", c.NumThreads)
+	}
+	if c.If != "" {
+		fmt.Fprintf(&b, " if(%s)", c.If)
+	}
+	if c.NoWait {
+		b.WriteString(" nowait")
+	}
+	if len(c.ThreadPrivateVars) > 0 {
+		fmt.Fprintf(&b, "(%s)", strings.Join(c.ThreadPrivateVars, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+// Package fortran simulates the Zig↔Fortran interoperation the paper
+// explores in Section IV — "the process of invoking Fortran procedures from
+// Zig", which "has never been done before". The real mechanism is
+// C-linkage symbol lookup with gfortran's trailing-underscore name
+// mangling, pointer-only argument passing, plus the porting hazards the
+// paper catalogues: 1-indexed arrays, inclusive DO-loop upper bounds, and
+// column-major layout.
+//
+// In this reproduction the linker is simulated by a symbol registry
+// (Register/Lookup apply the same trailing-underscore mangling), and the
+// data-layout hazards by explicit column-major, 1-based array views with
+// row-major adapters. The interop example drives a Go kernel through the
+// mangled registry from "Fortran-style" driver code, mirroring how the
+// paper's benchmarks keep the Fortran driver and call the ported Zig
+// conj_grad.
+package fortran
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ---------------------------------------------------------------- arrays
+
+// Array1 is a 1-indexed vector, the view a Fortran DIMENSION(n) argument
+// presents.
+type Array1 struct {
+	data []float64
+}
+
+// NewArray1 allocates a vector of n elements indexed 1..n.
+func NewArray1(n int) *Array1 { return &Array1{data: make([]float64, n)} }
+
+// Wrap1 wraps an existing Go slice without copying; the slice's element i
+// (0-based) becomes element i+1 (1-based).
+func Wrap1(s []float64) *Array1 { return &Array1{data: s} }
+
+// Len returns n.
+func (a *Array1) Len() int { return len(a.data) }
+
+// At returns element i (1-based); out-of-bounds panics, like a Fortran
+// bounds-checked build.
+func (a *Array1) At(i int) float64 { return a.data[i-1] }
+
+// Set stores element i (1-based).
+func (a *Array1) Set(i int, v float64) { a.data[i-1] = v }
+
+// Data exposes the raw 0-based backing slice (the "pointer" a C-linkage
+// call would pass).
+func (a *Array1) Data() []float64 { return a.data }
+
+// Array2 is a 1-indexed, column-major matrix — Fortran's DIMENSION(rows,
+// cols) memory layout, where A(i,j) and A(i+1,j) are adjacent.
+type Array2 struct {
+	data       []float64
+	rows, cols int
+}
+
+// NewArray2 allocates a rows×cols matrix indexed (1..rows, 1..cols).
+func NewArray2(rows, cols int) *Array2 {
+	return &Array2{data: make([]float64, rows*cols), rows: rows, cols: cols}
+}
+
+// Dims returns (rows, cols).
+func (a *Array2) Dims() (int, int) { return a.rows, a.cols }
+
+// Index maps (i, j) (1-based) to the flat column-major offset — the
+// addressing rule a port must invert when translating to row-major Go.
+func (a *Array2) Index(i, j int) int { return (j-1)*a.rows + (i - 1) }
+
+// At returns A(i, j).
+func (a *Array2) At(i, j int) float64 { return a.data[a.Index(i, j)] }
+
+// Set stores A(i, j).
+func (a *Array2) Set(i, j int, v float64) { a.data[a.Index(i, j)] = v }
+
+// Data exposes the raw column-major backing slice.
+func (a *Array2) Data() []float64 { return a.data }
+
+// FromRowMajor builds a column-major Array2 from a Go row-major [][]
+// matrix — the transposition step of porting data across the boundary.
+func FromRowMajor(m [][]float64) (*Array2, error) {
+	rows := len(m)
+	if rows == 0 {
+		return NewArray2(0, 0), nil
+	}
+	cols := len(m[0])
+	a := NewArray2(rows, cols)
+	for i, row := range m {
+		if len(row) != cols {
+			return nil, fmt.Errorf("fortran: ragged row %d (%d != %d)", i, len(row), cols)
+		}
+		for j, v := range row {
+			a.Set(i+1, j+1, v)
+		}
+	}
+	return a, nil
+}
+
+// ToRowMajor converts back to a Go row-major [][] matrix.
+func (a *Array2) ToRowMajor() [][]float64 {
+	m := make([][]float64, a.rows)
+	for i := range m {
+		m[i] = make([]float64, a.cols)
+		for j := range m[i] {
+			m[i][j] = a.At(i+1, j+1)
+		}
+	}
+	return m
+}
+
+// Do iterates a Fortran DO loop: DO i = lo, hi [, step] with the INCLUSIVE
+// upper bound the paper flags as a porting hazard ("inclusive DO loop upper
+// bounds in Fortran but not in Zig").
+func Do(lo, hi int, body func(i int)) {
+	for i := lo; i <= hi; i++ {
+		body(i)
+	}
+}
+
+// DoStep is Do with an explicit (possibly negative) step.
+func DoStep(lo, hi, step int, body func(i int)) {
+	if step == 0 {
+		panic("fortran: DO step must be non-zero")
+	}
+	if step > 0 {
+		for i := lo; i <= hi; i += step {
+			body(i)
+		}
+	} else {
+		for i := lo; i >= hi; i += step {
+			body(i)
+		}
+	}
+}
+
+// --------------------------------------------------------------- symbols
+
+// Mangle applies gfortran's external-symbol convention: lower case plus a
+// trailing underscore — the rule the paper follows ("to conform with LLVM's
+// name mangling scheme an underscore has to be appended to the end of the
+// function name").
+func Mangle(name string) string {
+	lower := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		lower[i] = c
+	}
+	return string(lower) + "_"
+}
+
+var symbols struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// Register publishes fn under the mangled form of name — the analog of
+// exporting a procedure with C linkage. Re-registering a name is an error
+// (duplicate symbol).
+func Register(name string, fn any) error {
+	mangled := Mangle(name)
+	symbols.mu.Lock()
+	defer symbols.mu.Unlock()
+	if symbols.m == nil {
+		symbols.m = make(map[string]any)
+	}
+	if _, dup := symbols.m[mangled]; dup {
+		return fmt.Errorf("fortran: duplicate symbol %s", mangled)
+	}
+	symbols.m[mangled] = fn
+	return nil
+}
+
+// Lookup resolves name through the mangling — the analog of the linker
+// resolving an `extern` declaration. The boolean reports whether the symbol
+// exists.
+func Lookup(name string) (any, bool) {
+	symbols.mu.RLock()
+	defer symbols.mu.RUnlock()
+	fn, ok := symbols.m[Mangle(name)]
+	return fn, ok
+}
+
+// MustLookup is Lookup that panics on unresolved symbols, as a static link
+// would fail.
+func MustLookup(name string) any {
+	fn, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("fortran: undefined reference to `%s'", Mangle(name)))
+	}
+	return fn
+}

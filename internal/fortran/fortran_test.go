@@ -1,0 +1,184 @@
+package fortran
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArray1Indexing(t *testing.T) {
+	a := NewArray1(5)
+	for i := 1; i <= 5; i++ {
+		a.Set(i, float64(i)*10)
+	}
+	if a.At(1) != 10 || a.At(5) != 50 {
+		t.Fatalf("1-based access broken: %v", a.Data())
+	}
+	if a.Data()[0] != 10 {
+		t.Fatal("backing slice misaligned")
+	}
+	if a.Len() != 5 {
+		t.Fatal("Len")
+	}
+}
+
+func TestArray1OutOfBoundsPanics(t *testing.T) {
+	a := NewArray1(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(0) did not panic (Fortran arrays start at 1)")
+		}
+	}()
+	a.At(0)
+}
+
+func TestWrap1SharesBacking(t *testing.T) {
+	s := []float64{1, 2, 3}
+	a := Wrap1(s)
+	a.Set(2, 99)
+	if s[1] != 99 {
+		t.Fatal("Wrap1 copied instead of aliasing")
+	}
+}
+
+func TestArray2ColumnMajorLayout(t *testing.T) {
+	a := NewArray2(3, 2)
+	a.Set(1, 1, 11)
+	a.Set(2, 1, 21)
+	a.Set(3, 1, 31)
+	a.Set(1, 2, 12)
+	// Column-major: the first column occupies the first `rows` slots.
+	want := []float64{11, 21, 31, 12, 0, 0}
+	for i, v := range want {
+		if a.Data()[i] != v {
+			t.Fatalf("flat[%d] = %g, want %g (layout not column-major)", i, a.Data()[i], v)
+		}
+	}
+	if a.Index(2, 2) != 4 {
+		t.Fatalf("Index(2,2) = %d, want 4", a.Index(2, 2))
+	}
+}
+
+func TestRowMajorRoundTrip(t *testing.T) {
+	m := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	a, err := FromRowMajor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(2, 3) != 6 || a.At(1, 2) != 2 {
+		t.Fatal("FromRowMajor transposed incorrectly")
+	}
+	back := a.ToRowMajor()
+	for i := range m {
+		for j := range m[i] {
+			if back[i][j] != m[i][j] {
+				t.Fatalf("round trip lost (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromRowMajorRejectsRagged(t *testing.T) {
+	if _, err := FromRowMajor([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+// Property: column-major indexing is a bijection over the valid index box.
+func TestIndexBijection(t *testing.T) {
+	f := func(rRaw, cRaw uint8) bool {
+		rows := int(rRaw)%17 + 1
+		cols := int(cRaw)%17 + 1
+		a := NewArray2(rows, cols)
+		seen := make(map[int]bool)
+		for j := 1; j <= cols; j++ {
+			for i := 1; i <= rows; i++ {
+				idx := a.Index(i, j)
+				if idx < 0 || idx >= rows*cols || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return len(seen) == rows*cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoInclusiveBounds(t *testing.T) {
+	var got []int
+	Do(1, 5, func(i int) { got = append(got, i) })
+	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("DO 1,5 iterated %v — upper bound must be inclusive", got)
+	}
+	got = nil
+	Do(3, 2, func(i int) { got = append(got, i) }) // zero-trip DO
+	if len(got) != 0 {
+		t.Fatalf("DO 3,2 iterated %v, want nothing", got)
+	}
+}
+
+func TestDoStep(t *testing.T) {
+	var got []int
+	DoStep(10, 1, -3, func(i int) { got = append(got, i) })
+	want := []int{10, 7, 4, 1}
+	if len(got) != len(want) {
+		t.Fatalf("DO 10,1,-3 iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DO 10,1,-3 iterated %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDoStepZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DO with zero step did not panic")
+		}
+	}()
+	DoStep(1, 5, 0, func(int) {})
+}
+
+func TestMangle(t *testing.T) {
+	cases := map[string]string{
+		"conj_grad": "conj_grad_",
+		"MAKEA":     "makea_",
+		"SpMV":      "spmv_",
+	}
+	for in, want := range cases {
+		if got := Mangle(in); got != want {
+			t.Errorf("Mangle(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSymbolRegistry(t *testing.T) {
+	fn := func(x float64) float64 { return 2 * x }
+	if err := Register("Test_Double", fn); err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive resolution through the mangling, as Fortran
+	// external names are case-folded.
+	got, ok := Lookup("test_double")
+	if !ok {
+		t.Fatal("symbol not found via lower-case lookup")
+	}
+	if got.(func(float64) float64)(21) != 42 {
+		t.Fatal("wrong function resolved")
+	}
+	if err := Register("TEST_DOUBLE", fn); err == nil {
+		t.Fatal("duplicate symbol accepted")
+	}
+}
+
+func TestMustLookupPanicsLikeLinker(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unresolved symbol did not panic")
+		}
+	}()
+	MustLookup("no_such_procedure")
+}

@@ -1,0 +1,249 @@
+package kmp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Barrier is a reusable rendezvous for a fixed-size team: all n threads must
+// call Wait before any returns, for every generation. Implementations must
+// be safe under oversubscription (more team threads than processors).
+//
+// libomp hard-codes a hierarchical hyper-barrier; this reproduction ships
+// three classic algorithms behind one interface so their cost can be
+// measured against each other (ablation A2 in DESIGN.md).
+type Barrier interface {
+	// Wait blocks until all team threads of the current generation have
+	// arrived. tid must be the caller's team-local thread number and each
+	// tid must arrive exactly once per generation.
+	Wait(tid int)
+	// Size returns the number of participating threads.
+	Size() int
+}
+
+// NewBarrier constructs a barrier of the given algorithm for n threads.
+func NewBarrier(kind BarrierKind, n int, policy WaitPolicy) Barrier {
+	if n < 1 {
+		panic("kmp: barrier size must be >= 1")
+	}
+	switch kind {
+	case BarrierTree:
+		return newTreeBarrier(n)
+	case BarrierDissemination:
+		return newDisseminationBarrier(n, policy)
+	default:
+		return newCentralBarrier(n)
+	}
+}
+
+// spinThenYield evaluates cond in a bounded spin loop, yielding the
+// processor between probes and finally sleeping with backoff so that
+// oversubscribed teams cannot livelock the scheduler.
+func spinThenYield(policy WaitPolicy, cond func() bool) {
+	spins := 128
+	if policy == WaitActive {
+		spins = 8192
+	}
+	for i := 0; i < spins; i++ {
+		if cond() {
+			return
+		}
+		if i&7 == 7 {
+			runtime.Gosched()
+		}
+	}
+	backoff := time.Microsecond
+	const maxBackoff = 500 * time.Microsecond
+	for !cond() {
+		time.Sleep(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// ---------------------------------------------------------------- central
+
+// centralBarrier counts arrivals under a mutex and releases each generation
+// by closing that generation's channel. O(n) serialised arrivals, but
+// park/wake is handled entirely by the Go scheduler, making it the safest
+// default at any oversubscription level.
+type centralBarrier struct {
+	n     int
+	mu    sync.Mutex
+	count int
+	gen   chan struct{}
+}
+
+func newCentralBarrier(n int) *centralBarrier {
+	return &centralBarrier{n: n, gen: make(chan struct{})}
+}
+
+func (b *centralBarrier) Size() int { return b.n }
+
+func (b *centralBarrier) Wait(int) {
+	if b.n == 1 {
+		return
+	}
+	b.mu.Lock()
+	ch := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen = make(chan struct{})
+		b.mu.Unlock()
+		close(ch)
+		return
+	}
+	b.mu.Unlock()
+	<-ch
+}
+
+// ------------------------------------------------------------------ tree
+
+const treeArity = 4 // libomp's default branching factor for its fork barrier
+
+type treeNode struct {
+	count  atomic.Int32
+	width  int32 // arrivals expected at this node
+	parent int32 // index into nodes, -1 at root
+	_      pad
+}
+
+// treeBarrier arrives up an arity-4 reduction tree: the last thread into
+// each node climbs to the parent, and the thread that completes the root
+// releases everyone by closing the generation channel. Arrival is O(log n)
+// contention instead of one hot counter.
+type treeBarrier struct {
+	n     int
+	nodes []treeNode
+	leaf  []int32 // leaf node index per tid
+	gen   atomic.Pointer[chan struct{}]
+}
+
+func newTreeBarrier(n int) *treeBarrier {
+	b := &treeBarrier{n: n}
+	ch := make(chan struct{})
+	b.gen.Store(&ch)
+
+	// Level 0: group threads by treeArity.
+	levelStart := 0
+	levelCount := (n + treeArity - 1) / treeArity
+	b.leaf = make([]int32, n)
+	for t := 0; t < n; t++ {
+		b.leaf[t] = int32(t / treeArity)
+	}
+	for i := 0; i < levelCount; i++ {
+		width := treeArity
+		if rem := n - i*treeArity; rem < width {
+			width = rem
+		}
+		b.nodes = append(b.nodes, treeNode{width: int32(width), parent: -1})
+	}
+	// Higher levels: group nodes of the previous level.
+	for levelCount > 1 {
+		nextStart := levelStart + levelCount
+		nextCount := (levelCount + treeArity - 1) / treeArity
+		for i := 0; i < nextCount; i++ {
+			width := treeArity
+			if rem := levelCount - i*treeArity; rem < width {
+				width = rem
+			}
+			b.nodes = append(b.nodes, treeNode{width: int32(width), parent: -1})
+		}
+		for i := 0; i < levelCount; i++ {
+			b.nodes[levelStart+i].parent = int32(nextStart + i/treeArity)
+		}
+		levelStart = nextStart
+		levelCount = nextCount
+	}
+	return b
+}
+
+func (b *treeBarrier) Size() int { return b.n }
+
+// arrive registers one arrival at node idx; returns true iff the caller
+// completed the root and must perform the release.
+func (b *treeBarrier) arrive(idx int32) bool {
+	n := &b.nodes[idx]
+	if n.count.Add(1) != n.width {
+		return false
+	}
+	n.count.Store(0) // reset before release so the next generation is clean
+	if n.parent < 0 {
+		return true
+	}
+	return b.arrive(n.parent)
+}
+
+func (b *treeBarrier) Wait(tid int) {
+	if b.n == 1 {
+		return
+	}
+	// The generation channel must be sampled before arrival: after our
+	// increment another thread may complete the root and swap it.
+	myGen := *b.gen.Load()
+	if b.arrive(b.leaf[tid]) {
+		next := make(chan struct{})
+		old := b.gen.Swap(&next)
+		close(*old)
+		return
+	}
+	<-myGen
+}
+
+// --------------------------------------------------------- dissemination
+
+type dissFlag struct {
+	v atomic.Uint64
+	_ pad
+}
+
+// disseminationBarrier runs ceil(log2 n) rounds; in round k, thread t
+// signals thread (t+2^k) mod n and waits for its own signal. No thread is a
+// coordinator and all threads exit after the final round — latency is
+// O(log n) full stop, at the price of n·log n flag storage.
+type disseminationBarrier struct {
+	n      int
+	rounds int
+	policy WaitPolicy
+	// flags[r*n+t] counts the signals thread t has received in round r.
+	flags []dissFlag
+	// gens[t] is thread t's local generation count.
+	gens []struct {
+		v uint64
+		_ pad
+	}
+}
+
+func newDisseminationBarrier(n int, policy WaitPolicy) *disseminationBarrier {
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &disseminationBarrier{n: n, rounds: rounds, policy: policy}
+	b.flags = make([]dissFlag, rounds*n)
+	b.gens = make([]struct {
+		v uint64
+		_ pad
+	}, n)
+	return b
+}
+
+func (b *disseminationBarrier) Size() int { return b.n }
+
+func (b *disseminationBarrier) Wait(tid int) {
+	if b.n == 1 {
+		return
+	}
+	b.gens[tid].v++
+	gen := b.gens[tid].v
+	for r := 0; r < b.rounds; r++ {
+		partner := (tid + 1<<r) % b.n
+		b.flags[r*b.n+partner].v.Add(1)
+		f := &b.flags[r*b.n+tid].v
+		spinThenYield(b.policy, func() bool { return f.Load() >= gen })
+	}
+}

@@ -1,0 +1,234 @@
+package kmp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Dynamic worksharing: the lowering target of schedule(dynamic|guided|
+// runtime|trapezoidal) loops, mirroring libomp's __kmpc_dispatch_init_* /
+// __kmpc_dispatch_next_* protocol: every team thread calls DispatchInit for
+// the loop, then pulls half-open chunks from DispatchNext until it returns
+// false.
+//
+// The shared loop descriptor lives in a ring of per-team buffers, like
+// libomp's dispatch buffers: each thread counts the worksharing loops it has
+// entered (Thread.dispatchSeq) and instance s uses buffer s mod ring. The
+// OpenMP rules require all team threads to encounter the same sequence of
+// worksharing regions, so the sequence numbers agree; with nowait loops a
+// fast thread may race ahead, at most ring-1 loops, before blocking on a
+// buffer still draining its previous instance.
+
+const dispatchRing = 8 // libomp uses KMP_MAX_DISP_NUM_BUFF = 7
+
+type dispatchBuf struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// tag is the loop instance number + 1 occupying this buffer; 0 = free.
+	tag uint64
+	// done counts team threads that have drained this instance.
+	done int
+
+	// Loop parameters, written by the initialising thread before tag is
+	// published under mu.
+	sched Sched
+	trip  int64
+	nth   int64
+
+	// next is the first unclaimed iteration.
+	next atomic.Int64
+	// chunkIdx counts chunks issued (trapezoidal sizing).
+	chunkIdx atomic.Int64
+	_        pad
+}
+
+func (b *dispatchBuf) init() {
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	b.tag = 0
+	b.done = 0
+	b.next.Store(0)
+	b.chunkIdx.Store(0)
+}
+
+// DispatchInit attaches the thread to worksharing-loop instance over a
+// trip-count iteration space with the given schedule. Mirrors
+// __kmpc_dispatch_init_8: the first thread to arrive publishes the loop
+// descriptor; the rest join it. schedule(runtime) resolves against the
+// run-sched ICV here, at loop entry, exactly once per loop.
+func (t *Thread) DispatchInit(loc Ident, sched Sched, trip int64) {
+	if sched.Kind == SchedRuntime {
+		sched = GetICV().RunSched
+		if sched.Kind == SchedRuntime { // guard: ICV must not self-refer
+			sched = Sched{Kind: SchedStatic}
+		}
+	}
+	if tr := traceHook(); tr != nil {
+		tr(TraceEvent{Kind: TraceLoopInit, Loc: loc, Tid: t.Tid})
+	}
+	tm := t.team
+	seq := t.dispatchSeq
+	t.dispatchSeq++
+	buf := &tm.disp[seq%dispatchRing]
+	want := uint64(seq) + 1
+
+	buf.mu.Lock()
+	for buf.tag != want && buf.tag != 0 {
+		// Buffer still occupied by instance seq-ring: wait for the
+		// slowest thread of that loop to drain it.
+		buf.cond.Wait()
+	}
+	if buf.tag == 0 {
+		buf.sched = sched
+		buf.trip = trip
+		buf.nth = int64(tm.n)
+		buf.next.Store(0)
+		buf.chunkIdx.Store(0)
+		buf.done = 0
+		buf.tag = want
+		buf.cond.Broadcast()
+	}
+	buf.mu.Unlock()
+	t.curLoop = buf
+}
+
+// DispatchNext returns the next chunk [lo, hi) of the loop the thread is
+// attached to, or ok == false when the iteration space is exhausted — at
+// which point the thread is detached and the buffer may be recycled.
+// Mirrors __kmpc_dispatch_next_8.
+func (t *Thread) DispatchNext() (lo, hi int64, ok bool) {
+	buf := t.curLoop
+	if buf == nil {
+		return 0, 0, false
+	}
+	lo, hi, ok = buf.grab()
+	if !ok {
+		t.detach(buf)
+	}
+	return lo, hi, ok
+}
+
+// grab claims the next chunk according to the buffer's schedule.
+func (b *dispatchBuf) grab() (int64, int64, bool) {
+	switch b.sched.Kind {
+	case SchedGuidedChunked:
+		return b.grabGuided()
+	case SchedTrapezoidal:
+		return b.grabTrapezoidal()
+	case SchedStatic, SchedStaticChunked, SchedAuto:
+		// Static kinds routed through the dispatch API degenerate to
+		// dynamic with a block-sized chunk, preserving libomp's
+		// behaviour of serving static via dispatch when asked to.
+		chunk := b.sched.Chunk
+		if chunk <= 0 {
+			chunk = (b.trip + b.nth - 1) / b.nth
+			if chunk < 1 {
+				chunk = 1
+			}
+		}
+		return b.grabDynamic(chunk)
+	default: // SchedDynamicChunked
+		return b.grabDynamic(b.sched.effectiveChunk())
+	}
+}
+
+func (b *dispatchBuf) grabDynamic(chunk int64) (int64, int64, bool) {
+	lo := b.next.Add(chunk) - chunk
+	if lo >= b.trip {
+		return 0, 0, false
+	}
+	hi := lo + chunk
+	if hi > b.trip {
+		hi = b.trip
+	}
+	return lo, hi, true
+}
+
+// grabGuided implements guided self-scheduling as libomp does: chunk =
+// remaining/(2·nthreads), bounded below by the requested chunk. The division
+// by 2n (rather than n) trades a slightly longer tail for much lower
+// end-of-loop contention.
+func (b *dispatchBuf) grabGuided() (int64, int64, bool) {
+	minChunk := b.sched.effectiveChunk()
+	for {
+		cur := b.next.Load()
+		remaining := b.trip - cur
+		if remaining <= 0 {
+			return 0, 0, false
+		}
+		size := remaining / (2 * b.nth)
+		if size < minChunk {
+			size = minChunk
+		}
+		if size > remaining {
+			size = remaining
+		}
+		if b.next.CompareAndSwap(cur, cur+size) {
+			return cur, cur + size, true
+		}
+	}
+}
+
+// grabTrapezoidal shrinks chunks linearly from first = trip/(2n) to the
+// minimum chunk over the first/delta steps of the schedule.
+func (b *dispatchBuf) grabTrapezoidal() (int64, int64, bool) {
+	minChunk := b.sched.effectiveChunk()
+	first := b.trip / (2 * b.nth)
+	if first < minChunk {
+		first = minChunk
+	}
+	// Linear taper: with N = number of chunks ≈ 2·trip/(first+min), the
+	// decrement per chunk is (first-min)/N.
+	nChunks := (2*b.trip)/(first+minChunk) + 1
+	delta := (first - minChunk) / nChunks
+	for {
+		cur := b.next.Load()
+		if cur >= b.trip {
+			return 0, 0, false
+		}
+		idx := b.chunkIdx.Load()
+		size := first - idx*delta
+		if size < minChunk {
+			size = minChunk
+		}
+		if size > b.trip-cur {
+			size = b.trip - cur
+		}
+		if b.next.CompareAndSwap(cur, cur+size) {
+			b.chunkIdx.Add(1)
+			return cur, cur + size, true
+		}
+	}
+}
+
+// detach records that this thread has drained the loop; the last thread out
+// frees the buffer for reuse by instance seq+ring.
+func (t *Thread) detach(buf *dispatchBuf) {
+	t.curLoop = nil
+	if tr := traceHook(); tr != nil {
+		tr(TraceEvent{Kind: TraceLoopFini, Tid: t.Tid})
+	}
+	buf.mu.Lock()
+	buf.done++
+	if buf.done == t.team.n {
+		buf.tag = 0
+		buf.done = 0
+		buf.cond.Broadcast()
+	}
+	buf.mu.Unlock()
+}
+
+// ForDynamic is the convenience wrapper the generated code uses for a whole
+// dynamic-family loop: init, drain chunks through body, detach. No barrier
+// is performed (nowait is the caller's concern, as with ForStatic).
+func ForDynamic(t *Thread, loc Ident, sched Sched, trip int64, body func(begin, end int64)) {
+	t.DispatchInit(loc, sched, trip)
+	for {
+		lo, hi, ok := t.DispatchNext()
+		if !ok {
+			return
+		}
+		body(lo, hi)
+	}
+}

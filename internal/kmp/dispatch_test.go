@@ -1,0 +1,242 @@
+package kmp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// runLoop drives a dynamic-family loop on a real team and asserts exact
+// single coverage of [0, trip).
+func runLoop(t *testing.T, nth int, sched Sched, trip int64) {
+	t.Helper()
+	counts := make([]int32, trip)
+	chunksPerThread := make([]int64, nth)
+	ForkCall(Ident{}, nth, func(th *Thread) {
+		th.DispatchInit(Ident{}, sched, trip)
+		for {
+			lo, hi, ok := th.DispatchNext()
+			if !ok {
+				break
+			}
+			if lo < 0 || hi > trip || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for trip %d", lo, hi, trip)
+				return
+			}
+			chunksPerThread[th.Tid]++
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		}
+		th.Barrier()
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("sched=%v trip=%d nth=%d: iteration %d executed %d times", sched, trip, nth, i, c)
+		}
+	}
+}
+
+func TestDispatchDynamicCoverage(t *testing.T) {
+	for _, nth := range []int{1, 2, 4, 8} {
+		for _, trip := range []int64{0, 1, 7, 100, 1001} {
+			for _, chunk := range []int64{0, 1, 3, 64} {
+				runLoop(t, nth, Sched{Kind: SchedDynamicChunked, Chunk: chunk}, trip)
+			}
+		}
+	}
+}
+
+func TestDispatchGuidedCoverage(t *testing.T) {
+	for _, nth := range []int{1, 2, 4, 8} {
+		for _, trip := range []int64{0, 1, 100, 10000} {
+			for _, chunk := range []int64{0, 1, 16} {
+				runLoop(t, nth, Sched{Kind: SchedGuidedChunked, Chunk: chunk}, trip)
+			}
+		}
+	}
+}
+
+func TestDispatchTrapezoidalCoverage(t *testing.T) {
+	for _, nth := range []int{1, 4} {
+		for _, trip := range []int64{0, 1, 100, 5000} {
+			runLoop(t, nth, Sched{Kind: SchedTrapezoidal, Chunk: 1}, trip)
+		}
+	}
+}
+
+func TestDispatchStaticViaDispatchAPI(t *testing.T) {
+	// libomp serves static schedules through dispatch when asked; so do we.
+	runLoop(t, 4, Sched{Kind: SchedStatic}, 100)
+	runLoop(t, 4, Sched{Kind: SchedStaticChunked, Chunk: 5}, 100)
+	runLoop(t, 4, Sched{Kind: SchedAuto}, 100)
+}
+
+func TestDispatchRuntimeResolvesICV(t *testing.T) {
+	ResetICV()
+	UpdateICV(func(v *ICV) { v.RunSched = Sched{Kind: SchedDynamicChunked, Chunk: 2} })
+	defer ResetICV()
+	runLoop(t, 4, Sched{Kind: SchedRuntime}, 100)
+}
+
+// Guided chunks must shrink (non-strictly) and respect the minimum chunk.
+func TestGuidedChunkShape(t *testing.T) {
+	const trip, nth, minChunk = 10000, 4, 8
+	var mu sync.Mutex
+	var sizes []int64
+	ForkCall(Ident{}, nth, func(th *Thread) {
+		th.DispatchInit(Ident{}, Sched{Kind: SchedGuidedChunked, Chunk: minChunk}, trip)
+		for {
+			lo, hi, ok := th.DispatchNext()
+			if !ok {
+				break
+			}
+			mu.Lock()
+			sizes = append(sizes, hi-lo)
+			mu.Unlock()
+		}
+		th.Barrier()
+	})
+	if len(sizes) == 0 {
+		t.Fatal("no chunks issued")
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+		if s < minChunk && total != trip {
+			// Only the final remnant chunk may be below minChunk.
+			t.Fatalf("guided issued chunk %d below minimum %d before the tail", s, minChunk)
+		}
+	}
+	if total != trip {
+		t.Fatalf("guided chunks sum to %d, want %d", total, trip)
+	}
+	// First chunk should be near trip/(2·nth), far larger than minChunk.
+	if sizes[0] < trip/(4*nth) {
+		t.Fatalf("first guided chunk %d suspiciously small (want ≈ %d)", sizes[0], trip/(2*nth))
+	}
+}
+
+// Dynamic with chunk=1 under contention: every thread should get work when
+// trip >> nth (probabilistic but overwhelmingly certain with parked teams).
+func TestDynamicSharesWork(t *testing.T) {
+	const nth, trip = 4, 100000
+	var perThread [nth]atomic.Int64
+	ForkCall(Ident{}, nth, func(th *Thread) {
+		ForDynamic(th, Ident{}, Sched{Kind: SchedDynamicChunked, Chunk: 16}, trip, func(lo, hi int64) {
+			perThread[th.Tid].Add(hi - lo)
+		})
+		th.Barrier()
+	})
+	var total int64
+	for i := range perThread {
+		total += perThread[i].Load()
+	}
+	if total != trip {
+		t.Fatalf("dynamic loop covered %d, want %d", total, trip)
+	}
+}
+
+// Back-to-back nowait loops exercise the dispatch-buffer ring: more loops in
+// flight than ring slots, with no barriers between them.
+func TestDispatchRingNoWaitLoops(t *testing.T) {
+	const nth = 4
+	const loops = dispatchRing * 3
+	var sums [loops]atomic.Int64
+	ForkCall(Ident{}, nth, func(th *Thread) {
+		for l := 0; l < loops; l++ {
+			trip := int64(10 + l) // distinct trip per loop catches descriptor mixups
+			ForDynamic(th, Ident{}, Sched{Kind: SchedDynamicChunked, Chunk: 3}, trip, func(lo, hi int64) {
+				sums[l].Add(hi - lo)
+			})
+			// no barrier: nowait
+		}
+		th.Barrier()
+	})
+	for l := 0; l < loops; l++ {
+		if got, want := sums[l].Load(), int64(10+l); got != want {
+			t.Fatalf("nowait loop %d covered %d iterations, want %d", l, got, want)
+		}
+	}
+}
+
+func TestDispatchNextWithoutInit(t *testing.T) {
+	ForkCall(Ident{}, 2, func(th *Thread) {
+		if _, _, ok := th.DispatchNext(); ok {
+			t.Error("DispatchNext without DispatchInit returned ok")
+		}
+	})
+}
+
+func TestSectionsDistribution(t *testing.T) {
+	const nSections = 7
+	var ran [nSections]atomic.Int32
+	ForkCall(Ident{}, 3, func(th *Thread) {
+		th.Sections(Ident{}, nSections, func(i int) {
+			ran[i].Add(1)
+		})
+		th.Barrier()
+	})
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("section %d executed %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Sched
+		wantErr bool
+	}{
+		{"static", Sched{Kind: SchedStatic}, false},
+		{"static,4", Sched{Kind: SchedStaticChunked, Chunk: 4}, false},
+		{"dynamic", Sched{Kind: SchedDynamicChunked}, false},
+		{"dynamic, 16", Sched{Kind: SchedDynamicChunked, Chunk: 16}, false},
+		{"GUIDED,2", Sched{Kind: SchedGuidedChunked, Chunk: 2}, false},
+		{"auto", Sched{Kind: SchedAuto}, false},
+		{"runtime", Sched{Kind: SchedRuntime}, false},
+		{"trapezoidal,8", Sched{Kind: SchedTrapezoidal, Chunk: 8}, false},
+		{"bogus", Sched{}, true},
+		{"dynamic,x", Sched{}, true},
+		{"dynamic,0", Sched{}, true},
+		{"dynamic,-3", Sched{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSchedule(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseSchedule(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseSchedule(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSchedKindString(t *testing.T) {
+	pairs := map[SchedKind]string{
+		SchedStatic: "static", SchedStaticChunked: "static",
+		SchedDynamicChunked: "dynamic", SchedGuidedChunked: "guided",
+		SchedRuntime: "runtime", SchedAuto: "auto", SchedTrapezoidal: "trapezoidal",
+	}
+	for k, want := range pairs {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// libomp numeric compatibility: the constants must keep clang's values.
+func TestSchedKindValues(t *testing.T) {
+	want := map[SchedKind]int32{
+		SchedStaticChunked: 33, SchedStatic: 34, SchedDynamicChunked: 35,
+		SchedGuidedChunked: 36, SchedRuntime: 37, SchedAuto: 38, SchedTrapezoidal: 39,
+	}
+	for k, v := range want {
+		if int32(k) != v {
+			t.Errorf("SchedKind %s = %d, want libomp value %d", k, int32(k), v)
+		}
+	}
+}

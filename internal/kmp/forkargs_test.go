@@ -1,0 +1,101 @@
+package kmp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForkCallArgsPaperChoreography reproduces the paper's Section III-B1
+// lowering by hand: firstprivate values copied into a group struct, shared
+// variables accessed through pointers in a group struct (the "rewritten as
+// pointer accesses" step), and reduction cells in a third group.
+func TestForkCallArgsPaperChoreography(t *testing.T) {
+	type fpGroup struct{ scale float64 }
+	type shGroup struct {
+		data []float64
+		hits *int64
+	}
+	type redGroup struct{ sum *atomic.Int64 }
+
+	data := make([]float64, 64)
+	var hits int64
+	var sum atomic.Int64
+
+	ForkCallArgs(Ident{Region: "parallel"}, 4, func(th *Thread, fp, sh, red any) {
+		// Cast the opaque groups back, as the outlined function does.
+		f := fp.(*fpGroup)
+		s := sh.(*shGroup)
+		r := red.(*redGroup)
+
+		// firstprivate: each thread sees the captured value.
+		if f.scale != 2.5 {
+			t.Errorf("firstprivate scale = %g", f.scale)
+		}
+		// shared via pointer, disjoint writes by tid.
+		lo, hi := StaticBlock(th.Tid, th.NumThreads(), int64(len(s.data)))
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			s.data[i] = f.scale
+			local++
+		}
+		atomic.AddInt64(s.hits, local)
+		// reduction group: atomic combine.
+		r.sum.Add(local)
+	}, &fpGroup{scale: 2.5}, &shGroup{data: data, hits: &hits}, &redGroup{sum: &sum})
+
+	if hits != 64 || sum.Load() != 64 {
+		t.Fatalf("hits=%d sum=%d, want 64/64", hits, sum.Load())
+	}
+	for i, v := range data {
+		if v != 2.5 {
+			t.Fatalf("data[%d] = %g not written through shared group", i, v)
+		}
+	}
+}
+
+func TestForkCallArgsNilGroups(t *testing.T) {
+	var ran atomic.Int32
+	ForkCallArgs(Ident{}, 2, func(th *Thread, fp, sh, red any) {
+		if fp != nil || sh != nil || red != nil {
+			t.Error("nil groups did not arrive nil")
+		}
+		ran.Add(1)
+	}, nil, nil, nil)
+	if ran.Load() != 2 {
+		t.Fatalf("ran %d times, want 2", ran.Load())
+	}
+}
+
+// Oversubscription: teams far larger than the processor count must fork,
+// synchronise and join — the configuration the paper's 96/128-thread table
+// rows need on smaller hosts.
+func TestForkOversubscribed(t *testing.T) {
+	const n = 96
+	var count atomic.Int32
+	ForkCall(Ident{}, n, func(th *Thread) {
+		count.Add(1)
+		th.Barrier()
+		th.Barrier()
+	})
+	if count.Load() != n {
+		t.Fatalf("oversubscribed fork ran %d threads, want %d", count.Load(), n)
+	}
+}
+
+// A long sequence of forks with varying sizes stresses hot-team resize and
+// barrier rebuild paths.
+func TestForkResizeChurn(t *testing.T) {
+	sizes := []int{2, 7, 3, 16, 1, 5, 16, 2}
+	for round := 0; round < 10; round++ {
+		for _, n := range sizes {
+			var count atomic.Int32
+			ForkCall(Ident{}, n, func(th *Thread) {
+				count.Add(1)
+				th.Barrier()
+			})
+			if int(count.Load()) != n {
+				t.Fatalf("size %d: ran %d", n, count.Load())
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package kmp
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WaitPolicy controls how threads behave while waiting at barriers and
+// dispatch points (the OMP_WAIT_POLICY environment variable).
+type WaitPolicy int
+
+const (
+	// WaitPassive parks waiting threads quickly, yielding the processor.
+	// It is the default, and the right choice when teams are larger than
+	// the machine (oversubscription).
+	WaitPassive WaitPolicy = iota
+	// WaitActive spins longer before parking, reducing wake-up latency
+	// when every team thread has a core of its own.
+	WaitActive
+)
+
+// BarrierKind selects the barrier algorithm (the GOMP_BARRIER environment
+// variable; an ablation axis in this reproduction — libomp hard-wires its
+// hierarchical barrier).
+type BarrierKind int
+
+const (
+	// BarrierCentral is a central counter with generation-channel release.
+	BarrierCentral BarrierKind = iota
+	// BarrierTree arrives up a quad-tree of counters and releases down it.
+	BarrierTree
+	// BarrierDissemination runs ceil(log2 n) pairwise signalling rounds.
+	BarrierDissemination
+)
+
+// ICV holds the internal control variables of the runtime, the subset of the
+// OpenMP 5.2 ICV table that loop directives consult. A single global set is
+// kept (device 0); per-team values are snapshotted at fork.
+type ICV struct {
+	// NumThreads is nthreads-var: team size when no num_threads clause is
+	// present.
+	NumThreads int
+	// RunSched is run-sched-var: what schedule(runtime) resolves to.
+	RunSched Sched
+	// Dynamic is dyn-var: whether the runtime may shrink requested teams.
+	Dynamic bool
+	// Nested is whether nested parallel regions fork real teams (true) or
+	// serialise to teams of one (false, the default).
+	Nested bool
+	// WaitPolicy is wait-policy-var.
+	WaitPolicy WaitPolicy
+	// Barrier selects the barrier algorithm used by new teams.
+	Barrier BarrierKind
+	// ThreadLimit caps the total size of any team (thread-limit-var);
+	// 0 means unlimited.
+	ThreadLimit int
+}
+
+var (
+	icvMu  sync.RWMutex
+	icv    ICV
+	icvSet bool
+)
+
+// defaultICV builds the boot ICV set from the environment, mirroring
+// libomp's __kmp_env_initialize: OMP_NUM_THREADS, OMP_SCHEDULE, OMP_DYNAMIC,
+// OMP_NESTED, OMP_WAIT_POLICY, OMP_THREAD_LIMIT, plus this runtime's
+// GOMP_BARRIER extension.
+func defaultICV() ICV {
+	v := ICV{
+		NumThreads: runtime.GOMAXPROCS(0),
+		RunSched:   Sched{Kind: SchedStatic},
+		WaitPolicy: WaitPassive,
+		Barrier:    BarrierCentral,
+	}
+	if s := os.Getenv("OMP_NUM_THREADS"); s != "" {
+		// OMP_NUM_THREADS may be a comma list (one per nesting level);
+		// only the first level is honoured here.
+		first, _, _ := strings.Cut(s, ",")
+		if n, err := strconv.Atoi(strings.TrimSpace(first)); err == nil && n > 0 {
+			v.NumThreads = n
+		}
+	}
+	if s := os.Getenv("OMP_SCHEDULE"); s != "" {
+		if sched, err := ParseSchedule(s); err == nil {
+			v.RunSched = sched
+		}
+	}
+	if s := os.Getenv("OMP_DYNAMIC"); s != "" {
+		v.Dynamic = parseBool(s)
+	}
+	if s := os.Getenv("OMP_NESTED"); s != "" {
+		v.Nested = parseBool(s)
+	}
+	if s := os.Getenv("OMP_WAIT_POLICY"); strings.EqualFold(strings.TrimSpace(s), "active") {
+		v.WaitPolicy = WaitActive
+	}
+	if s := os.Getenv("OMP_THREAD_LIMIT"); s != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && n > 0 {
+			v.ThreadLimit = n
+		}
+	}
+	switch strings.ToLower(strings.TrimSpace(os.Getenv("GOMP_BARRIER"))) {
+	case "tree":
+		v.Barrier = BarrierTree
+	case "dissemination":
+		v.Barrier = BarrierDissemination
+	}
+	return v
+}
+
+func parseBool(s string) bool {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// GetICV returns a copy of the current global ICV set, initialising it from
+// the environment on first use.
+func GetICV() ICV {
+	icvMu.RLock()
+	if icvSet {
+		v := icv
+		icvMu.RUnlock()
+		return v
+	}
+	icvMu.RUnlock()
+	icvMu.Lock()
+	defer icvMu.Unlock()
+	if !icvSet {
+		icv = defaultICV()
+		icvSet = true
+	}
+	return icv
+}
+
+// UpdateICV applies f to the global ICV set under the ICV lock. It backs
+// omp_set_num_threads, omp_set_schedule, omp_set_dynamic and friends.
+func UpdateICV(f func(*ICV)) {
+	icvMu.Lock()
+	defer icvMu.Unlock()
+	if !icvSet {
+		icv = defaultICV()
+		icvSet = true
+	}
+	f(&icv)
+	if icv.NumThreads < 1 {
+		icv.NumThreads = 1
+	}
+}
+
+// ResetICV re-reads the environment, discarding programmatic changes.
+// Intended for tests.
+func ResetICV() {
+	icvMu.Lock()
+	defer icvMu.Unlock()
+	icv = defaultICV()
+	icvSet = true
+}

@@ -1,0 +1,114 @@
+package kmp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SchedKind identifies a worksharing-loop schedule. The numeric values are
+// libomp's sched_type enumeration (kmp.h), which the paper's preprocessor
+// passes to __kmpc_dispatch_init, so lowered call traces line up with
+// clang -fopenmp.
+type SchedKind int32
+
+const (
+	// SchedStaticChunked is schedule(static, chunk): chunks of the given
+	// size are handed out round-robin (thread t gets chunks t, t+n, ...).
+	SchedStaticChunked SchedKind = 33
+	// SchedStatic is schedule(static) with no chunk: one contiguous,
+	// near-equal block per thread.
+	SchedStatic SchedKind = 34
+	// SchedDynamicChunked is schedule(dynamic[, chunk]): threads grab the
+	// next chunk from a shared counter as they finish.
+	SchedDynamicChunked SchedKind = 35
+	// SchedGuidedChunked is schedule(guided[, chunk]): dynamic with
+	// exponentially shrinking chunks, never below the requested chunk.
+	SchedGuidedChunked SchedKind = 36
+	// SchedRuntime defers the choice to the run-sched-var ICV
+	// (OMP_SCHEDULE).
+	SchedRuntime SchedKind = 37
+	// SchedAuto lets the runtime pick; this implementation maps it to
+	// SchedStatic, as libomp does on CPU targets.
+	SchedAuto SchedKind = 38
+	// SchedTrapezoidal is libomp's trapezoid self-scheduling: chunk sizes
+	// decrease linearly from trip/(2n) towards the minimum chunk.
+	SchedTrapezoidal SchedKind = 39
+)
+
+// String returns the OpenMP surface-syntax name of the schedule kind.
+func (s SchedKind) String() string {
+	switch s {
+	case SchedStaticChunked, SchedStatic:
+		return "static"
+	case SchedDynamicChunked:
+		return "dynamic"
+	case SchedGuidedChunked:
+		return "guided"
+	case SchedRuntime:
+		return "runtime"
+	case SchedAuto:
+		return "auto"
+	case SchedTrapezoidal:
+		return "trapezoidal"
+	default:
+		return fmt.Sprintf("SchedKind(%d)", int32(s))
+	}
+}
+
+// Sched pairs a schedule kind with its chunk size. Chunk 0 means "not
+// specified", matching the paper's packed-clause encoding where a zero chunk
+// field denotes an absent chunk (Section III-A2).
+type Sched struct {
+	Kind  SchedKind
+	Chunk int64
+}
+
+// ParseSchedule parses an OMP_SCHEDULE-style string ("dynamic,4", "guided",
+// "static , 16") into a Sched. It is used both for the run-sched-var ICV and
+// by the directive parser's schedule clause.
+func ParseSchedule(s string) (Sched, error) {
+	name, chunkStr, hasChunk := strings.Cut(s, ",")
+	name = strings.ToLower(strings.TrimSpace(name))
+	var kind SchedKind
+	switch name {
+	case "static":
+		kind = SchedStatic
+	case "dynamic":
+		kind = SchedDynamicChunked
+	case "guided":
+		kind = SchedGuidedChunked
+	case "auto":
+		kind = SchedAuto
+	case "runtime":
+		kind = SchedRuntime
+	case "trapezoidal":
+		kind = SchedTrapezoidal
+	default:
+		return Sched{}, fmt.Errorf("kmp: unknown schedule kind %q", name)
+	}
+	sched := Sched{Kind: kind}
+	if hasChunk {
+		chunk, err := strconv.ParseInt(strings.TrimSpace(chunkStr), 10, 64)
+		if err != nil {
+			return Sched{}, fmt.Errorf("kmp: bad schedule chunk %q: %v", chunkStr, err)
+		}
+		if chunk <= 0 {
+			return Sched{}, fmt.Errorf("kmp: schedule chunk must be positive, got %d", chunk)
+		}
+		sched.Chunk = chunk
+		if kind == SchedStatic {
+			sched.Kind = SchedStaticChunked
+		}
+	}
+	return sched, nil
+}
+
+// effectiveChunk returns the chunk size to use for a dynamic-family
+// schedule: the OpenMP default is 1 when unspecified.
+func (s Sched) effectiveChunk() int64 {
+	if s.Chunk <= 0 {
+		return 1
+	}
+	return s.Chunk
+}

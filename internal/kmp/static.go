@@ -1,0 +1,115 @@
+package kmp
+
+// Static worksharing: the lowering target of schedule(static[,chunk]) loops,
+// mirroring __kmpc_for_static_init_* / __kmpc_for_static_fini. Static
+// partitioning needs no shared state — every thread computes its share from
+// (tid, nthreads, trip) alone — which is why the paper notes that, unlike
+// parallel regions, worksharing loops need no outlined function.
+//
+// All functions work in canonical iteration space: the preprocessor
+// normalises a Go loop `for i := lo; i < hi; i += st` to trip =
+// ceilDiv(hi-lo, st) iterations, runs the partition over [0, trip), and maps
+// an iteration k back to i = lo + k*st. TripCount implements the
+// normalisation including the <-vs-<= comparison-operator distinction the
+// paper extracts from the while-loop header.
+
+// TripCount returns the iteration count of the canonical loop
+// `for i := lb; i CMP ub; i += st`, where inclusive selects <= (or >= for
+// negative st) instead of < (>). A zero st panics; a loop that never runs
+// has trip 0.
+func TripCount(lb, ub, st int64, inclusive bool) int64 {
+	if st == 0 {
+		panic("kmp: loop increment must be non-zero")
+	}
+	if st > 0 {
+		if inclusive {
+			ub++
+		}
+		if ub <= lb {
+			return 0
+		}
+		return (ub - lb + st - 1) / st
+	}
+	// Negative stride: count down.
+	if inclusive {
+		ub--
+	}
+	if ub >= lb {
+		return 0
+	}
+	return (lb - ub + (-st) - 1) / (-st)
+}
+
+// StaticBlock computes thread tid's contiguous block of a trip-count
+// iteration space under schedule(static): the balanced partition libomp
+// calls static_balanced, where the first trip%nth threads receive one extra
+// iteration. Returns the half-open range [begin, end); begin == end when the
+// thread has no work.
+func StaticBlock(tid, nth int, trip int64) (begin, end int64) {
+	if nth <= 1 {
+		return 0, trip
+	}
+	q := trip / int64(nth)
+	r := trip % int64(nth)
+	if int64(tid) < r {
+		begin = int64(tid) * (q + 1)
+		end = begin + q + 1
+	} else {
+		begin = r*(q+1) + (int64(tid)-r)*q
+		end = begin + q
+	}
+	return begin, end
+}
+
+// StaticChunked iterates thread tid's chunks of a trip-count iteration space
+// under schedule(static, chunk): chunk c goes to thread c mod nth, so thread
+// tid owns chunks tid, tid+nth, tid+2·nth, … body receives each chunk as a
+// half-open range. The IS benchmark's rank() loop uses schedule(static,1),
+// which degenerates to a pure cyclic distribution.
+func StaticChunked(tid, nth int, trip, chunk int64, body func(begin, end int64)) {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	stride := int64(nth) * chunk
+	for lo := int64(tid) * chunk; lo < trip; lo += stride {
+		hi := lo + chunk
+		if hi > trip {
+			hi = trip
+		}
+		body(lo, hi)
+	}
+}
+
+// ForStatic runs body over thread t's share of a trip-count iteration space
+// with the given static schedule (chunk <= 0 selects the block partition).
+// It performs no barrier — the caller decides, which is how the nowait
+// clause is honoured (§III-A2 packs nowait as a single bit; the generated
+// code simply omits the trailing Barrier call).
+func ForStatic(t *Thread, trip, chunk int64, body func(begin, end int64)) {
+	tid, nth := 0, 1
+	if t != nil && t.team != nil {
+		tid, nth = t.Tid, t.team.n
+	}
+	if chunk > 0 {
+		StaticChunked(tid, nth, trip, chunk, body)
+		return
+	}
+	begin, end := StaticBlock(tid, nth, trip)
+	if begin < end {
+		body(begin, end)
+	}
+}
+
+// LastIterStatic reports whether thread tid executes the sequentially last
+// iteration under the given static schedule — the lastprivate predicate.
+func LastIterStatic(tid, nth int, trip, chunk int64) bool {
+	if trip == 0 {
+		return false
+	}
+	if chunk <= 0 {
+		begin, end := StaticBlock(tid, nth, trip)
+		return begin < end && end == trip
+	}
+	lastChunk := (trip - 1) / chunk
+	return int(lastChunk%int64(nth)) == tid
+}

@@ -1,0 +1,216 @@
+package kmp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Concurrent ICV reads and writes must never tear or deadlock
+// (omp_set_num_threads from one goroutine while regions fork in others).
+func TestICVConcurrentAccess(t *testing.T) {
+	ResetICV()
+	defer ResetICV()
+	stop := make(chan struct{})
+	var updater sync.WaitGroup
+	updater.Add(1)
+	go func() {
+		defer updater.Done()
+		n := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n = n%8 + 1
+			UpdateICV(func(v *ICV) { v.NumThreads = n })
+		}
+	}()
+	var forkers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		forkers.Add(1)
+		go func() {
+			defer forkers.Done()
+			for i := 0; i < 100; i++ {
+				var count atomic.Int32
+				var size atomic.Int32
+				ForkCall(Ident{}, 0, func(th *Thread) {
+					count.Add(1)
+					if th.Tid == 0 {
+						size.Store(int32(th.NumThreads()))
+					}
+					th.Barrier()
+				})
+				if count.Load() != size.Load() {
+					t.Errorf("team ran %d bodies for size %d", count.Load(), size.Load())
+					return
+				}
+			}
+		}()
+	}
+	forkers.Wait()
+	close(stop) // only now may the updater exit
+	updater.Wait()
+}
+
+// Mixed schedule kinds back to back in one region, all nowait, stressing
+// the dispatch-buffer ring with heterogeneous descriptors.
+func TestDispatchMixedSchedulesNoWait(t *testing.T) {
+	scheds := []Sched{
+		{Kind: SchedDynamicChunked, Chunk: 3},
+		{Kind: SchedGuidedChunked, Chunk: 2},
+		{Kind: SchedTrapezoidal, Chunk: 1},
+		{Kind: SchedDynamicChunked, Chunk: 64},
+		{Kind: SchedGuidedChunked, Chunk: 16},
+		{Kind: SchedStatic},
+		{Kind: SchedDynamicChunked, Chunk: 1},
+		{Kind: SchedTrapezoidal, Chunk: 8},
+		{Kind: SchedGuidedChunked, Chunk: 1},
+		{Kind: SchedDynamicChunked, Chunk: 7},
+	}
+	sums := make([]atomic.Int64, len(scheds))
+	trips := make([]int64, len(scheds))
+	for i := range trips {
+		trips[i] = int64(100 + 37*i)
+	}
+	ForkCall(Ident{}, 6, func(th *Thread) {
+		for l, sched := range scheds {
+			ForDynamic(th, Ident{}, sched, trips[l], func(lo, hi int64) {
+				sums[l].Add(hi - lo)
+			})
+		}
+		th.Barrier()
+	})
+	for l := range scheds {
+		if got := sums[l].Load(); got != trips[l] {
+			t.Fatalf("loop %d (%v): covered %d of %d", l, scheds[l], got, trips[l])
+		}
+	}
+}
+
+// Nested parallelism enabled: outer×inner teams all fork real threads, and
+// the goroutine→thread registry must unwind correctly afterwards.
+func TestNestedForkStress(t *testing.T) {
+	ResetICV()
+	UpdateICV(func(v *ICV) { v.Nested = true })
+	defer ResetICV()
+	var leaves atomic.Int32
+	ForkCall(Ident{}, 3, func(outer *Thread) {
+		outerTid := outer.Tid
+		ForkCall(Ident{}, 2, func(inner *Thread) {
+			leaves.Add(1)
+			if inner.Level != 2 {
+				t.Errorf("inner level = %d, want 2", inner.Level)
+			}
+			inner.Barrier()
+		})
+		// After the nested region, the outer registration must be
+		// restored: Current() is the outer thread again.
+		if cur := Current(); cur == nil || cur.Tid != outerTid || cur.Level != 1 {
+			t.Errorf("outer registration not restored after nested region")
+		}
+	})
+	if leaves.Load() != 6 {
+		t.Fatalf("nested leaves = %d, want 3*2", leaves.Load())
+	}
+	if Current() != nil {
+		t.Fatal("registry leaked after regions")
+	}
+}
+
+// ThreadPrivate under concurrent first-touch from many threads.
+func TestThreadPrivateConcurrentFirstTouch(t *testing.T) {
+	tp := NewThreadPrivate(func() *int64 { v := int64(1); return &v })
+	var sum atomic.Int64
+	ForkCall(Ident{}, 16, func(th *Thread) {
+		p := tp.Get(th)
+		for i := 0; i < 1000; i++ {
+			*p++
+		}
+		sum.Add(*p)
+	})
+	if got := sum.Load(); got != 16*1001 {
+		t.Fatalf("threadprivate sum = %d, want %d", got, 16*1001)
+	}
+}
+
+// Singles interleaved with loops in one region exercise interleaving of the
+// two independent sequence counters.
+func TestSinglesInterleavedWithLoops(t *testing.T) {
+	var singles atomic.Int32
+	var iters atomic.Int64
+	ForkCall(Ident{}, 4, func(th *Thread) {
+		for round := 0; round < 12; round++ {
+			if th.Single() {
+				singles.Add(1)
+			}
+			th.Barrier()
+			ForDynamic(th, Ident{}, Sched{Kind: SchedDynamicChunked, Chunk: 2}, 50, func(lo, hi int64) {
+				iters.Add(hi - lo)
+			})
+			th.Barrier()
+		}
+	})
+	if singles.Load() != 12 {
+		t.Fatalf("singles = %d, want 12", singles.Load())
+	}
+	if iters.Load() != 12*50 {
+		t.Fatalf("iterations = %d, want %d", iters.Load(), 12*50)
+	}
+}
+
+// Copyprivate round-trips distinct values across many single instances.
+func TestCopyPrivateSequence(t *testing.T) {
+	const rounds = 8
+	got := make([][rounds]int, 4)
+	ForkCall(Ident{}, 4, func(th *Thread) {
+		for r := 0; r < rounds; r++ {
+			if th.Single() {
+				th.CopyPrivatePublish(100 + r)
+			}
+			th.Barrier()
+			got[th.Tid][r] = th.CopyPrivateFetch().(int)
+			th.Barrier()
+		}
+	})
+	for tid := range got {
+		for r := 0; r < rounds; r++ {
+			if got[tid][r] != 100+r {
+				t.Fatalf("tid %d round %d fetched %d", tid, r, got[tid][r])
+			}
+		}
+	}
+}
+
+// Zero-trip loops through every schedule: every thread must detach cleanly.
+func TestZeroTripLoops(t *testing.T) {
+	for _, sched := range []Sched{
+		{Kind: SchedDynamicChunked, Chunk: 4},
+		{Kind: SchedGuidedChunked},
+		{Kind: SchedTrapezoidal},
+	} {
+		var n atomic.Int64 // shared across the team
+		ForkCall(Ident{}, 3, func(th *Thread) {
+			ForDynamic(th, Ident{}, sched, 0, func(lo, hi int64) {
+				t.Errorf("body invoked for zero-trip loop")
+			})
+			th.Barrier()
+			// And the team must still be able to run another loop.
+			ForDynamic(th, Ident{}, sched, 10, func(lo, hi int64) { n.Add(hi - lo) })
+			th.Barrier()
+		})
+		if n.Load() != 10 {
+			t.Errorf("sched %v: follow-up loop covered %d", sched, n.Load())
+		}
+	}
+}
+
+func TestStaticChunkedZeroAndNegativeChunk(t *testing.T) {
+	// chunk <= 0 is clamped to 1 rather than dividing by zero.
+	var count int
+	StaticChunked(0, 1, 5, 0, func(lo, hi int64) { count += int(hi - lo) })
+	if count != 5 {
+		t.Fatalf("chunk=0 covered %d of 5", count)
+	}
+}

@@ -1,0 +1,243 @@
+package kmp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ident describes the source location of a lowered construct, the analog of
+// libomp's ident_t that every __kmpc_* entry point receives. The
+// preprocessor fills it from the pragma's position; hand-written callers may
+// leave it zero.
+type Ident struct {
+	File   string
+	Line   int
+	Region string // e.g. "parallel", "for", "critical(name)"
+}
+
+func (id Ident) String() string {
+	if id.File == "" {
+		return id.Region
+	}
+	return fmt.Sprintf("%s:%d %s", id.File, id.Line, id.Region)
+}
+
+// Microtask is the outlined parallel-region body: what the paper generates a
+// Zig function for and passes to __kmpc_fork_call. The three marshalled
+// variable groups of the paper (firstprivate, shared, reduction) become
+// ordinary closure captures in Go; Thread carries gtid/tid.
+type Microtask func(t *Thread)
+
+// Team is a set of cooperating threads executing one parallel region: the
+// analog of libomp's kmp_team_t. Teams are pooled ("hot teams"): workers
+// park on their task channels between regions instead of exiting.
+type Team struct {
+	n       int       // active size for the current region
+	threads []*Thread // len == capacity grown so far; [0] is the master slot
+	workers []*worker // workers[i] drives threads[i+1]
+	barrier Barrier
+	bKind   BarrierKind
+	policy  WaitPolicy
+
+	// Worksharing state shared by the team (see dispatch.go, sync.go).
+	disp    [dispatchRing]dispatchBuf
+	singles [dispatchRing]singleBuf
+	copyPB  copyPrivateBuf
+
+	// loc is the source location of the region being executed, so
+	// barrier events can be attributed to their region by the profiler.
+	loc Ident
+
+	// join counts region completions (implicit barrier at region end).
+	join sync.WaitGroup
+
+	serial bool // team of 1 created for a serialised nested region
+}
+
+// NumThreads returns the team's active size.
+func (tm *Team) NumThreads() int { return tm.n }
+
+// BarrierKind returns the barrier algorithm this team synchronises with.
+func (tm *Team) BarrierKind() BarrierKind { return tm.bKind }
+
+type worker struct {
+	tasks chan Microtask
+	th    *Thread
+}
+
+func (w *worker) loop(tm *Team) {
+	registerCurrent(w.th)
+	for task := range w.tasks {
+		task(w.th)
+		tm.join.Done()
+	}
+}
+
+// newTeam allocates a team shell; threads/workers are grown on demand.
+func newTeam(v ICV) *Team {
+	tm := &Team{bKind: v.Barrier, policy: v.WaitPolicy}
+	master := &Thread{Gtid: 0, Tid: 0, team: tm}
+	tm.threads = []*Thread{master}
+	for i := range tm.disp {
+		tm.disp[i].init()
+	}
+	return tm
+}
+
+// resize prepares the team to run a region of n threads, spawning workers
+// and rebuilding the barrier as needed.
+func (tm *Team) resize(n int) {
+	for len(tm.threads) < n {
+		th := &Thread{Gtid: nextGtid(), Tid: len(tm.threads), team: tm}
+		w := &worker{tasks: make(chan Microtask, 1), th: th}
+		tm.threads = append(tm.threads, th)
+		tm.workers = append(tm.workers, w)
+		go w.loop(tm)
+	}
+	if tm.barrier == nil || tm.barrier.Size() != n || tm.bKind != GetICV().Barrier {
+		tm.bKind = GetICV().Barrier
+		tm.barrier = NewBarrier(tm.bKind, n, tm.policy)
+	}
+	tm.n = n
+}
+
+// reset clears per-region worksharing state so a pooled team starts clean.
+func (tm *Team) reset() {
+	for i := range tm.disp {
+		tm.disp[i].init()
+	}
+	for i := range tm.singles {
+		tm.singles[i].reset()
+	}
+	tm.copyPB.reset()
+	for _, th := range tm.threads {
+		th.dispatchSeq = 0
+		th.singleSeq = 0
+		th.curLoop = nil
+	}
+}
+
+// Global pool of hot teams. Concurrent root forks (e.g. parallel tests) each
+// draw their own team, so independent parallel regions never share barriers.
+var teamPool struct {
+	mu   sync.Mutex
+	free []*Team
+}
+
+func acquireTeam(v ICV) *Team {
+	teamPool.mu.Lock()
+	defer teamPool.mu.Unlock()
+	if n := len(teamPool.free); n > 0 {
+		tm := teamPool.free[n-1]
+		teamPool.free = teamPool.free[:n-1]
+		return tm
+	}
+	return newTeam(v)
+}
+
+func releaseTeam(tm *Team) {
+	teamPool.mu.Lock()
+	defer teamPool.mu.Unlock()
+	teamPool.free = append(teamPool.free, tm)
+}
+
+// ForkCall runs fn on a team of nthreads threads and returns when all have
+// finished (the implicit barrier at the end of a parallel region). It is the
+// analog of __kmpc_fork_call: the paper's preprocessor replaces
+//
+//	//omp parallel
+//	{ body }
+//
+// with an outlined function passed here. nthreads <= 0 requests the
+// nthreads-var ICV (OMP_NUM_THREADS). The calling goroutine executes as team
+// thread 0, exactly as the forking thread becomes the team master in libomp.
+//
+// Nested parallel regions — fn itself calling ForkCall — serialise to a team
+// of one unless the Nested ICV is set, matching the OpenMP default.
+func ForkCall(loc Ident, nthreads int, fn Microtask) {
+	v := GetICV()
+	n := nthreads
+	if n <= 0 {
+		n = v.NumThreads
+	}
+	if v.ThreadLimit > 0 && n > v.ThreadLimit {
+		n = v.ThreadLimit
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	level := 1
+	if cur := Current(); cur != nil {
+		level = cur.Level + 1
+		if cur.InParallel() && !v.Nested {
+			n = 1 // serialised nested region
+		}
+	}
+
+	if n == 1 {
+		forkSerial(level, fn)
+		return
+	}
+
+	tm := acquireTeam(v)
+	tm.resize(n)
+	tm.reset()
+	tm.loc = loc
+	for _, th := range tm.threads[:n] {
+		th.Level = level
+	}
+
+	if tr := traceHook(); tr != nil {
+		tr(TraceEvent{Kind: TraceForkBegin, Loc: loc, NThreads: n})
+		defer tr(TraceEvent{Kind: TraceForkEnd, Loc: loc, NThreads: n})
+	}
+
+	tm.join.Add(n - 1)
+	for i := 1; i < n; i++ {
+		tm.workers[i-1].tasks <- fn
+	}
+
+	// The caller runs as the master. Its goroutine may already be
+	// registered (nested enabled); stack the registration for the region.
+	master := tm.threads[0]
+	gid, prev := registerCurrent(master)
+	fn(master)
+	unregister(gid, prev)
+
+	tm.join.Wait()
+	releaseTeam(tm)
+}
+
+// forkSerial runs fn as a team of one on the calling goroutine: the lowering
+// of a serialised (nested or single-thread) parallel region — libomp's
+// __kmpc_serialized_parallel.
+func forkSerial(level int, fn Microtask) {
+	tm := &Team{n: 1, serial: true, policy: GetICV().WaitPolicy}
+	th := &Thread{Gtid: nextGtid(), Tid: 0, Level: level, team: tm}
+	tm.threads = []*Thread{th}
+	tm.barrier = newCentralBarrier(1)
+	for i := range tm.disp {
+		tm.disp[i].init()
+	}
+	gid, prev := registerCurrent(th)
+	fn(th)
+	unregister(gid, prev)
+}
+
+// Barrier blocks until every thread of the team has reached it: the lowering
+// of the barrier directive and of the implicit barrier after worksharing
+// loops without nowait (__kmpc_barrier).
+func (t *Thread) Barrier() {
+	if t == nil || t.team == nil || t.team.n == 1 {
+		return
+	}
+	if tr := traceHook(); tr != nil {
+		tr(TraceEvent{Kind: TraceBarrier, Loc: t.team.loc, Tid: t.Tid})
+	}
+	t.team.barrier.Wait(t.Tid)
+}
+
+// Master reports whether this thread should execute a master region
+// (__kmpc_master): true only for team thread 0. No implied barrier.
+func (t *Thread) Master() bool { return t == nil || t.Tid == 0 }

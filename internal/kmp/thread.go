@@ -1,0 +1,139 @@
+package kmp
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheLine is the assumed cache-line size used to pad per-thread slots
+// against false sharing. 64 bytes covers x86-64 and most arm64 parts; the
+// EPYC 7742 of the paper's testbed also uses 64-byte lines.
+const CacheLine = 64
+
+type pad [CacheLine]byte
+
+// Thread is the per-team-member execution context: the analog of libomp's
+// kmp_info_t. The paper's outlined functions receive a global thread id from
+// __kmpc_fork_call; here the outlined function receives *Thread.
+type Thread struct {
+	// Gtid is the global thread id, unique across all live threads of the
+	// process, with the initial thread at 0 — libomp's gtid.
+	Gtid int
+	// Tid is the thread number within the current team (0 = master);
+	// omp_get_thread_num returns this.
+	Tid int
+	// Level is the nesting depth of the enclosing parallel region
+	// (omp_get_level): 1 for a region forked from the initial thread.
+	Level int
+
+	team *Team
+
+	// Worksharing bookkeeping: sequence numbers count the worksharing and
+	// single constructs this thread has entered in the current region, so
+	// that every team member agrees on which shared buffer backs which
+	// construct instance (libomp's th_dispatch buffer index).
+	dispatchSeq uint32
+	singleSeq   uint32
+	curLoop     *dispatchBuf
+
+	_ pad
+}
+
+// Team returns the team this thread belongs to.
+func (t *Thread) Team() *Team { return t.team }
+
+// NumThreads returns the size of the thread's team (omp_get_num_threads).
+func (t *Thread) NumThreads() int {
+	if t == nil || t.team == nil {
+		return 1
+	}
+	return t.team.n
+}
+
+// InParallel reports whether the thread is executing inside an active
+// parallel region of more than one thread.
+func (t *Thread) InParallel() bool { return t != nil && t.team != nil && t.team.n > 1 }
+
+var gtidCounter atomic.Int64 // next gtid to hand out; 0 reserved for initial thread
+
+func nextGtid() int { return int(gtidCounter.Add(1)) }
+
+// goroutine-id → *Thread registry. Worker goroutines register once at spawn,
+// so the per-call cost of the implicit API (Current) is one map read; the
+// goid parse happens on every call, which is why generated code prefers the
+// explicit *Thread. Sharded to keep heavily-threaded lookups off a single
+// lock.
+const goidShards = 64
+
+type goidShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*Thread
+	_  pad
+}
+
+var goidReg [goidShards]goidShard
+
+func init() {
+	for i := range goidReg {
+		goidReg[i].m = make(map[uint64]*Thread)
+	}
+}
+
+// goid extracts the current goroutine's id from the runtime stack header
+// ("goroutine 123 [running]:"). There is no supported API for this; the
+// parse is confined to registration and the implicit-lookup fallback.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine ".
+	b := buf[:n]
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		b = b[i+1:]
+	}
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		b = b[:i]
+	}
+	id, _ := strconv.ParseUint(string(b), 10, 64)
+	return id
+}
+
+// registerCurrent binds the calling goroutine to t and returns the goroutine
+// id plus the previous binding, so nested regions (the master goroutine is
+// already a worker of the outer team) can be stacked and unwound.
+func registerCurrent(t *Thread) (uint64, *Thread) {
+	id := goid()
+	s := &goidReg[id%goidShards]
+	s.mu.Lock()
+	prev := s.m[id]
+	s.m[id] = t
+	s.mu.Unlock()
+	return id, prev
+}
+
+// unregister restores the previous binding of goroutine id (nil removes it).
+func unregister(id uint64, prev *Thread) {
+	s := &goidReg[id%goidShards]
+	s.mu.Lock()
+	if prev == nil {
+		delete(s.m, id)
+	} else {
+		s.m[id] = prev
+	}
+	s.mu.Unlock()
+}
+
+// Current returns the *Thread of the calling goroutine, or nil when the
+// caller is not part of any team (it is then the "initial thread" in OpenMP
+// terms). This backs the implicit omp_get_thread_num-style API; generated
+// code passes *Thread explicitly instead and never pays this lookup.
+func Current() *Thread {
+	id := goid()
+	s := &goidReg[id%goidShards]
+	s.mu.RLock()
+	t := s.m[id]
+	s.mu.RUnlock()
+	return t
+}

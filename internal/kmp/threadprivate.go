@@ -1,0 +1,64 @@
+package kmp
+
+import "sync"
+
+// ThreadPrivate lowers the threadprivate directive: one instance of T per
+// global thread id, surviving across parallel regions executed by the same
+// thread, which is exactly the persistence the EP benchmark relies on for
+// its scratch arrays. Mirrors __kmpc_threadprivate_cached.
+//
+// Slots are allocated lazily and padded indirectly (each slot is a separate
+// heap object), so two threads never share a cache line through this
+// structure.
+type ThreadPrivate[T any] struct {
+	mu    sync.RWMutex
+	slots map[int]*T
+	// New builds a fresh instance for a thread's first access; nil means
+	// zero value.
+	New func() *T
+}
+
+// NewThreadPrivate returns a threadprivate variable whose per-thread
+// instances are created by newFn (nil for zero values).
+func NewThreadPrivate[T any](newFn func() *T) *ThreadPrivate[T] {
+	return &ThreadPrivate[T]{slots: make(map[int]*T), New: newFn}
+}
+
+// Get returns the calling thread's instance, creating it on first use.
+// The thread identity is the gtid of t; pass nil to use the initial thread's
+// slot (gtid 0).
+func (p *ThreadPrivate[T]) Get(t *Thread) *T {
+	g := 0
+	if t != nil {
+		g = t.Gtid
+	}
+	p.mu.RLock()
+	v, ok := p.slots[g]
+	p.mu.RUnlock()
+	if ok {
+		return v
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok = p.slots[g]; ok {
+		return v
+	}
+	if p.New != nil {
+		v = p.New()
+	} else {
+		v = new(T)
+	}
+	if p.slots == nil {
+		p.slots = make(map[int]*T)
+	}
+	p.slots[g] = v
+	return v
+}
+
+// Reset discards every per-thread instance (test helper; real OpenMP
+// threadprivate storage lives until the thread dies).
+func (p *ThreadPrivate[T]) Reset() {
+	p.mu.Lock()
+	p.slots = make(map[int]*T)
+	p.mu.Unlock()
+}

@@ -1,0 +1,51 @@
+package kmp
+
+import "sync/atomic"
+
+// TraceKind labels runtime events for the instrumentation hook.
+type TraceKind int
+
+const (
+	// TraceForkBegin fires when a parallel region forks.
+	TraceForkBegin TraceKind = iota
+	// TraceForkEnd fires when a parallel region joins.
+	TraceForkEnd
+	// TraceBarrier fires when a thread reaches an explicit barrier.
+	TraceBarrier
+	// TraceLoopInit fires when a thread initialises a dynamic loop.
+	TraceLoopInit
+	// TraceLoopFini fires when a thread finishes a dynamic loop.
+	TraceLoopFini
+)
+
+// TraceEvent is one instrumentation record. The paper names compiler-driven
+// instrumentation ("similar to gprof", via the Tracy library) as its next
+// step; this hook is the runtime half of that future-work item and is used
+// by the gomp trace profiler.
+type TraceEvent struct {
+	Kind     TraceKind
+	Loc      Ident
+	Tid      int
+	NThreads int
+}
+
+var tracer atomic.Pointer[func(TraceEvent)]
+
+// SetTracer installs fn as the global event hook; nil disables tracing.
+// The hook must be safe for concurrent calls. Costs one atomic load per
+// runtime event when disabled.
+func SetTracer(fn func(TraceEvent)) {
+	if fn == nil {
+		tracer.Store(nil)
+		return
+	}
+	tracer.Store(&fn)
+}
+
+func traceHook() func(TraceEvent) {
+	p := tracer.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}

@@ -1,0 +1,45 @@
+package cg
+
+import (
+	"testing"
+
+	"gomp/internal/npb"
+)
+
+// Class parameters straight from the NPB 3 problem statement.
+func TestClassParameters(t *testing.T) {
+	cases := map[npb.Class]struct {
+		na, nonzer, niter int
+		shift             float64
+	}{
+		npb.ClassS: {1400, 7, 15, 10},
+		npb.ClassW: {7000, 8, 15, 12},
+		npb.ClassA: {14000, 11, 15, 20},
+		npb.ClassB: {75000, 13, 75, 60},
+		npb.ClassC: {150000, 15, 75, 110},
+	}
+	for class, want := range cases {
+		p, ok := classes[class]
+		if !ok {
+			t.Fatalf("class %v missing", class)
+		}
+		if p.na != want.na || p.nonzer != want.nonzer || p.niter != want.niter || p.shift != want.shift {
+			t.Errorf("class %v params = %+v, want %+v", class, p, want)
+		}
+	}
+}
+
+// Class W full verification — a second, independent point on the published
+// ζ table (S is covered by the main tests).
+func TestClassWVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W run")
+	}
+	st, err := RunParallel(npb.ClassW, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(st) {
+		t.Fatalf("class W zeta = %.13f, want %.13f", st.Zeta, classes[npb.ClassW].zeta)
+	}
+}

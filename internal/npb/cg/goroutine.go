@@ -1,0 +1,94 @@
+package cg
+
+import (
+	"math"
+
+	"gomp/internal/npb"
+	"gomp/internal/workpool"
+)
+
+// ConjGradGoroutines is conj_grad over a persistent goroutine pool — the
+// idiomatic-Go baseline that stands in for the paper's Fortran reference
+// implementation. Phases are fork-join (each Run is a barrier), partial
+// sums are merged in worker order for determinism.
+func ConjGradGoroutines(m *Matrix, x, z, p, q, r []float64, pool *workpool.Pool, parts []padF64) float64 {
+	n := m.N
+	w := pool.Size()
+	sumParts := func() float64 {
+		s := 0.0
+		for i := 0; i < w; i++ {
+			s += parts[i].v
+		}
+		return s
+	}
+
+	pool.ForBlock(n, func(wk, lo, hi int) {
+		local := 0.0
+		for j := lo; j < hi; j++ {
+			q[j] = 0
+			z[j] = 0
+			r[j] = x[j]
+			p[j] = r[j]
+			local += r[j] * r[j]
+		}
+		parts[wk].v = local
+	})
+	rho := sumParts()
+
+	for cgit := 0; cgit < cgitmax; cgit++ {
+		pool.ForBlock(n, func(wk, lo, hi int) {
+			spmvRows(m, p, q, lo, hi)
+			local := 0.0
+			for j := lo; j < hi; j++ {
+				local += p[j] * q[j]
+			}
+			parts[wk].v = local
+		})
+		d := sumParts()
+		alpha := rho / d
+
+		pool.ForBlock(n, func(wk, lo, hi int) {
+			local := 0.0
+			for j := lo; j < hi; j++ {
+				z[j] += alpha * p[j]
+				r[j] -= alpha * q[j]
+				local += r[j] * r[j]
+			}
+			parts[wk].v = local
+		})
+		rho0 := rho
+		rho = sumParts()
+		beta := rho / rho0
+
+		pool.ForBlock(n, func(wk, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				p[j] = r[j] + beta*p[j]
+			}
+		})
+	}
+
+	pool.ForBlock(n, func(wk, lo, hi int) {
+		spmvRows(m, z, r, lo, hi)
+		local := 0.0
+		for j := lo; j < hi; j++ {
+			d := x[j] - r[j]
+			local += d * d
+		}
+		parts[wk].v = local
+	})
+	return math.Sqrt(sumParts())
+}
+
+// RunGoroutines executes the benchmark with the goroutine-pool conj_grad.
+func RunGoroutines(class npb.Class, threads int) (*Stats, error) {
+	m, err := MakeA(class)
+	if err != nil {
+		return nil, err
+	}
+	pool := workpool.New(threads)
+	defer pool.Close()
+	parts := make([]padF64, pool.Size())
+	return runWith(class, m, pool.Size(), func(x, z, p, q, r []float64) float64 {
+		return ConjGradGoroutines(m, x, z, p, q, r, pool, parts)
+	})
+}

@@ -1,0 +1,128 @@
+package cg
+
+import (
+	"math"
+
+	"gomp/internal/npb"
+	"gomp/internal/omp"
+)
+
+// The omp flavour mirrors the paper's port: only conj_grad is parallelised
+// (it "accounts for around 95% of the runtime"); the power-iteration driver
+// stays sequential, exactly as the paper leaves it in Fortran. The region
+// uses worksharing loops with nowait chaining where the static partition
+// makes it safe, and reductions on both the region's loops — the clause
+// inventory Section V-A lists.
+
+// padF64 keeps per-thread partial sums on separate cache lines.
+type padF64 struct {
+	v float64
+	_ [56]byte
+}
+
+// reduceSum is the deterministic loop-level reduction used by conj_grad:
+// every thread deposits its partial, and after a barrier every thread folds
+// the slots in tid order — the same value on every thread, every run,
+// independent of timing. A second barrier protects slot reuse. (The
+// tree-combine in libomp's __kmpc_reduce is timing-dependent; determinism
+// here makes the ζ verification immune to combine-order noise.)
+func reduceSum(t *omp.Thread, parts []padF64, local float64) float64 {
+	parts[t.Tid].v = local
+	omp.Barrier(t)
+	s := 0.0
+	for i := 0; i < t.NumThreads(); i++ {
+		s += parts[i].v
+	}
+	omp.Barrier(t)
+	return s
+}
+
+// ConjGradOMP is conj_grad on the OpenMP runtime. The caller provides the
+// per-run scratch vectors and the padded partial-sum slots (len >= threads).
+func ConjGradOMP(m *Matrix, x, z, p, q, r []float64, parts []padF64, threads int) float64 {
+	n := int64(m.N)
+	var rnorm float64
+
+	omp.Parallel(func(t *omp.Thread) {
+		// Initialisation: each thread owns the same static block in
+		// every loop of the region, so nowait chaining between loops
+		// over own-rows data is safe.
+		local := 0.0
+		omp.ForRange(t, n, func(lo, hi int64) {
+			for j := lo; j < hi; j++ {
+				q[j] = 0
+				z[j] = 0
+				r[j] = x[j]
+				p[j] = r[j]
+				local += r[j] * r[j]
+			}
+		}, omp.NoWait())
+		rho := reduceSum(t, parts, local)
+
+		for cgit := 0; cgit < cgitmax; cgit++ {
+			// q = A·p fused with d = p·q over own rows; the
+			// preceding reduceSum barrier guarantees p is complete.
+			local = 0
+			omp.ForRange(t, n, func(lo, hi int64) {
+				spmvRows(m, p, q, int(lo), int(hi))
+				for j := lo; j < hi; j++ {
+					local += p[j] * q[j]
+				}
+			}, omp.NoWait())
+			d := reduceSum(t, parts, local)
+			alpha := rho / d
+
+			// z, r updates fused with the next rho — own rows only.
+			local = 0
+			omp.ForRange(t, n, func(lo, hi int64) {
+				for j := lo; j < hi; j++ {
+					z[j] += alpha * p[j]
+					r[j] -= alpha * q[j]
+					local += r[j] * r[j]
+				}
+			}, omp.NoWait())
+			rho0 := rho
+			rho = reduceSum(t, parts, local)
+			beta := rho / rho0
+
+			// p update; the implicit barrier publishes p for the
+			// gather in the next iteration's SpMV.
+			omp.ForRange(t, n, func(lo, hi int64) {
+				for j := lo; j < hi; j++ {
+					p[j] = r[j] + beta*p[j]
+				}
+			})
+		}
+
+		// Final residual ‖x − A·z‖; z is complete (barriers above).
+		local = 0
+		omp.ForRange(t, n, func(lo, hi int64) {
+			spmvRows(m, z, r, int(lo), int(hi))
+			for j := lo; j < hi; j++ {
+				dd := x[j] - r[j]
+				local += dd * dd
+			}
+		}, omp.NoWait())
+		sum := reduceSum(t, parts, local)
+		if t.Master() {
+			rnorm = math.Sqrt(sum)
+		}
+	}, omp.NumThreads(threads))
+
+	return rnorm
+}
+
+// RunParallel executes the benchmark with conj_grad on the OpenMP runtime.
+func RunParallel(class npb.Class, threads int) (*Stats, error) {
+	m, err := MakeA(class)
+	if err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	parts := make([]padF64, threads)
+	return runWith(class, m, threads, func(x, z, p, q, r []float64) float64 {
+		return ConjGradOMP(m, x, z, p, q, r, parts, threads)
+	})
+}

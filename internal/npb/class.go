@@ -1,0 +1,120 @@
+package npb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Class is an NPB problem class. The paper evaluates class C; smaller
+// classes exist for development and CI-scale machines.
+type Class byte
+
+// The standard NPB classes, sample size upward.
+const (
+	ClassS Class = 'S'
+	ClassW Class = 'W'
+	ClassA Class = 'A'
+	ClassB Class = 'B'
+	ClassC Class = 'C'
+)
+
+// ParseClass converts a class letter ("s", "C", …).
+func ParseClass(s string) (Class, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	if len(s) != 1 {
+		return 0, fmt.Errorf("npb: bad class %q", s)
+	}
+	c := Class(s[0])
+	switch c {
+	case ClassS, ClassW, ClassA, ClassB, ClassC:
+		return c, nil
+	}
+	return 0, fmt.Errorf("npb: unknown class %q (want S, W, A, B or C)", s)
+}
+
+func (c Class) String() string { return string(rune(c)) }
+
+// Timer accumulates wall-clock time across Start/Stop pairs, the shape of
+// the timers built into the NPB reference implementations (the paper
+// measures with those internal timers).
+type Timer struct {
+	total   time.Duration
+	started time.Time
+	running bool
+}
+
+// Start begins an interval.
+func (t *Timer) Start() {
+	t.started = time.Now()
+	t.running = true
+}
+
+// Stop ends the current interval, accumulating into the total.
+func (t *Timer) Stop() {
+	if t.running {
+		t.total += time.Since(t.started)
+		t.running = false
+	}
+}
+
+// Seconds returns the accumulated time in seconds.
+func (t *Timer) Seconds() float64 { return t.total.Seconds() }
+
+// Reset clears the accumulated time.
+func (t *Timer) Reset() { *t = Timer{} }
+
+// RelErrOK reports |got-want| <= eps·|want| — the relative-error acceptance
+// test every NPB kernel verification uses (with want == 0 it degrades to an
+// absolute test).
+func RelErrOK(got, want, eps float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	w := want
+	if w < 0 {
+		w = -w
+	}
+	if w == 0 {
+		return d <= eps
+	}
+	return d/w <= eps
+}
+
+// Result is a completed benchmark run, in the shape of NPB's
+// print_results.
+type Result struct {
+	Name      string
+	Class     Class
+	Size      string // problem-size description
+	Iters     int
+	Seconds   float64
+	MopsTotal float64
+	Threads   int
+	Impl      string // serial | omp | goroutines
+	Verified  bool
+	// Zeta and Sums carry kernel-specific check values for reporting.
+	Detail string
+}
+
+// String renders the NPB-style result block.
+func (r Result) String() string {
+	ver := "UNSUCCESSFUL"
+	if r.Verified {
+		ver = "SUCCESSFUL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, " %s Benchmark Completed.\n", r.Name)
+	fmt.Fprintf(&b, " Class           = %s\n", r.Class)
+	fmt.Fprintf(&b, " Size            = %s\n", r.Size)
+	fmt.Fprintf(&b, " Iterations      = %d\n", r.Iters)
+	fmt.Fprintf(&b, " Time in seconds = %.4f\n", r.Seconds)
+	fmt.Fprintf(&b, " Threads         = %d (%s)\n", r.Threads, r.Impl)
+	fmt.Fprintf(&b, " Mop/s total     = %.2f\n", r.MopsTotal)
+	fmt.Fprintf(&b, " Verification    = %s\n", ver)
+	if r.Detail != "" {
+		fmt.Fprintf(&b, " %s\n", r.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,20 @@
+// Package npb provides the shared substrate of the NAS Parallel Benchmarks
+// used in the paper's evaluation (Section V): the NPB pseudo-random number
+// generator, problem classes, timers and result reporting.
+//
+// The three kernels the paper ports — CG, EP and IS — live in the
+// subpackages npb/cg, npb/ep and npb/is, each in three flavours:
+//
+//   - a serial reference (RunSerial), standing in for the sequential truth;
+//   - an OpenMP-runtime implementation (RunParallel), lowered the way the
+//     preprocessor lowers pragma-annotated code — this plays the paper's
+//     "Zig + OpenMP" side;
+//   - an idiomatic goroutine implementation (RunGoroutines), playing the
+//     "reference language" (Fortran/C + OpenMP) baseline the paper compares
+//     against.
+//
+// All three are built from the NPB 3 problem statements; verification
+// follows the official success criteria (CG: ζ against the published
+// per-class constants at 1e-10; EP: sums against published constants at
+// 1e-8; IS: full sortedness plus key-count conservation).
+package npb

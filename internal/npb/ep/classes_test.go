@@ -1,0 +1,64 @@
+package ep
+
+import (
+	"testing"
+
+	"gomp/internal/npb"
+)
+
+// Class geometry from the NPB 3 problem statement: M (log2 pairs).
+func TestClassParameters(t *testing.T) {
+	cases := map[npb.Class]int{
+		npb.ClassS: 24,
+		npb.ClassW: 25,
+		npb.ClassA: 28,
+		npb.ClassB: 30,
+		npb.ClassC: 32,
+	}
+	for class, wantM := range cases {
+		m, err := params(class)
+		if err != nil {
+			t.Fatalf("class %v: %v", class, err)
+		}
+		if m != wantM {
+			t.Errorf("class %v M = %d, want %d", class, m, wantM)
+		}
+	}
+}
+
+// Class W against the published constants — the second point on the EP
+// verification table.
+func TestClassWVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W run (~2x class S)")
+	}
+	st, err := RunParallel(npb.ClassW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(st) {
+		t.Fatalf("class W failed verification: sx=%.15e sy=%.15e", st.Sx, st.Sy)
+	}
+}
+
+// Batch independence: computing batches out of order gives the same sums,
+// the property the parallel loop relies on.
+func TestBatchOrderIndependence(t *testing.T) {
+	buf := new(scratch)
+	forward := batchResult{}
+	for k := int64(0); k < 8; k++ {
+		r := runBatch(k, buf)
+		forward.sx += r.sx
+		forward.sy += r.sy
+	}
+	backward := batchResult{}
+	for k := int64(7); k >= 0; k-- {
+		r := runBatch(k, buf)
+		backward.sx += r.sx
+		backward.sy += r.sy
+	}
+	// Summation order differs, so allow rounding-level divergence only.
+	if !npb.RelErrOK(forward.sx, backward.sx, 1e-12) || !npb.RelErrOK(forward.sy, backward.sy, 1e-12) {
+		t.Fatalf("batch order changed sums: %.17g vs %.17g", forward.sx, backward.sx)
+	}
+}

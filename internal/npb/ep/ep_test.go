@@ -1,0 +1,113 @@
+package ep
+
+import (
+	"runtime"
+	"testing"
+
+	"gomp/internal/npb"
+)
+
+// Class S against the published NPB reference sums — the strongest
+// correctness signal available: it requires the LCG, the seed jumping, the
+// polar method and the tallies all to be bit-compatible with the original.
+func TestSerialClassSVerifies(t *testing.T) {
+	st, err := RunSerial(npb.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(st) {
+		t.Fatalf("class S failed verification: sx=%.15e sy=%.15e", st.Sx, st.Sy)
+	}
+	if st.Gc == 0 || st.Gc > st.Pairs {
+		t.Fatalf("gaussian count %d out of range (pairs %d)", st.Gc, st.Pairs)
+	}
+	// Polar-method acceptance rate is π/4 ≈ 0.785.
+	rate := float64(st.Gc) / float64(st.Pairs)
+	if rate < 0.78 || rate > 0.79 {
+		t.Fatalf("acceptance rate %f implausible", rate)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, err := RunSerial(npb.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4} {
+		par, err := RunParallel(npb.ClassS, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(par) {
+			t.Fatalf("threads=%d: parallel run failed verification", threads)
+		}
+		if par.Q != serial.Q {
+			t.Fatalf("threads=%d: annulus counts diverge\nserial   %v\nparallel %v", threads, serial.Q, par.Q)
+		}
+		if par.Gc != serial.Gc {
+			t.Fatalf("threads=%d: gc %d != serial %d", threads, par.Gc, serial.Gc)
+		}
+		// Sums may differ only by combine order: 1e-12 relative.
+		if !npb.RelErrOK(par.Sx, serial.Sx, 1e-12) || !npb.RelErrOK(par.Sy, serial.Sy, 1e-12) {
+			t.Fatalf("threads=%d: sums diverge beyond reordering: %.17g vs %.17g", threads, par.Sx, serial.Sx)
+		}
+	}
+}
+
+func TestGoroutinesMatchSerial(t *testing.T) {
+	serial, err := RunSerial(npb.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := runtime.NumCPU()
+	if threads > 8 {
+		threads = 8
+	}
+	gr, err := RunGoroutines(npb.ClassS, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(gr) {
+		t.Fatal("goroutine run failed verification")
+	}
+	if gr.Q != serial.Q || gr.Gc != serial.Gc {
+		t.Fatal("goroutine counts diverge from serial")
+	}
+}
+
+func TestUnsupportedClass(t *testing.T) {
+	if _, err := RunSerial(npb.Class('Z')); err == nil {
+		t.Fatal("class Z accepted")
+	}
+}
+
+func TestVerifyRejectsCorruptedStats(t *testing.T) {
+	st, err := RunSerial(npb.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *st
+	bad.Sx *= 1.001
+	if Verify(&bad) {
+		t.Fatal("perturbed sx accepted")
+	}
+	bad = *st
+	bad.Gc++
+	if Verify(&bad) {
+		t.Fatal("broken counter invariant accepted")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	st, err := RunSerial(npb.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := st.Result("serial")
+	if !r.Verified || r.Name != "EP" {
+		t.Fatalf("result = %+v", r)
+	}
+	if st.Mops() <= 0 {
+		t.Fatal("Mops <= 0")
+	}
+}

@@ -1,0 +1,75 @@
+package ep
+
+import (
+	"sync"
+
+	"gomp/internal/npb"
+)
+
+// RunGoroutines executes EP with idiomatic Go concurrency — plain
+// goroutines, a WaitGroup join and channel-free partial merging. This
+// flavour plays the role of the paper's Fortran reference implementation:
+// the native-style baseline the pragma-lowered version is compared against.
+func RunGoroutines(class npb.Class, threads int) (*Stats, error) {
+	m, err := params(class)
+	if err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	nn := int64(1) << (m - mk)
+	st := &Stats{Class: class, Pairs: 1 << m, Threads: threads}
+
+	parts := make([]batchResult, threads)
+	var tm npb.Timer
+	tm.Start()
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := new(scratch)
+			var acc batchResult
+			// Balanced block partition, mirroring schedule(static).
+			qsize := nn / int64(threads)
+			rem := nn % int64(threads)
+			lo := int64(g)*qsize + min64(int64(g), rem)
+			hi := lo + qsize
+			if int64(g) < rem {
+				hi++
+			}
+			for k := lo; k < hi; k++ {
+				r := runBatch(k, buf)
+				acc.sx += r.sx
+				acc.sy += r.sy
+				for l := 0; l < nq; l++ {
+					acc.q[l] += r.q[l]
+				}
+			}
+			parts[g] = acc
+		}(g)
+	}
+	wg.Wait()
+	tm.Stop()
+
+	st.Seconds = tm.Seconds()
+	for _, p := range parts {
+		st.Sx += p.sx
+		st.Sy += p.sy
+		for l := 0; l < nq; l++ {
+			st.Q[l] += p.q[l]
+		}
+	}
+	for l := 0; l < nq; l++ {
+		st.Gc += st.Q[l]
+	}
+	return st, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package ep
+
+import (
+	"gomp/internal/npb"
+	"gomp/internal/omp"
+)
+
+// tpScratch is the threadprivate uniform-deviate buffer: one 2·2^16-element
+// array per thread, persisting across parallel regions — the paper notes
+// the EP port uses the threadprivate directive for exactly this.
+var tpScratch = omp.NewThreadPrivate[scratch](nil)
+
+// RunParallel executes EP on the OpenMP runtime: the lowering of
+//
+//	//omp parallel for reduction(+:sx,sy) schedule(static)
+//	for k := 0; k < nn; k++ { … }
+//
+// with the annulus counters combined through atomic cells (the atomic
+// directive of the paper's port) and the scratch array threadprivate.
+func RunParallel(class npb.Class, threads int) (*Stats, error) {
+	m, err := params(class)
+	if err != nil {
+		return nil, err
+	}
+	nn := int64(1) << (m - mk)
+	st := &Stats{Class: class, Pairs: 1 << m, Threads: threads}
+
+	sx := omp.NewFloat64Reduction(omp.ReduceSum, 0)
+	sy := omp.NewFloat64Reduction(omp.ReduceSum, 0)
+	var q [nq]omp.AtomicInt64
+
+	var tm npb.Timer
+	tm.Start()
+	omp.Parallel(func(t *omp.Thread) {
+		buf := tpScratch.Get(t)
+		localSx := sx.Identity()
+		localSy := sy.Identity()
+		var localQ [nq]int64
+		omp.ForRange(t, nn, func(lo, hi int64) {
+			for k := lo; k < hi; k++ {
+				r := runBatch(k, buf)
+				localSx += r.sx
+				localSy += r.sy
+				for l := 0; l < nq; l++ {
+					localQ[l] += r.q[l]
+				}
+			}
+		}, omp.Schedule(omp.Static, 0), omp.NoWait())
+		sx.Combine(localSx)
+		sy.Combine(localSy)
+		for l := 0; l < nq; l++ {
+			if localQ[l] != 0 {
+				// //omp atomic — lock-free RMW per counter.
+				q[l].Add(localQ[l])
+			}
+		}
+	}, omp.NumThreads(threads))
+	tm.Stop()
+
+	st.Seconds = tm.Seconds()
+	st.Sx = sx.Value()
+	st.Sy = sy.Value()
+	for l := 0; l < nq; l++ {
+		st.Q[l] = q[l].Load()
+		st.Gc += st.Q[l]
+	}
+	return st, nil
+}

@@ -1,0 +1,109 @@
+package is
+
+import (
+	"gomp/internal/npb"
+	"gomp/internal/workpool"
+)
+
+// RunGoroutines executes IS over a persistent goroutine pool — the
+// idiomatic baseline standing in for the paper's C reference
+// implementation. Same bucket algorithm as the omp flavour, phases
+// separated by the pool's fork-join joins.
+func RunGoroutines(class npb.Class, threads int) (*Stats, error) {
+	pr, err := newProblem(class)
+	if err != nil {
+		return nil, err
+	}
+	pool := workpool.New(threads)
+	defer pool.Close()
+	w := pool.Size()
+
+	pool.ForBlock(pr.nKeys, func(_, lo, hi int) {
+		pr.genKeys(lo, hi)
+	})
+
+	ws := newOmpWorkspace(w, 1<<numBucketsLog2)
+	rank := func() { pr.rankPool(pool, ws) }
+
+	var tm npb.Timer
+	pr.prepareIteration(1)
+	rank()
+	tm.Start()
+	for it := 1; it <= maxIterations; it++ {
+		pr.prepareIteration(it)
+		rank()
+	}
+	tm.Stop()
+	return pr.stats(class, w, tm.Seconds()), nil
+}
+
+// rankPool is rankOMP restructured into explicit fork-join phases.
+func (pr *problem) rankPool(pool *workpool.Pool, ws *ompWorkspace) {
+	shift := uint(pr.params.maxKeyLog2 - numBucketsLog2)
+	buckets := 1 << numBucketsLog2
+	w := pool.Size()
+
+	// Phase 1: per-worker histograms.
+	pool.ForBlock(pr.nKeys, func(wk, lo, hi int) {
+		bs := ws.bucketSize[wk]
+		for b := range bs {
+			bs[b] = 0
+		}
+		for i := lo; i < hi; i++ {
+			bs[pr.keys[i]>>shift]++
+		}
+	})
+
+	// Phase 2: scatter cursors (and bucket bounds, from worker 0).
+	pool.Run(func(wk int) {
+		ptr := ws.bucketPtr[wk]
+		run := int32(0)
+		for b := 0; b < buckets; b++ {
+			mine := run
+			for tt := 0; tt < wk; tt++ {
+				mine += ws.bucketSize[tt][b]
+			}
+			ptr[b] = mine
+			if wk == 0 {
+				ws.bucketStart[b] = run
+			}
+			for tt := 0; tt < w; tt++ {
+				run += ws.bucketSize[tt][b]
+			}
+		}
+		if wk == 0 {
+			ws.bucketStart[buckets] = run
+		}
+	})
+
+	// Phase 3: scatter (same block partition as phase 1).
+	pool.ForBlock(pr.nKeys, func(wk, lo, hi int) {
+		ptr := ws.bucketPtr[wk]
+		for i := lo; i < hi; i++ {
+			k := pr.keys[i]
+			b := k >> shift
+			pr.buff2[ptr[b]] = k
+			ptr[b]++
+		}
+	})
+
+	// Phase 4: per-bucket counting sort, buckets dealt cyclically
+	// (the goroutine equivalent of schedule(static,1)).
+	pool.Run(func(wk int) {
+		for b := wk; b < buckets; b += w {
+			vlo := int32(b) << shift
+			vhi := vlo + 1<<shift
+			for v := vlo; v < vhi; v++ {
+				pr.ranks[v] = 0
+			}
+			for i := ws.bucketStart[b]; i < ws.bucketStart[b+1]; i++ {
+				pr.ranks[pr.buff2[i]]++
+			}
+			cum := ws.bucketStart[b]
+			for v := vlo; v < vhi; v++ {
+				cum += pr.ranks[v]
+				pr.ranks[v] = cum
+			}
+		}
+	})
+}

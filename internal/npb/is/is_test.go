@@ -1,0 +1,157 @@
+package is
+
+import (
+	"sync"
+	"testing"
+
+	"gomp/internal/npb"
+)
+
+var (
+	serialOnce sync.Once
+	serialS    *Stats
+	serialErr  error
+)
+
+func serialClassS(t *testing.T) *Stats {
+	t.Helper()
+	serialOnce.Do(func() { serialS, serialErr = RunSerial(npb.ClassS) })
+	if serialErr != nil {
+		t.Fatal(serialErr)
+	}
+	return serialS
+}
+
+func TestSerialClassSVerifies(t *testing.T) {
+	st := serialClassS(t)
+	if !Verify(st) {
+		t.Fatal("class S full verification failed")
+	}
+	if st.Keys != 1<<16 || st.MaxKey != 1<<11 {
+		t.Fatalf("class S geometry: keys=%d maxKey=%d", st.Keys, st.MaxKey)
+	}
+}
+
+// Key generation must be identical however the range is partitioned — the
+// seed-jump property parallel generation relies on.
+func TestKeyGenerationPartitionInvariant(t *testing.T) {
+	whole, _ := newProblem(npb.ClassS)
+	whole.genKeys(0, whole.nKeys)
+	pieces, _ := newProblem(npb.ClassS)
+	for lo := 0; lo < pieces.nKeys; lo += 7919 {
+		hi := lo + 7919
+		if hi > pieces.nKeys {
+			hi = pieces.nKeys
+		}
+		pieces.genKeys(lo, hi)
+	}
+	for i := range whole.keys {
+		if whole.keys[i] != pieces.keys[i] {
+			t.Fatalf("key %d differs: %d vs %d", i, whole.keys[i], pieces.keys[i])
+		}
+	}
+}
+
+func TestKeysWithinRange(t *testing.T) {
+	pr, _ := newProblem(npb.ClassS)
+	pr.genKeys(0, pr.nKeys)
+	for i, k := range pr.keys {
+		if k < 0 || k >= pr.maxKey {
+			t.Fatalf("key[%d] = %d outside [0, %d)", i, k, pr.maxKey)
+		}
+	}
+}
+
+// The cumulative rank array must agree exactly (integer arithmetic) across
+// all three flavours.
+func TestParallelMatchesSerial(t *testing.T) {
+	st := serialClassS(t)
+	for _, threads := range []int{1, 2, 4, 7} {
+		par, err := RunParallel(npb.ClassS, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(par) {
+			t.Fatalf("threads=%d: full verification failed", threads)
+		}
+		if par.RankHash != st.RankHash {
+			t.Fatalf("threads=%d: rank hash %016x != serial %016x", threads, par.RankHash, st.RankHash)
+		}
+	}
+}
+
+func TestGoroutinesMatchSerial(t *testing.T) {
+	st := serialClassS(t)
+	gr, err := RunGoroutines(npb.ClassS, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(gr) {
+		t.Fatal("goroutine flavour failed verification")
+	}
+	if gr.RankHash != st.RankHash {
+		t.Fatalf("goroutine rank hash %016x != serial %016x", gr.RankHash, st.RankHash)
+	}
+}
+
+// The rank array semantics: ranks[v] counts keys ≤ v, so the last entry is
+// the key count and the array is monotone.
+func TestRankArraySemantics(t *testing.T) {
+	pr, _ := newProblem(npb.ClassS)
+	pr.genKeys(0, pr.nKeys)
+	pr.rankSerial()
+	if got := pr.ranks[pr.maxKey-1]; int(got) != pr.nKeys {
+		t.Fatalf("ranks[last] = %d, want %d", got, pr.nKeys)
+	}
+	for v := 1; v < int(pr.maxKey); v++ {
+		if pr.ranks[v] < pr.ranks[v-1] {
+			t.Fatalf("ranks not monotone at %d", v)
+		}
+	}
+}
+
+// NPB's per-iteration twiddle must change the ranks between iterations
+// (that is its purpose: defeating loop-invariant hoisting).
+func TestIterationTwiddleChangesRanks(t *testing.T) {
+	pr, _ := newProblem(npb.ClassS)
+	pr.genKeys(0, pr.nKeys)
+	pr.prepareIteration(1)
+	pr.rankSerial()
+	h1 := pr.rankHash()
+	pr.prepareIteration(2)
+	pr.rankSerial()
+	h2 := pr.rankHash()
+	if h1 == h2 {
+		t.Fatal("ranks identical across iterations; twiddle ineffective")
+	}
+}
+
+func TestFullVerifyCatchesCorruption(t *testing.T) {
+	pr, _ := newProblem(npb.ClassS)
+	pr.genKeys(0, pr.nKeys)
+	pr.rankSerial()
+	if !pr.fullVerify() {
+		t.Fatal("clean ranks rejected")
+	}
+	pr.ranks[pr.maxKey/2] += 1 // corrupt one cumulative count
+	if pr.fullVerify() {
+		t.Fatal("corrupted ranks accepted")
+	}
+}
+
+func TestUnsupportedClass(t *testing.T) {
+	if _, err := RunSerial(npb.Class('D')); err == nil {
+		t.Fatal("class D accepted")
+	}
+}
+
+func TestResultAndMops(t *testing.T) {
+	st := serialClassS(t)
+	r := st.Result("serial")
+	if !r.Verified || r.Name != "IS" || r.Iters != maxIterations {
+		t.Fatalf("result = %+v", r)
+	}
+	if st.Mops() <= 0 {
+		t.Fatal("Mops <= 0")
+	}
+}

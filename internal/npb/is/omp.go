@@ -1,0 +1,138 @@
+package is
+
+import (
+	"gomp/internal/npb"
+	"gomp/internal/omp"
+)
+
+// The omp flavour parallelises rank() the way the NPB OpenMP version does:
+// per-thread bucket histograms over a static key partition, scatter with
+// per-thread cursors derived from the histogram prefix, then per-bucket
+// counting with the schedule(static,1) loop the paper calls out — buckets
+// have skewed populations, so a cyclic distribution balances them.
+
+type ompWorkspace struct {
+	threads     int
+	bucketSize  [][]int32 // [thread][bucket] histogram
+	bucketPtr   [][]int32 // [thread][bucket] scatter cursor
+	bucketStart []int32   // [bucket+1] bucket offsets in buff2
+}
+
+func newOmpWorkspace(threads, buckets int) *ompWorkspace {
+	ws := &ompWorkspace{threads: threads, bucketStart: make([]int32, buckets+1)}
+	ws.bucketSize = make([][]int32, threads)
+	ws.bucketPtr = make([][]int32, threads)
+	for t := 0; t < threads; t++ {
+		ws.bucketSize[t] = make([]int32, buckets)
+		ws.bucketPtr[t] = make([]int32, buckets)
+	}
+	return ws
+}
+
+// rankOMP computes the cumulative rank array on the OpenMP runtime. The
+// result is bit-identical to rankSerial: integer arithmetic with
+// deterministic partitions.
+func (pr *problem) rankOMP(ws *ompWorkspace, threads int) {
+	shift := uint(pr.params.maxKeyLog2 - numBucketsLog2)
+	buckets := 1 << numBucketsLog2
+	nKeys := int64(pr.nKeys)
+
+	omp.Parallel(func(t *omp.Thread) {
+		tid := t.Tid
+		nth := t.NumThreads()
+		bs := ws.bucketSize[tid]
+		for b := range bs {
+			bs[b] = 0
+		}
+		// Phase 1: per-thread bucket histogram over a static block.
+		omp.ForRange(t, nKeys, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				bs[pr.keys[i]>>shift]++
+			}
+		}, omp.Schedule(omp.Static, 0))
+
+		// Phase 2: every thread derives its scatter cursors from the
+		// full histogram set (redundant but tiny: buckets × threads),
+		// so no serial bottleneck. The master also records the bucket
+		// boundaries the counting phase needs.
+		ptr := ws.bucketPtr[tid]
+		run := int32(0)
+		for b := 0; b < buckets; b++ {
+			mine := run
+			for tt := 0; tt < tid; tt++ {
+				mine += ws.bucketSize[tt][b]
+			}
+			ptr[b] = mine
+			if tid == 0 {
+				ws.bucketStart[b] = run
+			}
+			for tt := 0; tt < nth; tt++ {
+				run += ws.bucketSize[tt][b]
+			}
+		}
+		if tid == 0 {
+			ws.bucketStart[buckets] = run
+		}
+
+		// Phase 3: scatter into buckets over the same static block as
+		// phase 1 (the cursors assume the identical partition). The
+		// loop's implicit barrier also publishes bucketStart.
+		omp.ForRange(t, nKeys, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				k := pr.keys[i]
+				b := k >> shift
+				pr.buff2[ptr[b]] = k
+				ptr[b]++
+			}
+		}, omp.Schedule(omp.Static, 0))
+
+		// Phase 4: counting sort per bucket — schedule(static,1), the
+		// clause the paper highlights for IS. Each bucket owns a
+		// disjoint slice of the rank array, so writes never conflict.
+		omp.ForRange(t, int64(buckets), func(blo, bhi int64) {
+			for b := blo; b < bhi; b++ {
+				vlo := int32(b) << shift
+				vhi := vlo + 1<<shift
+				for v := vlo; v < vhi; v++ {
+					pr.ranks[v] = 0
+				}
+				for i := ws.bucketStart[b]; i < ws.bucketStart[b+1]; i++ {
+					pr.ranks[pr.buff2[i]]++
+				}
+				cum := ws.bucketStart[b]
+				for v := vlo; v < vhi; v++ {
+					cum += pr.ranks[v]
+					pr.ranks[v] = cum
+				}
+			}
+		}, omp.Schedule(omp.Static, 1))
+	}, omp.NumThreads(threads))
+}
+
+// RunParallel executes IS with rank() on the OpenMP runtime. Key generation
+// is also parallel, seed-jumped per block, and produces the identical
+// sequence to the serial generator.
+func RunParallel(class npb.Class, threads int) (*Stats, error) {
+	pr, err := newProblem(class)
+	if err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	omp.ParallelForRange(int64(pr.nKeys), func(t *omp.Thread, lo, hi int64) {
+		pr.genKeys(int(lo), int(hi))
+	}, omp.NumThreads(threads), omp.Schedule(omp.Static, 0))
+
+	ws := newOmpWorkspace(threads, 1<<numBucketsLog2)
+	var tm npb.Timer
+	pr.prepareIteration(1)
+	pr.rankOMP(ws, threads)
+	tm.Start()
+	for it := 1; it <= maxIterations; it++ {
+		pr.prepareIteration(it)
+		pr.rankOMP(ws, threads)
+	}
+	tm.Stop()
+	return pr.stats(class, threads, tm.Seconds()), nil
+}

@@ -1,0 +1,111 @@
+package npb
+
+// The NPB pseudo-random number generator: the linear congruential scheme
+//
+//	x_{k+1} = a · x_k  (mod 2^46)
+//
+// computed entirely in double precision by splitting operands into two
+// 23-bit halves, exactly as NPB's randlc/vranlc do. All three kernels seed
+// from it, so bit-compatibility with the reference implementations is what
+// makes the published verification constants attainable.
+
+const (
+	r23 = 1.0 / (1 << 23)
+	r46 = r23 * r23
+	t23 = 1 << 23
+	t46 = float64(1 << 46)
+)
+
+// DefaultSeed and DefaultMult are the seed/multiplier most NPB kernels use.
+const (
+	DefaultSeed = 314159265.0
+	DefaultMult = 1220703125.0 // 5^13
+)
+
+// Randlc advances *x to the next element of the sequence (multiplier a) and
+// returns the result normalised to (0, 1).
+func Randlc(x *float64, a float64) float64 {
+	// Split a and x into a1·2^23 + a2.
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	t1 = r23 * (*x)
+	x1 := float64(int64(t1))
+	x2 := *x - t23*x1
+
+	// z = lower 46 bits of a1·x2 + a2·x1 (the middle partial products).
+	t1 = a1*x2 + a2*x1
+	t2 := float64(int64(r23 * t1))
+	z := t1 - t23*t2
+
+	t3 := t23*z + a2*x2
+	t4 := float64(int64(r46 * t3))
+	*x = t3 - t46*t4
+	return r46 * (*x)
+}
+
+// Vranlc fills y[:n] with the next n sequence elements, advancing *x. It is
+// the vectorisable batch form the EP kernel uses for its 2^16-element
+// batches.
+func Vranlc(n int, x *float64, a float64, y []float64) {
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+	cur := *x
+	for i := 0; i < n; i++ {
+		t1 = r23 * cur
+		x1 := float64(int64(t1))
+		x2 := cur - t23*x1
+		t1 = a1*x2 + a2*x1
+		t2 := float64(int64(r23 * t1))
+		z := t1 - t23*t2
+		t3 := t23*z + a2*x2
+		t4 := float64(int64(r46 * t3))
+		cur = t3 - t46*t4
+		y[i] = r46 * cur
+	}
+	*x = cur
+}
+
+// FindMySeed returns the seed of the kn-th of np processors over a total
+// sequence of nn numbers starting from seed s with multiplier a — NPB IS's
+// find_my_seed, a binary jump over the LCG.
+func FindMySeed(kn, np int, nn int64, s, a float64) float64 {
+	if kn == 0 {
+		return s
+	}
+	mq := (nn/4 + int64(np) - 1) / int64(np)
+	nq := mq * 4 * int64(kn) // number of rans to skip
+	t1 := s
+	t2 := a
+	kk := nq
+	for kk > 1 {
+		ik := kk / 2
+		if 2*ik == kk {
+			Randlc(&t2, t2)
+			kk = ik
+		} else {
+			Randlc(&t1, t2)
+			kk--
+		}
+	}
+	Randlc(&t1, t2)
+	return t1
+}
+
+// SkipAhead advances seed s by n steps of the multiplier-a sequence in
+// O(log n) squarings — the binary algorithm the EP kernel inlines to give
+// every batch an independent starting seed.
+func SkipAhead(s, a float64, n int64) float64 {
+	t1 := s
+	t2 := a
+	for n > 0 {
+		if n&1 == 1 {
+			Randlc(&t1, t2)
+		}
+		Randlc(&t2, t2)
+		n >>= 1
+	}
+	return t1
+}

@@ -1,0 +1,152 @@
+package npb
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// exactLCG is the reference x_{k+1} = a·x_k mod 2^46 in exact integer
+// arithmetic (math/big), against which the double-precision randlc must be
+// bit-identical — the property that makes NPB verification constants
+// reachable at all.
+func exactLCG(x, a int64, steps int) int64 {
+	mod := new(big.Int).Lsh(big.NewInt(1), 46)
+	xb := big.NewInt(x)
+	ab := big.NewInt(a)
+	for i := 0; i < steps; i++ {
+		xb.Mul(xb, ab)
+		xb.Mod(xb, mod)
+	}
+	return xb.Int64()
+}
+
+func TestRandlcMatchesExactArithmetic(t *testing.T) {
+	x := DefaultSeed
+	for step := 1; step <= 1000; step++ {
+		Randlc(&x, DefaultMult)
+		if got, want := int64(x), exactLCG(int64(DefaultSeed), int64(DefaultMult), step); got != want {
+			t.Fatalf("step %d: randlc state %d, exact LCG %d", step, got, want)
+		}
+	}
+}
+
+func TestRandlcReturnsUnitInterval(t *testing.T) {
+	x := DefaultSeed
+	for i := 0; i < 10000; i++ {
+		v := Randlc(&x, DefaultMult)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("randlc value %g outside (0,1) at step %d", v, i)
+		}
+	}
+}
+
+func TestVranlcMatchesRandlc(t *testing.T) {
+	x1 := DefaultSeed
+	x2 := DefaultSeed
+	batch := make([]float64, 257)
+	Vranlc(len(batch), &x1, DefaultMult, batch)
+	for i := range batch {
+		want := Randlc(&x2, DefaultMult)
+		if batch[i] != want {
+			t.Fatalf("vranlc[%d] = %g, randlc = %g", i, batch[i], want)
+		}
+	}
+	if x1 != x2 {
+		t.Fatalf("states diverged: %g vs %g", x1, x2)
+	}
+}
+
+func TestSkipAheadMatchesIteration(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 3, 7, 64, 1000, 65536} {
+		want := DefaultSeed
+		for i := int64(0); i < n; i++ {
+			Randlc(&want, DefaultMult)
+		}
+		if got := SkipAhead(DefaultSeed, DefaultMult, n); got != want {
+			t.Fatalf("SkipAhead(%d) = %g, iterated = %g", n, got, want)
+		}
+	}
+}
+
+// Property: SkipAhead composes — jumping a+b equals jumping a then b.
+func TestSkipAheadComposes(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int64(aRaw%5000), int64(bRaw%5000)
+		direct := SkipAhead(DefaultSeed, DefaultMult, a+b)
+		twoStep := SkipAhead(SkipAhead(DefaultSeed, DefaultMult, a), DefaultMult, b)
+		return direct == twoStep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindMySeedPartitionsSequence(t *testing.T) {
+	// find_my_seed(kn, np, 4*mq*np, …) must equal the state after
+	// kn·4·mq iterations, where mq = ceil(nn/4/np): each processor's
+	// block starts where the previous ends.
+	const np = 4
+	const nn = int64(4096)
+	mq := (nn/4 + np - 1) / np
+	for kn := 0; kn < np; kn++ {
+		want := DefaultSeed
+		for i := int64(0); i < mq*4*int64(kn); i++ {
+			Randlc(&want, DefaultMult)
+		}
+		got := FindMySeed(kn, np, nn, DefaultSeed, DefaultMult)
+		if kn == 0 {
+			if got != DefaultSeed {
+				t.Fatalf("processor 0 seed changed: %g", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("processor %d: FindMySeed = %g, iterated = %g", kn, got, want)
+		}
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, s := range []string{"S", "w", " A ", "b", "C"} {
+		if _, err := ParseClass(s); err != nil {
+			t.Errorf("ParseClass(%q): %v", s, err)
+		}
+	}
+	for _, s := range []string{"", "D", "X", "SS"} {
+		if _, err := ParseClass(s); err == nil {
+			t.Errorf("ParseClass(%q) succeeded", s)
+		}
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	tm.Stop()
+	first := tm.Seconds()
+	tm.Start()
+	tm.Stop()
+	if tm.Seconds() < first {
+		t.Fatal("timer went backwards")
+	}
+	tm.Reset()
+	if tm.Seconds() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRelErrOK(t *testing.T) {
+	if !RelErrOK(1.0000000001, 1.0, 1e-8) {
+		t.Error("tiny relative error rejected")
+	}
+	if RelErrOK(1.1, 1.0, 1e-8) {
+		t.Error("large relative error accepted")
+	}
+	if !RelErrOK(0, 0, 1e-8) {
+		t.Error("exact zero rejected")
+	}
+	if !RelErrOK(-2.00000000001, -2.0, 1e-8) {
+		t.Error("negative pair rejected")
+	}
+}

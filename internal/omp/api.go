@@ -1,0 +1,127 @@
+package omp
+
+import (
+	"runtime"
+	"time"
+
+	"gomp/internal/kmp"
+)
+
+// Thread is the per-team-member execution context, re-exported from the
+// runtime so user code needs only this package.
+type Thread = kmp.Thread
+
+// Sched and SchedKind describe loop schedules (see Schedule option).
+type (
+	Sched     = kmp.Sched
+	SchedKind = kmp.SchedKind
+)
+
+// Schedule kinds, re-exported with their OpenMP surface names.
+const (
+	Static      = kmp.SchedStatic
+	Dynamic     = kmp.SchedDynamicChunked
+	Guided      = kmp.SchedGuidedChunked
+	Runtime     = kmp.SchedRuntime
+	Auto        = kmp.SchedAuto
+	Trapezoidal = kmp.SchedTrapezoidal
+)
+
+// Lock is omp_lock_t; NestLock is omp_nest_lock_t.
+type (
+	Lock     = kmp.Lock
+	NestLock = kmp.NestLock
+)
+
+// NewNestLock returns an unlocked nestable lock (omp_init_nest_lock).
+func NewNestLock() *NestLock { return kmp.NewNestLock() }
+
+var wtimeEpoch = time.Now()
+
+// GetWtime returns elapsed wall-clock seconds from a fixed per-process epoch
+// (omp_get_wtime). Differences between calls measure intervals; the absolute
+// value is meaningless, as the standard allows.
+func GetWtime() float64 { return time.Since(wtimeEpoch).Seconds() }
+
+// GetWtick returns the timer resolution in seconds (omp_get_wtick).
+func GetWtick() float64 { return 1e-9 } // time.Time is nanosecond-resolved
+
+// GetThreadNum returns the calling thread's number within its team
+// (omp_get_thread_num); 0 outside any parallel region. Inside generated
+// code prefer t.Tid — this variant pays a goroutine-registry lookup.
+func GetThreadNum() int {
+	if t := kmp.Current(); t != nil {
+		return t.Tid
+	}
+	return 0
+}
+
+// GetNumThreads returns the size of the current team (omp_get_num_threads);
+// 1 outside any parallel region.
+func GetNumThreads() int {
+	if t := kmp.Current(); t != nil {
+		return t.NumThreads()
+	}
+	return 1
+}
+
+// GetMaxThreads returns the team size the next parallel region without a
+// num_threads clause would get (omp_get_max_threads).
+func GetMaxThreads() int { return kmp.GetICV().NumThreads }
+
+// SetNumThreads sets the nthreads-var ICV (omp_set_num_threads).
+func SetNumThreads(n int) {
+	if n < 1 {
+		return // the standard leaves this undefined; ignore like libomp
+	}
+	kmp.UpdateICV(func(v *kmp.ICV) { v.NumThreads = n })
+}
+
+// GetNumProcs returns the number of processors available
+// (omp_get_num_procs).
+func GetNumProcs() int { return runtime.NumCPU() }
+
+// InParallel reports whether the caller is inside an active parallel region
+// (omp_in_parallel).
+func InParallel() bool {
+	t := kmp.Current()
+	return t != nil && t.InParallel()
+}
+
+// GetLevel returns the nesting depth of the enclosing parallel regions
+// (omp_get_level); 0 outside any region.
+func GetLevel() int {
+	if t := kmp.Current(); t != nil {
+		return t.Level
+	}
+	return 0
+}
+
+// SetSchedule sets the run-sched-var ICV consulted by schedule(runtime)
+// loops (omp_set_schedule).
+func SetSchedule(kind SchedKind, chunk int) {
+	kmp.UpdateICV(func(v *kmp.ICV) { v.RunSched = Sched{Kind: kind, Chunk: int64(chunk)} })
+}
+
+// GetSchedule returns the run-sched-var ICV (omp_get_schedule).
+func GetSchedule() (SchedKind, int) {
+	s := kmp.GetICV().RunSched
+	return s.Kind, int(s.Chunk)
+}
+
+// SetDynamic sets dyn-var (omp_set_dynamic).
+func SetDynamic(on bool) { kmp.UpdateICV(func(v *kmp.ICV) { v.Dynamic = on }) }
+
+// GetDynamic returns dyn-var (omp_get_dynamic).
+func GetDynamic() bool { return kmp.GetICV().Dynamic }
+
+// SetNested sets nest-var: whether nested regions fork real teams
+// (omp_set_nested).
+func SetNested(on bool) { kmp.UpdateICV(func(v *kmp.ICV) { v.Nested = on }) }
+
+// GetNested returns nest-var (omp_get_nested).
+func GetNested() bool { return kmp.GetICV().Nested }
+
+// GetThreadLimit returns thread-limit-var, 0 meaning unlimited
+// (omp_get_thread_limit).
+func GetThreadLimit() int { return kmp.GetICV().ThreadLimit }

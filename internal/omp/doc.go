@@ -1,0 +1,30 @@
+// Package omp is the user-facing OpenMP API of this reproduction — the
+// analog of the `omp` namespace the paper adds to the Zig standard library
+// (Section III-C), with the omp_ prefix dropped exactly as the paper drops
+// it: omp_get_thread_num becomes omp.GetThreadNum.
+//
+// Two layers coexist:
+//
+//   - The standard OpenMP runtime-library routines (GetThreadNum,
+//     GetNumThreads, SetNumThreads, GetWtime, locks, schedule ICVs, …),
+//     callable from anywhere. Inside a parallel region they resolve the
+//     calling goroutine's thread via the registry; generated code uses the
+//     explicit-context variants on *Thread, which are free of that lookup.
+//
+//   - The structured constructs the preprocessor lowers pragmas onto:
+//     Parallel, For, ParallelFor, Single, Masked, Sections, Critical,
+//     Barrier and the reduction cells. These correspond to the paper's
+//     `.omp.internal` namespace of generic wrappers over the __kmpc_*
+//     families — not intended to be pretty for humans, but they are usable
+//     directly and the examples do so.
+//
+// A minimal parallel sum:
+//
+//	sum := omp.NewFloat64Reduction(omp.ReduceSum, 0)
+//	omp.Parallel(func(t *omp.Thread) {
+//		local := sum.Identity()
+//		omp.For(t, int64(len(a)), func(i int64) { local += a[i] })
+//		sum.Combine(local)
+//	})
+//	total := sum.Value()
+package omp

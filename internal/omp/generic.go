@@ -1,0 +1,156 @@
+package omp
+
+import (
+	"math"
+	"sync"
+
+	"gomp/internal/kmp"
+)
+
+// Current returns the calling goroutine's thread context, or nil outside any
+// parallel region. Preprocessor-generated code uses it to service orphaned
+// worksharing constructs (a //omp for with no lexically enclosing parallel).
+func Current() *Thread { return kmp.Current() }
+
+// Numeric constrains the generic reduction to the types the reduction
+// clause accepts for arithmetic and bitwise operators.
+type Numeric interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Reduction is the type-inferred reduction cell emitted by the preprocessor:
+// `omp.NewReduction(omp.ReduceSum, sum)` infers T from the reduction
+// variable, sparing generated code from naming types — the same trick the
+// paper plays with Zig's type inference to survive preprocessing without
+// semantic context (Section III-B3).
+//
+// Combination is mutex-based: the generic cell trades the paper's atomic
+// fast path for type generality. The concrete Int64Reduction /
+// Float64Reduction cells keep the atomic (Listing 6) lowering and are used
+// where the kernel knows its types.
+type Reduction[T Numeric] struct {
+	op  ReduceOp
+	mu  sync.Mutex
+	acc T
+}
+
+// NewReduction builds a reduction cell seeded with the reduction variable's
+// pre-region value.
+func NewReduction[T Numeric](op ReduceOp, initial T) *Reduction[T] {
+	switch op {
+	case ReduceLogicalAnd, ReduceLogicalOr:
+		panic("omp: logical reduction operators apply to bool; use BoolReduction")
+	}
+	return &Reduction[T]{op: op, acc: initial}
+}
+
+// Identity returns the operator's identity element for T.
+func (r *Reduction[T]) Identity() T {
+	var zero T
+	switch r.op {
+	case ReduceProd:
+		return zero + 1
+	case ReduceMin:
+		return maxValue[T]()
+	case ReduceMax:
+		return minValue[T]()
+	case ReduceBitAnd:
+		return allOnes[T]()
+	default:
+		return zero
+	}
+}
+
+// Combine folds a thread's partial into the shared result; call once per
+// thread after private accumulation.
+func (r *Reduction[T]) Combine(partial T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.op {
+	case ReduceSum:
+		r.acc += partial
+	case ReduceProd:
+		r.acc *= partial
+	case ReduceMin:
+		if partial < r.acc {
+			r.acc = partial
+		}
+	case ReduceMax:
+		if partial > r.acc {
+			r.acc = partial
+		}
+	case ReduceBitAnd:
+		r.acc = fromBits[T](toBits(r.acc) & toBits(partial))
+	case ReduceBitOr:
+		r.acc = fromBits[T](toBits(r.acc) | toBits(partial))
+	case ReduceBitXor:
+		r.acc = fromBits[T](toBits(r.acc) ^ toBits(partial))
+	}
+}
+
+// Value returns the reduced result; call after the parallel region joins.
+func (r *Reduction[T]) Value() T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acc
+}
+
+// Only +, -, *, and comparisons are defined across the whole Numeric type
+// set (bit operators exclude floats), so the extreme-value helpers below
+// probe with arithmetic: unsigned types are recognised by 0-1 wrapping to
+// the maximum, signed maxima by doubling until overflow wraps negative.
+// Overflow of signed integers is well-defined (wrapping) in Go.
+
+// maxValue returns the largest representable T (min-reduction identity).
+func maxValue[T Numeric]() T {
+	var zero T
+	switch any(zero).(type) {
+	case float32, float64:
+		return T(math.Inf(1))
+	}
+	if zero-1 > zero { // unsigned: wraps to all ones
+		return zero - 1
+	}
+	hi := T(1)
+	for {
+		next := hi * 2
+		if next <= hi { // wrapped negative: hi is 2^(bits-2)
+			break
+		}
+		hi = next
+	}
+	return hi - 1 + hi // 2^(bits-1) - 1
+}
+
+// minValue returns the smallest representable T (max-reduction identity).
+func minValue[T Numeric]() T {
+	var zero T
+	switch any(zero).(type) {
+	case float32, float64:
+		return T(math.Inf(-1))
+	}
+	if zero-1 > zero { // unsigned
+		return zero
+	}
+	return -maxValue[T]() - 1 // two's complement
+}
+
+// allOnes returns the bit-and identity (~0). For both signed (-1) and
+// unsigned (max), that is 0-1. Panics for floats — validation rejects
+// bitwise reductions on floating-point variables before codegen.
+func allOnes[T Numeric]() T {
+	var zero T
+	switch any(zero).(type) {
+	case float32, float64:
+		panic("omp: bitwise reduction on floating-point type")
+	}
+	return zero - 1
+}
+
+// toBits/fromBits move integer T through uint64 for bitwise ops, preserving
+// the bit pattern via sign extension both ways. Floats are rejected by
+// allOnes/validation before these are reached.
+func toBits[T Numeric](v T) uint64   { return uint64(int64(v)) }
+func fromBits[T Numeric](b uint64) T { return T(int64(b)) }

@@ -1,0 +1,121 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Orphaned constructs — called with no enclosing parallel region — must
+// behave as a team of one, per the OpenMP orphaning rules. The
+// preprocessor emits omp.Current() for these, which returns nil outside
+// any region.
+
+func TestOrphanedForRangeRunsWholeSpace(t *testing.T) {
+	var sum int64
+	ForRange(nil, 100, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	}, Schedule(Dynamic, 8))
+	if sum != 99*100/2 {
+		t.Fatalf("orphaned ForRange covered sum %d", sum)
+	}
+}
+
+func TestOrphanedForRangeZeroTrip(t *testing.T) {
+	ForRange(nil, 0, func(lo, hi int64) {
+		t.Error("body invoked for zero-trip orphaned loop")
+	})
+}
+
+func TestOrphanedSectionsRunAll(t *testing.T) {
+	var a, b int
+	Sections(nil, []func(){
+		func() { a = 1 },
+		func() { b = 2 },
+	})
+	if a != 1 || b != 2 {
+		t.Fatalf("orphaned sections ran a=%d b=%d", a, b)
+	}
+}
+
+func TestOrphanedSingleAndMaster(t *testing.T) {
+	runs := 0
+	Single(nil, func() { runs++ })
+	Masked(nil, func() { runs++ })
+	Barrier(nil) // must not block
+	if runs != 2 {
+		t.Fatalf("orphaned single+master ran %d blocks, want 2", runs)
+	}
+}
+
+func TestOrphanedCopyPrivateHelpers(t *testing.T) {
+	// Team of one: publish is a no-op and assign leaves dst untouched
+	// (it already holds the single's value).
+	v := 42
+	CopyPrivatePublish(nil, v)
+	CopyPrivateAssign(nil, &v)
+	if v != 42 {
+		t.Fatalf("orphaned copyprivate corrupted value: %d", v)
+	}
+}
+
+func TestSingleNoWaitStillRunsOnce(t *testing.T) {
+	var runs atomic.Int32
+	Parallel(func(th *Thread) {
+		Single(th, func() { runs.Add(1) }, NoWait())
+		Barrier(th)
+	}, NumThreads(4))
+	if runs.Load() != 1 {
+		t.Fatalf("single nowait ran %d times", runs.Load())
+	}
+}
+
+func TestSectionsNoWait(t *testing.T) {
+	var done [5]atomic.Int32
+	Parallel(func(th *Thread) {
+		blocks := make([]func(), 5)
+		for i := range blocks {
+			i := i
+			blocks[i] = func() { done[i].Add(1) }
+		}
+		Sections(th, blocks, NoWait())
+		Barrier(th)
+	}, NumThreads(3))
+	for i := range done {
+		if done[i].Load() != 1 {
+			t.Fatalf("section %d ran %d times", i, done[i].Load())
+		}
+	}
+}
+
+func TestParallelForRangeChunkGranularity(t *testing.T) {
+	// ForRange hands whole chunks: with schedule(static,16) over 64
+	// iterations and 4 threads, each thread sees exactly one chunk of 16
+	// per round-robin slot.
+	var chunks atomic.Int32
+	ParallelForRange(64, func(th *Thread, lo, hi int64) {
+		chunks.Add(1)
+		if hi-lo != 16 {
+			t.Errorf("chunk [%d,%d) size %d, want 16", lo, hi, hi-lo)
+		}
+	}, NumThreads(4), Schedule(Static, 16))
+	if chunks.Load() != 4 {
+		t.Fatalf("chunks = %d, want 4", chunks.Load())
+	}
+}
+
+func TestNestLockThroughOmp(t *testing.T) {
+	l := NewNestLock()
+	if l.LockAcquire() != 1 || l.LockAcquire() != 2 {
+		t.Fatal("nest lock counts wrong")
+	}
+	l.Unlock()
+	l.Unlock()
+}
+
+func TestGetThreadLimitDefault(t *testing.T) {
+	if GetThreadLimit() < 0 {
+		t.Fatal("negative thread limit")
+	}
+}

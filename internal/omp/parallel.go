@@ -1,0 +1,196 @@
+package omp
+
+import "gomp/internal/kmp"
+
+// Option configures a Parallel, For or ParallelFor construct — the analog of
+// a directive clause. Options not meaningful for a construct are ignored,
+// mirroring how the paper's parser accepts a clause set per directive.
+type Option func(*config)
+
+type config struct {
+	numThreads int
+	sched      Sched
+	hasSched   bool
+	nowait     bool
+	ifClause   bool
+	hasIf      bool
+	loc        kmp.Ident
+}
+
+func (c *config) apply(opts []Option) {
+	for _, o := range opts {
+		o(c)
+	}
+}
+
+// NumThreads is the num_threads clause: request a team of n.
+func NumThreads(n int) Option { return func(c *config) { c.numThreads = n } }
+
+// Schedule is the schedule clause. chunk 0 means unspecified, as in the
+// packed encoding of Section III-A2.
+func Schedule(kind SchedKind, chunk int64) Option {
+	return func(c *config) {
+		c.sched = Sched{Kind: kind, Chunk: chunk}
+		c.hasSched = true
+		if kind == Static && chunk > 0 {
+			c.sched.Kind = kmp.SchedStaticChunked
+		}
+	}
+}
+
+// NoWait is the nowait clause: skip the implicit barrier at the end of a
+// worksharing construct.
+func NoWait() Option { return func(c *config) { c.nowait = true } }
+
+// If is the if clause: when cond is false the parallel region executes on a
+// team of one.
+func If(cond bool) Option {
+	return func(c *config) { c.ifClause = cond; c.hasIf = true }
+}
+
+// Loc attaches the pragma's source position; generated code passes it so
+// runtime traces point at the user's directive.
+func Loc(file string, line int, region string) Option {
+	return func(c *config) { c.loc = kmp.Ident{File: file, Line: line, Region: region} }
+}
+
+// Parallel runs body as an OpenMP parallel region: the lowering of
+// `//omp parallel`. body executes once on every team thread; the call
+// returns after the implicit join barrier.
+func Parallel(body func(t *Thread), opts ...Option) {
+	var c config
+	c.apply(opts)
+	n := c.numThreads
+	if c.hasIf && !c.ifClause {
+		n = 1
+	}
+	if c.loc.Region == "" {
+		c.loc.Region = "parallel"
+	}
+	kmp.ForkCall(c.loc, n, body)
+}
+
+// For runs a worksharing loop of trip iterations inside a parallel region:
+// the lowering of `//omp for`. body is invoked for each iteration index in
+// [0, trip) assigned to this thread. The loop ends with an implicit barrier
+// unless NoWait is given. Without a Schedule option the loop is
+// schedule(static).
+func For(t *Thread, trip int64, body func(i int64), opts ...Option) {
+	ForRange(t, trip, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}, opts...)
+}
+
+// ForRange is For at chunk granularity: body receives each half-open
+// iteration range assigned to this thread. Kernels with vectorisable inner
+// loops (the NPB ports) use this form to keep the hot loop free of calls.
+//
+// An orphaned worksharing loop — t nil because no parallel region encloses
+// the construct — binds to a team of one and runs the whole range, as the
+// OpenMP standard specifies.
+func ForRange(t *Thread, trip int64, body func(lo, hi int64), opts ...Option) {
+	var c config
+	c.apply(opts)
+	if t == nil || !t.InParallel() {
+		if trip > 0 {
+			body(0, trip)
+		}
+		return
+	}
+	if c.loc.Region == "" {
+		c.loc.Region = "for"
+	}
+	sched := c.sched
+	if !c.hasSched {
+		sched = Sched{Kind: Static}
+	}
+	switch sched.Kind {
+	case Static, kmp.SchedStaticChunked:
+		kmp.ForStatic(t, trip, sched.Chunk, body)
+	default:
+		kmp.ForDynamic(t, c.loc, sched, trip, body)
+	}
+	if !c.nowait {
+		t.Barrier()
+	}
+}
+
+// ParallelFor fuses Parallel and For: the lowering of
+// `//omp parallel for`. body receives the executing thread and an iteration
+// index in [0, trip).
+func ParallelFor(trip int64, body func(t *Thread, i int64), opts ...Option) {
+	Parallel(func(t *Thread) {
+		ForRange(t, trip, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				body(t, i)
+			}
+		}, opts...)
+	}, opts...)
+}
+
+// ParallelForRange is ParallelFor at chunk granularity.
+func ParallelForRange(trip int64, body func(t *Thread, lo, hi int64), opts ...Option) {
+	Parallel(func(t *Thread) {
+		ForRange(t, trip, func(lo, hi int64) { body(t, lo, hi) }, opts...)
+	}, opts...)
+}
+
+// Barrier is the barrier directive.
+func Barrier(t *Thread) { t.Barrier() }
+
+// Critical runs body in the named critical section; "" is the unnamed one.
+func Critical(name string, body func()) { kmp.Critical(name, body) }
+
+// Single runs body on exactly one team thread: the single directive, with
+// the implicit barrier unless NoWait.
+func Single(t *Thread, body func(), opts ...Option) {
+	var c config
+	c.apply(opts)
+	if t.Single() {
+		body()
+	}
+	if !c.nowait {
+		t.Barrier()
+	}
+}
+
+// Masked runs body on the master thread only (the master/masked directive;
+// no implied barrier).
+func Masked(t *Thread, body func()) {
+	if t.Master() {
+		body()
+	}
+}
+
+// Sections distributes the given blocks over the team: the sections
+// directive, one section per function, with the implicit barrier unless
+// NoWait.
+func Sections(t *Thread, blocks []func(), opts ...Option) {
+	var c config
+	c.apply(opts)
+	if t == nil || !t.InParallel() {
+		for _, b := range blocks { // orphaned: team of one runs them all
+			b()
+		}
+		return
+	}
+	if c.loc.Region == "" {
+		c.loc.Region = "sections"
+	}
+	t.Sections(c.loc, len(blocks), func(i int) { blocks[i]() })
+	if !c.nowait {
+		t.Barrier()
+	}
+}
+
+// ThreadPrivate is the threadprivate directive: one T per thread, persisting
+// across regions. Re-exported from the runtime.
+type ThreadPrivate[T any] = kmp.ThreadPrivate[T]
+
+// NewThreadPrivate returns a threadprivate variable; newFn builds each
+// thread's first instance (nil for zero values).
+func NewThreadPrivate[T any](newFn func() *T) *ThreadPrivate[T] {
+	return kmp.NewThreadPrivate[T](newFn)
+}

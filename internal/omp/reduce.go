@@ -1,0 +1,311 @@
+package omp
+
+import (
+	"math"
+	"sync"
+
+	"gomp/internal/atomicx"
+)
+
+// ReduceOp enumerates the OpenMP reduction-clause operators.
+type ReduceOp int
+
+const (
+	// ReduceSum is reduction(+:…); OpenMP's - operator reduces
+	// identically to +, so it shares this op.
+	ReduceSum ReduceOp = iota
+	// ReduceProd is reduction(*:…) — the operator whose atomic lowering
+	// needs the CAS loop of the paper's Listing 6.
+	ReduceProd
+	// ReduceMin is reduction(min:…).
+	ReduceMin
+	// ReduceMax is reduction(max:…).
+	ReduceMax
+	// ReduceBitAnd is reduction(&:…).
+	ReduceBitAnd
+	// ReduceBitOr is reduction(|:…).
+	ReduceBitOr
+	// ReduceBitXor is reduction(^:…).
+	ReduceBitXor
+	// ReduceLogicalAnd is reduction(&&:…), also CAS-loop lowered.
+	ReduceLogicalAnd
+	// ReduceLogicalOr is reduction(||:…), also CAS-loop lowered.
+	ReduceLogicalOr
+)
+
+// String returns the OpenMP surface operator.
+func (op ReduceOp) String() string {
+	switch op {
+	case ReduceSum:
+		return "+"
+	case ReduceProd:
+		return "*"
+	case ReduceMin:
+		return "min"
+	case ReduceMax:
+		return "max"
+	case ReduceBitAnd:
+		return "&"
+	case ReduceBitOr:
+		return "|"
+	case ReduceBitXor:
+		return "^"
+	case ReduceLogicalAnd:
+		return "&&"
+	case ReduceLogicalOr:
+		return "||"
+	}
+	return "?"
+}
+
+// CombineStrategy selects how per-thread partial results meet the shared
+// result — the ablation axis A1 of DESIGN.md.
+type CombineStrategy int
+
+const (
+	// CombineAtomic merges partials into a shared atomic cell, the
+	// paper's lowering: native RMW where available, the Listing 6 CAS
+	// loop otherwise.
+	CombineAtomic CombineStrategy = iota
+	// CombineCritical merges partials under a mutex — what a
+	// __kmpc_reduce critical-path fallback does in libomp.
+	CombineCritical
+)
+
+// ---------------------------------------------------------------- float64
+
+// Float64Reduction lowers a reduction clause over a float64 variable.
+//
+// Per the OpenMP standard (and Section III-B1 of the paper), each thread
+// starts from the operator's identity — Identity() — accumulates privately,
+// and folds its partial into the shared result with Combine. The original
+// variable's value participates once, via the initial value given at
+// construction. Value() returns the final result after the region joins.
+type Float64Reduction struct {
+	op       ReduceOp
+	strategy CombineStrategy
+	cell     atomicx.Float64
+	mu       sync.Mutex
+	plain    float64
+}
+
+// NewFloat64Reduction builds a reduction cell seeded with the reduction
+// variable's pre-region value, using the paper's atomic combine.
+func NewFloat64Reduction(op ReduceOp, initial float64) *Float64Reduction {
+	return NewFloat64ReductionWith(op, initial, CombineAtomic)
+}
+
+// NewFloat64ReductionWith selects the combine strategy explicitly.
+func NewFloat64ReductionWith(op ReduceOp, initial float64, s CombineStrategy) *Float64Reduction {
+	r := &Float64Reduction{op: op, strategy: s}
+	switch op {
+	case ReduceSum, ReduceProd, ReduceMin, ReduceMax:
+	default:
+		panic("omp: reduction operator " + op.String() + " not defined for float64")
+	}
+	r.cell.Store(initial)
+	r.plain = initial
+	return r
+}
+
+// Identity returns the operator's identity element, the value each thread's
+// private copy must start from.
+func (r *Float64Reduction) Identity() float64 {
+	switch r.op {
+	case ReduceProd:
+		return 1
+	case ReduceMin:
+		return math.Inf(1)
+	case ReduceMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+// Combine folds a thread's partial into the shared result. Call exactly once
+// per thread, after private accumulation.
+func (r *Float64Reduction) Combine(partial float64) {
+	if r.strategy == CombineCritical {
+		r.mu.Lock()
+		r.plain = foldFloat64(r.op, r.plain, partial)
+		r.mu.Unlock()
+		return
+	}
+	switch r.op {
+	case ReduceSum:
+		r.cell.Add(partial)
+	case ReduceProd:
+		r.cell.Mul(partial)
+	case ReduceMin:
+		r.cell.Min(partial)
+	case ReduceMax:
+		r.cell.Max(partial)
+	}
+}
+
+// Value returns the reduced result; call after the parallel region joins.
+func (r *Float64Reduction) Value() float64 {
+	if r.strategy == CombineCritical {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.plain
+	}
+	return r.cell.Load()
+}
+
+func foldFloat64(op ReduceOp, a, b float64) float64 {
+	switch op {
+	case ReduceSum:
+		return a + b
+	case ReduceProd:
+		return a * b
+	case ReduceMin:
+		return math.Min(a, b)
+	default:
+		return math.Max(a, b)
+	}
+}
+
+// ------------------------------------------------------------------ int64
+
+// Int64Reduction lowers a reduction clause over an integer variable.
+// See Float64Reduction for the protocol.
+type Int64Reduction struct {
+	op       ReduceOp
+	strategy CombineStrategy
+	cell     atomicx.Int64
+	mu       sync.Mutex
+	plain    int64
+}
+
+// NewInt64Reduction builds a reduction cell seeded with the reduction
+// variable's pre-region value, using the paper's atomic combine.
+func NewInt64Reduction(op ReduceOp, initial int64) *Int64Reduction {
+	return NewInt64ReductionWith(op, initial, CombineAtomic)
+}
+
+// NewInt64ReductionWith selects the combine strategy explicitly.
+func NewInt64ReductionWith(op ReduceOp, initial int64, s CombineStrategy) *Int64Reduction {
+	switch op {
+	case ReduceLogicalAnd, ReduceLogicalOr:
+		panic("omp: logical reduction operators apply to bool; use BoolReduction")
+	}
+	r := &Int64Reduction{op: op, strategy: s}
+	r.cell.Store(initial)
+	r.plain = initial
+	return r
+}
+
+// Identity returns the operator's identity element.
+func (r *Int64Reduction) Identity() int64 {
+	switch r.op {
+	case ReduceProd:
+		return 1
+	case ReduceMin:
+		return math.MaxInt64
+	case ReduceMax:
+		return math.MinInt64
+	case ReduceBitAnd:
+		return -1 // all ones
+	default: // Sum, BitOr, BitXor
+		return 0
+	}
+}
+
+// Combine folds a thread's partial into the shared result.
+func (r *Int64Reduction) Combine(partial int64) {
+	if r.strategy == CombineCritical {
+		r.mu.Lock()
+		r.plain = foldInt64(r.op, r.plain, partial)
+		r.mu.Unlock()
+		return
+	}
+	switch r.op {
+	case ReduceSum:
+		r.cell.Add(partial) // native RMW
+	case ReduceProd:
+		r.cell.Mul(partial) // Listing 6 CAS loop
+	case ReduceMin:
+		r.cell.Min(partial)
+	case ReduceMax:
+		r.cell.Max(partial)
+	case ReduceBitAnd:
+		r.cell.And(partial)
+	case ReduceBitOr:
+		r.cell.Or(partial)
+	case ReduceBitXor:
+		r.cell.Xor(partial)
+	}
+}
+
+// Value returns the reduced result; call after the parallel region joins.
+func (r *Int64Reduction) Value() int64 {
+	if r.strategy == CombineCritical {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.plain
+	}
+	return r.cell.Load()
+}
+
+func foldInt64(op ReduceOp, a, b int64) int64 {
+	switch op {
+	case ReduceSum:
+		return a + b
+	case ReduceProd:
+		return a * b
+	case ReduceMin:
+		if b < a {
+			return b
+		}
+		return a
+	case ReduceMax:
+		if b > a {
+			return b
+		}
+		return a
+	case ReduceBitAnd:
+		return a & b
+	case ReduceBitOr:
+		return a | b
+	default:
+		return a ^ b
+	}
+}
+
+// ------------------------------------------------------------------- bool
+
+// BoolReduction lowers reduction(&&:…) and reduction(||:…), the logical
+// operators the paper implements with the CAS loop because no atomic
+// logical RMW exists.
+type BoolReduction struct {
+	op   ReduceOp
+	cell atomicx.Bool
+}
+
+// NewBoolReduction builds a logical reduction seeded with the variable's
+// pre-region value.
+func NewBoolReduction(op ReduceOp, initial bool) *BoolReduction {
+	if op != ReduceLogicalAnd && op != ReduceLogicalOr {
+		panic("omp: BoolReduction requires && or ||")
+	}
+	r := &BoolReduction{op: op}
+	r.cell.Store(initial)
+	return r
+}
+
+// Identity returns true for && and false for ||.
+func (r *BoolReduction) Identity() bool { return r.op == ReduceLogicalAnd }
+
+// Combine folds a thread's partial into the shared result.
+func (r *BoolReduction) Combine(partial bool) {
+	if r.op == ReduceLogicalAnd {
+		r.cell.LogicalAnd(partial)
+	} else {
+		r.cell.LogicalOr(partial)
+	}
+}
+
+// Value returns the reduced result; call after the parallel region joins.
+func (r *BoolReduction) Value() bool { return r.cell.Load() }

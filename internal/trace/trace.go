@@ -1,0 +1,181 @@
+// Package trace is the profiling layer the paper names as its next step:
+// "add support for profiling … Modifying the compiler to automatically
+// instrument applications with the calls to [the Tracy] library, providing
+// functionality similar to that of gprof" (Section VI).
+//
+// A Profiler subscribes to the runtime's instrumentation hook
+// (kmp.SetTracer) and aggregates fork/join and worksharing events into
+// per-region statistics — region call counts, total/mean wall time, team
+// sizes, barrier counts — and renders a gprof-style flat profile. Zones can
+// also be opened explicitly (Zone/End) for application-level spans, the
+// Tracy usage pattern.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gomp/internal/kmp"
+)
+
+// regionStats accumulates one source region's activity.
+type regionStats struct {
+	name     string
+	calls    int64
+	total    time.Duration
+	maxTeam  int
+	barriers int64
+	loops    int64
+	// open fork timestamps, keyed by nothing: parallel regions at the
+	// same location do not nest onto themselves per thread, and forks
+	// from distinct roots are rare enough to serialise under the mutex.
+	openSince []time.Time
+}
+
+// Profiler aggregates runtime events. Install with Start, detach with Stop.
+type Profiler struct {
+	mu      sync.Mutex
+	regions map[string]*regionStats
+	zones   map[string]*regionStats
+	started time.Time
+	active  bool
+}
+
+// New returns an idle profiler.
+func New() *Profiler {
+	return &Profiler{
+		regions: make(map[string]*regionStats),
+		zones:   make(map[string]*regionStats),
+	}
+}
+
+// Start subscribes the profiler to the runtime hook. Only one profiler can
+// be active at a time (the hook is global, as Tracy's collector is).
+func (p *Profiler) Start() {
+	p.mu.Lock()
+	p.started = time.Now()
+	p.active = true
+	p.mu.Unlock()
+	kmp.SetTracer(p.consume)
+}
+
+// Stop unsubscribes.
+func (p *Profiler) Stop() {
+	kmp.SetTracer(nil)
+	p.mu.Lock()
+	p.active = false
+	p.mu.Unlock()
+}
+
+func (p *Profiler) consume(ev kmp.TraceEvent) {
+	key := ev.Loc.String()
+	if key == "" {
+		key = "(unlocated)"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.regions[key]
+	if st == nil {
+		st = &regionStats{name: key}
+		p.regions[key] = st
+	}
+	switch ev.Kind {
+	case kmp.TraceForkBegin:
+		st.openSince = append(st.openSince, time.Now())
+		if ev.NThreads > st.maxTeam {
+			st.maxTeam = ev.NThreads
+		}
+	case kmp.TraceForkEnd:
+		st.calls++
+		if n := len(st.openSince); n > 0 {
+			st.total += time.Since(st.openSince[n-1])
+			st.openSince = st.openSince[:n-1]
+		}
+	case kmp.TraceBarrier:
+		st.barriers++
+	case kmp.TraceLoopInit:
+		st.loops++
+	}
+}
+
+// Zone opens an explicit application span named name; the returned function
+// closes it. Usable with defer:
+//
+//	defer prof.Zone("assembly")()
+func (p *Profiler) Zone(name string) func() {
+	start := time.Now()
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		z := p.zones[name]
+		if z == nil {
+			z = &regionStats{name: name}
+			p.zones[name] = z
+		}
+		z.calls++
+		z.total += time.Since(start)
+	}
+}
+
+// RegionSummary is one row of the flat profile.
+type RegionSummary struct {
+	Name     string
+	Calls    int64
+	Total    time.Duration
+	Mean     time.Duration
+	MaxTeam  int
+	Barriers int64
+	Loops    int64
+}
+
+// Summaries returns per-region rows sorted by descending total time.
+func (p *Profiler) Summaries() []RegionSummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []RegionSummary
+	collect := func(m map[string]*regionStats) {
+		for _, st := range m {
+			s := RegionSummary{
+				Name:     st.name,
+				Calls:    st.calls,
+				Total:    st.total,
+				MaxTeam:  st.maxTeam,
+				Barriers: st.barriers,
+				Loops:    st.loops,
+			}
+			if st.calls > 0 {
+				s.Mean = st.total / time.Duration(st.calls)
+			}
+			out = append(out, s)
+		}
+	}
+	collect(p.regions)
+	collect(p.zones)
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// Report renders the gprof-style flat profile.
+func (p *Profiler) Report() string {
+	sums := p.Summaries()
+	var total time.Duration
+	for _, s := range sums {
+		total += s.Total
+	}
+	var b strings.Builder
+	b.WriteString("  %time     total      calls      mean  team  barriers  loops  region\n")
+	for _, s := range sums {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.Total) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %5.1f  %8.3fms  %8d  %8.3fms  %4d  %8d  %5d  %s\n",
+			pct, ms(s.Total), s.Calls, ms(s.Mean), s.MaxTeam, s.Barriers, s.Loops, s.Name)
+	}
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gomp/internal/kmp"
+	"gomp/internal/omp"
+)
+
+func TestProfilerCapturesRegions(t *testing.T) {
+	p := New()
+	p.Start()
+	defer p.Stop()
+
+	for i := 0; i < 5; i++ {
+		omp.Parallel(func(th *omp.Thread) {
+			omp.Barrier(th)
+			omp.For(th, 100, func(int64) {}, omp.Schedule(omp.Dynamic, 10))
+		}, omp.NumThreads(4), omp.Loc("app.go", 42, "parallel"))
+	}
+	p.Stop()
+
+	sums := p.Summaries()
+	var region *RegionSummary
+	for i := range sums {
+		if strings.Contains(sums[i].Name, "app.go:42") {
+			region = &sums[i]
+		}
+	}
+	if region == nil {
+		t.Fatalf("region app.go:42 not captured: %+v", sums)
+	}
+	if region.Calls != 5 {
+		t.Errorf("calls = %d, want 5", region.Calls)
+	}
+	if region.MaxTeam != 4 {
+		t.Errorf("maxTeam = %d, want 4", region.MaxTeam)
+	}
+	// 4 threads × 5 regions: one explicit barrier each, at least.
+	if region.Barriers < 20 {
+		t.Errorf("barriers = %d, want >= 20", region.Barriers)
+	}
+	if region.Total <= 0 || region.Mean <= 0 {
+		t.Errorf("timings not accumulated: %+v", region)
+	}
+}
+
+func TestProfilerCapturesLoops(t *testing.T) {
+	p := New()
+	p.Start()
+	defer p.Stop()
+	omp.Parallel(func(th *omp.Thread) {
+		omp.For(th, 50, func(int64) {}, omp.Schedule(omp.Guided, 4), omp.Loc("k.go", 7, "for"))
+	}, omp.NumThreads(3))
+	p.Stop()
+	found := false
+	for _, s := range p.Summaries() {
+		if strings.Contains(s.Name, "k.go:7") && s.Loops == 3 {
+			found = true // each of the 3 threads initialised the loop once
+		}
+	}
+	if !found {
+		t.Fatalf("dynamic loop inits not attributed: %+v", p.Summaries())
+	}
+}
+
+func TestZones(t *testing.T) {
+	p := New()
+	end := p.Zone("assembly")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	end2 := p.Zone("assembly")
+	end2()
+	var z *RegionSummary
+	for i, s := range p.Summaries() {
+		if s.Name == "assembly" {
+			z = &p.Summaries()[i]
+		}
+	}
+	if z == nil {
+		t.Fatal("zone not recorded")
+	}
+	if z.Calls != 2 {
+		t.Fatalf("zone calls = %d, want 2", z.Calls)
+	}
+	if z.Total < 2*time.Millisecond {
+		t.Fatalf("zone total %v too small", z.Total)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	p := New()
+	p.Start()
+	omp.Parallel(func(th *omp.Thread) {}, omp.NumThreads(2), omp.Loc("r.go", 1, "parallel"))
+	p.Stop()
+	rep := p.Report()
+	for _, want := range []string{"%time", "region", "r.go:1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestStopDetachesHook(t *testing.T) {
+	p := New()
+	p.Start()
+	p.Stop()
+	before := len(p.Summaries())
+	omp.Parallel(func(th *omp.Thread) {}, omp.NumThreads(2), omp.Loc("x.go", 9, "parallel"))
+	if len(p.Summaries()) != before {
+		t.Fatal("profiler still receiving events after Stop")
+	}
+}
+
+// The hook must be cheap when no profiler is attached: this is a guard
+// against accidentally making tracing mandatory.
+func TestNoProfilerNoPanic(t *testing.T) {
+	kmp.SetTracer(nil)
+	omp.Parallel(func(th *omp.Thread) { omp.Barrier(th) }, omp.NumThreads(2))
+}

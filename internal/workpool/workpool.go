@@ -1,0 +1,81 @@
+// Package workpool is the idiomatic-Go concurrency substrate used by the
+// "reference language" flavours of the NPB kernels: a persistent pool of
+// worker goroutines executing fork-join phases over index ranges. It plays
+// the role the Fortran/C OpenMP runtime plays for the paper's baselines —
+// same amortised thread creation, none of the pragma machinery.
+package workpool
+
+import "sync"
+
+// Pool is a fixed set of persistent worker goroutines. The zero value is
+// not usable; create with New and release with Close.
+type Pool struct {
+	n     int
+	tasks []chan func(worker int)
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// New starts a pool of n workers (minimum 1).
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{n: n, tasks: make([]chan func(int), n)}
+	for i := 0; i < n; i++ {
+		ch := make(chan func(int), 1)
+		p.tasks[i] = ch
+		go func(worker int, ch chan func(int)) {
+			for f := range ch {
+				f(worker)
+				p.wg.Done()
+			}
+		}(i, ch)
+	}
+	return p
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.n }
+
+// Run executes f(worker) on every worker and returns when all are done —
+// one fork-join phase.
+func (p *Pool) Run(f func(worker int)) {
+	p.wg.Add(p.n)
+	for i := 0; i < p.n; i++ {
+		p.tasks[i] <- f
+	}
+	p.wg.Wait()
+}
+
+// ForBlock partitions [0, n) into near-equal contiguous blocks, one per
+// worker (big blocks first), and runs body(worker, lo, hi) on each. Workers
+// with empty ranges still run with lo == hi.
+func (p *Pool) ForBlock(n int, body func(worker int, lo, hi int)) {
+	p.Run(func(w int) {
+		lo, hi := Block(w, p.n, n)
+		body(w, lo, hi)
+	})
+}
+
+// Block computes worker w's share of [0, n) under the balanced block
+// partition (the first n mod workers workers get one extra element).
+func Block(w, workers, n int) (lo, hi int) {
+	q := n / workers
+	r := n % workers
+	if w < r {
+		lo = w * (q + 1)
+		return lo, lo + q + 1
+	}
+	lo = r*(q+1) + (w-r)*q
+	return lo, lo + q
+}
+
+// Close shuts the workers down. The pool must be idle.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		for _, ch := range p.tasks {
+			close(ch)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolRunsAllWorkers(t *testing.T) {
+	p := New(6)
+	defer p.Close()
+	var seen [6]atomic.Int32
+	p.Run(func(w int) { seen[w].Add(1) })
+	for w := range seen {
+		if seen[w].Load() != 1 {
+			t.Fatalf("worker %d ran %d times", w, seen[w].Load())
+		}
+	}
+}
+
+func TestPoolReusable(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var count atomic.Int64
+	for round := 0; round < 100; round++ {
+		p.Run(func(int) { count.Add(1) })
+	}
+	if count.Load() != 400 {
+		t.Fatalf("count = %d, want 400", count.Load())
+	}
+}
+
+func TestPoolJoinSemantics(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	data := make([]int, 8)
+	for round := 1; round <= 50; round++ {
+		p.Run(func(w int) { data[w] = round })
+		for w, v := range data {
+			if v != round {
+				t.Fatalf("round %d: worker %d value %d — Run returned before join", round, w, v)
+			}
+		}
+	}
+}
+
+func TestForBlockCoverage(t *testing.T) {
+	p := New(5)
+	defer p.Close()
+	const n = 1013
+	counts := make([]int32, n)
+	p.ForBlock(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestPoolMinimumSize(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want clamp to 1", p.Size())
+	}
+}
+
+// Property: Block partitions exactly and in order for any (workers, n).
+func TestBlockPartition(t *testing.T) {
+	f := func(wRaw uint8, nRaw uint16) bool {
+		workers := int(wRaw)%32 + 1
+		n := int(nRaw) % 10000
+		next := 0
+		for w := 0; w < workers; w++ {
+			lo, hi := Block(w, workers, n)
+			if lo != next || hi < lo {
+				return false
+			}
+			next = hi
+		}
+		return next == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(2)
+	p.Run(func(int) {})
+	p.Close()
+	p.Close() // second close must not panic
+}
