@@ -347,3 +347,100 @@ func BenchmarkDirectiveParse(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// Tasking — the explicit-task subsystem against its serial and
+// loop-directive alternatives. The workloads and their tuning constants
+// live in internal/bench (FibTask, ImbalancedKernel, TaskFib*/Taskloop*)
+// so these targets and the npbsuite tasking table measure the identical
+// configuration.
+
+// BenchmarkTaskFib runs recursive Fibonacci through the work-stealing task
+// runtime against the serial recursion — the canonical irregular workload
+// loop directives cannot express. The speedup metric is task-parallel over
+// serial on the same host; with GOMAXPROCS ≥ 4 it exceeds 1 once steals
+// distribute the spawn tree.
+func BenchmarkTaskFib(b *testing.B) {
+	want := bench.FibSerial(bench.TaskFibN)
+	threads := runtime.NumCPU()
+	if threads > 8 {
+		threads = 8
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if bench.FibSerial(bench.TaskFibN) != want {
+				b.Fatal("wrong fib")
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("tasks/threads=%d", threads), func(b *testing.B) {
+		// Serial baseline, timed in-place (nested testing.Benchmark
+		// deadlocks inside a running benchmark).
+		serialStart := omp.GetWtime()
+		const serialReps = 3
+		for i := 0; i < serialReps; i++ {
+			if bench.FibSerial(bench.TaskFibN) != want {
+				b.Fatal("wrong fib")
+			}
+		}
+		serialPerOp := (omp.GetWtime() - serialStart) / serialReps
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got := 0
+			omp.Parallel(func(t *omp.Thread) {
+				omp.Single(t, func() { got = bench.FibTask(t, bench.TaskFibN) })
+			}, omp.NumThreads(threads))
+			if got != want {
+				b.Fatal("wrong fib")
+			}
+		}
+		b.StopTimer()
+		if b.N > 0 && b.Elapsed() > 0 && serialPerOp > 0 {
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(serialPerOp/perOp, "speedup")
+		}
+	})
+}
+
+// BenchmarkTaskloopVsFor runs the same imbalanced kernel (cost ∝ i²) under
+// the two loop lowerings: taskloop chunks through the work-stealing deques,
+// worksharing for through static and dynamic dispatch. Taskloop's stealing
+// rebalances like dynamic dispatch but without a shared iteration counter
+// on the hot path.
+func BenchmarkTaskloopVsFor(b *testing.B) {
+	threads := runtime.NumCPU()
+	if threads > 8 {
+		threads = 8
+	}
+	sink := omp.NewFloat64Reduction(omp.ReduceSum, 0)
+	b.Run("taskloop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			omp.Parallel(func(t *omp.Thread) {
+				omp.Single(t, func() {
+					omp.Taskloop(t, bench.TaskloopTrip, func(_ *omp.Thread, lo, hi int64) {
+						sink.Combine(bench.ImbalancedKernel(lo, hi))
+					}, omp.Grainsize(bench.TaskloopGrain))
+				})
+			}, omp.NumThreads(threads))
+		}
+	})
+	b.Run("for-static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			omp.Parallel(func(t *omp.Thread) {
+				omp.ForRange(t, bench.TaskloopTrip, func(lo, hi int64) {
+					sink.Combine(bench.ImbalancedKernel(lo, hi))
+				})
+			}, omp.NumThreads(threads))
+		}
+	})
+	b.Run("for-dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			omp.Parallel(func(t *omp.Thread) {
+				omp.ForRange(t, bench.TaskloopTrip, func(lo, hi int64) {
+					sink.Combine(bench.ImbalancedKernel(lo, hi))
+				}, omp.Schedule(omp.Dynamic, bench.TaskloopGrain))
+			}, omp.NumThreads(threads))
+		}
+	})
+	_ = sink.Value()
+}

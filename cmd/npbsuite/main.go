@@ -1,7 +1,9 @@
 // Command npbsuite regenerates the paper's evaluation: strong-scaling
 // sweeps of NPB CG, EP and IS comparing the OpenMP-runtime flavour against
 // the goroutine baseline, printed as the analogues of the paper's
-// Tables I–III and Figures 3–5.
+// Tables I–III and Figures 3–5, plus a tasking section measuring the
+// explicit-task subsystem (recursive fib through task/taskwait, taskloop
+// against dynamic worksharing on the same kernel); -tasks=false omits it.
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ func main() {
 		threadsF = flag.String("threads", "", "comma-separated thread counts (default: host ladder)")
 		paperTh  = flag.Bool("paper-threads", false, "use the paper's thread counts {1,2,16,32,64,96,128}")
 		runs     = flag.Int("runs", 1, "repetitions per configuration (paper uses 5)")
+		tasks    = flag.Bool("tasks", true, "append the tasking section (explicit-task fib, taskloop vs for)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -78,6 +81,13 @@ func main() {
 				}
 			}
 		}
+	}
+	if *tasks {
+		tsw := bench.RunTaskSweep(threads, *runs, progress)
+		if !*quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		fmt.Println(tsw.Table())
 	}
 	os.Exit(exit)
 }

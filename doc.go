@@ -14,7 +14,10 @@
 //     preprocessor over go/ast.
 //   - internal/kmp — the libomp analog: hot goroutine teams, ForkCall,
 //     three barrier algorithms, static partitioning, dynamic/guided
-//     dispatch rings, criticals, locks, single/master, threadprivate.
+//     dispatch rings, criticals, locks, single/master, threadprivate, and
+//     the explicit-tasking layer (task/taskwait/taskgroup/taskloop) over
+//     per-thread Chase–Lev work-stealing deques, with barriers doubling as
+//     task scheduling points.
 //   - internal/omp — the user-facing API (omp_* routines with the prefix
 //     dropped) and the structured constructs generated code targets.
 //   - internal/atomicx — atomic cells with the paper's Listing 6 CAS-loop
@@ -28,5 +31,7 @@
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's tables
 // and figures (BenchmarkTable1CG … BenchmarkFig5IS) plus the ablations
-// catalogued in DESIGN.md (BenchmarkAblation*).
+// catalogued in DESIGN.md (BenchmarkAblation*) and the tasking pair
+// (BenchmarkTaskFib, BenchmarkTaskloopVsFor) comparing the explicit-task
+// subsystem against serial recursion and the loop-directive lowerings.
 package gomp

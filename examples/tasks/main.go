@@ -1,0 +1,134 @@
+// Explicit tasking: the two canonical irregular workloads loop directives
+// cannot express — recursive Fibonacci (a divide-and-conquer spawn tree)
+// and a parallel sum over an unbalanced binary tree. One thread opens the
+// work with omp.Single; the rest of the team feeds by stealing from its
+// work-stealing deque. The pragma forms these calls lower from:
+//
+//	//omp task shared(x) final(n < cutoff)
+//	//omp taskwait
+//	//omp taskgroup
+//	//omp taskloop grainsize(n)
+//
+// Run with:
+//
+//	go run ./examples/tasks
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gomp/internal/omp"
+)
+
+// fibTask is the recursive task decomposition of fib(n): spawn fib(n-1) as
+// a deferred task, compute fib(n-2) in place, taskwait, combine. Below the
+// cutoff the subtree is too small to pay for a spawn, so it finishes
+// serially — the role the final clause plays in the pragma form.
+func fibTask(t *omp.Thread, n, cutoff int) int {
+	if n < cutoff {
+		return fibSerial(n)
+	}
+	var x, y int
+	omp.Task(t, func(ex *omp.Thread) {
+		x = fibTask(ex, n-1, cutoff)
+	})
+	y = fibTask(t, n-2, cutoff)
+	omp.Taskwait(t)
+	return x + y
+}
+
+func fibSerial(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibSerial(n-1) + fibSerial(n-2)
+}
+
+// node is an unbalanced binary tree (random shape, so no static schedule
+// could balance it).
+type node struct {
+	val         int
+	left, right *node
+}
+
+func buildTree(rng *rand.Rand, size int) *node {
+	if size == 0 {
+		return nil
+	}
+	l := rng.Intn(size)
+	return &node{
+		val:   rng.Intn(100),
+		left:  buildTree(rng, l),
+		right: buildTree(rng, size-1-l),
+	}
+}
+
+// sumTree spawns one task per subtree above the cutoff; taskwait joins both
+// halves before combining — the tree analogue of a reduction.
+func sumTree(t *omp.Thread, nd *node, depth int) int {
+	if nd == nil {
+		return 0
+	}
+	if depth > 5 { // subtrees this deep are cheap: finish serially
+		return nd.val + sumTree(t, nd.left, depth) + sumTree(t, nd.right, depth)
+	}
+	var l, r int
+	omp.Task(t, func(ex *omp.Thread) { l = sumTree(ex, nd.left, depth+1) })
+	omp.Task(t, func(ex *omp.Thread) { r = sumTree(ex, nd.right, depth+1) })
+	omp.Taskwait(t)
+	return nd.val + l + r
+}
+
+func sumTreeSerial(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	return nd.val + sumTreeSerial(nd.left) + sumTreeSerial(nd.right)
+}
+
+func main() {
+	const n, cutoff = 30, 18
+
+	serialStart := omp.GetWtime()
+	want := fibSerial(n)
+	serialTime := omp.GetWtime() - serialStart
+
+	var got int
+	taskStart := omp.GetWtime()
+	omp.Parallel(func(t *omp.Thread) {
+		omp.Single(t, func() {
+			got = fibTask(t, n, cutoff)
+		})
+	})
+	taskTime := omp.GetWtime() - taskStart
+	fmt.Printf("fib(%d) = %d (serial %d) — tasks %.1f ms, serial %.1f ms, %.2fx on %d threads\n",
+		n, got, want, taskTime*1e3, serialTime*1e3, serialTime/taskTime, omp.GetMaxThreads())
+
+	tree := buildTree(rand.New(rand.NewSource(42)), 200_000)
+	var total int
+	omp.Parallel(func(t *omp.Thread) {
+		omp.Single(t, func() {
+			total = sumTree(t, tree, 0)
+		})
+	})
+	fmt.Printf("tree sum over 200000 nodes = %d (serial %d)\n", total, sumTreeSerial(tree))
+
+	// Taskloop: the chunk-granular alternative to a worksharing for.
+	const trip = 1 << 20
+	data := make([]float64, trip)
+	omp.Parallel(func(t *omp.Thread) {
+		omp.Single(t, func() {
+			omp.Taskloop(t, trip, func(_ *omp.Thread, lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					data[i] = float64(i) * 0.5
+				}
+			}, omp.Grainsize(4096))
+		})
+	})
+	sum := 0.0
+	for _, v := range data {
+		sum += v
+	}
+	fmt.Printf("taskloop filled %d elements, checksum %.1f\n", trip, sum)
+}

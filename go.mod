@@ -1,0 +1,3 @@
+module gomp
+
+go 1.23

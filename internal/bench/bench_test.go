@@ -39,7 +39,13 @@ func TestSweepRendering(t *testing.T) {
 		t.Fatal(err)
 	}
 	table := sw.RuntimeTable()
-	for _, want := range []string{"Table III", "IS class S", "| 1 |", "| 2 |", "omp runtime"} {
+	// The 2-thread row carries an oversubscription marker on hosts with a
+	// single processor, so match both renderings.
+	row2 := "| 2 |"
+	if sw.Oversubscribed[2] {
+		row2 = "| 2 * |"
+	}
+	for _, want := range []string{"Table III", "IS class S", "| 1 |", row2, "omp runtime"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
@@ -53,6 +59,26 @@ func TestSweepRendering(t *testing.T) {
 	// Self-relative speedup at 1 thread is exactly 1.00 by construction.
 	if !strings.Contains(fig, "| 1 | 1.00 | 1.00 | 1 |") {
 		t.Errorf("1-thread speedup row malformed:\n%s", fig)
+	}
+}
+
+// The tasking sweep must produce a complete table: one row per thread
+// count with all four timings populated.
+func TestTaskSweepRendering(t *testing.T) {
+	sw := RunTaskSweep([]int{1, 2}, 1, nil)
+	if len(sw.Points) != 2 {
+		t.Fatalf("task sweep produced %d points, want 2", len(sw.Points))
+	}
+	for _, p := range sw.Points {
+		if p.FibSeconds <= 0 || p.FibSerial <= 0 || p.TaskloopSecs <= 0 || p.ForDynamicSecs <= 0 {
+			t.Fatalf("point %+v has an unpopulated timing", p)
+		}
+	}
+	table := sw.Table()
+	for _, want := range []string{"Tasking", "task fib", "taskloop", "| 1 |", "fib speedup"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("tasking table missing %q:\n%s", want, table)
+		}
 	}
 }
 

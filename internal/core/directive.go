@@ -31,6 +31,14 @@ const (
 	// DirThreadPrivate gives the named package-level variables one
 	// instance per thread.
 	DirThreadPrivate
+	// DirTask defers the following block as an explicit task.
+	DirTask
+	// DirTaskwait waits for the current task's child tasks.
+	DirTaskwait
+	// DirTaskgroup waits for all descendant tasks of the following block.
+	DirTaskgroup
+	// DirTaskloop chunks the following for statement into explicit tasks.
+	DirTaskloop
 )
 
 // String returns the OpenMP surface spelling.
@@ -58,6 +66,14 @@ func (k DirKind) String() string {
 		return "atomic"
 	case DirThreadPrivate:
 		return "threadprivate"
+	case DirTask:
+		return "task"
+	case DirTaskwait:
+		return "taskwait"
+	case DirTaskgroup:
+		return "taskgroup"
+	case DirTaskloop:
+		return "taskloop"
 	}
 	return fmt.Sprintf("DirKind(%d)", int(k))
 }
@@ -91,6 +107,29 @@ func (s SchedEnum) String() string {
 		return "auto"
 	case SchedTrapezoid:
 		return "trapezoidal"
+	}
+	return "none"
+}
+
+// TaskIterEnum is the 2-bit selector of the taskloop granularity clause in
+// the packed clause encoding: grainsize and num_tasks are mutually exclusive
+// per the OpenMP spec, so one selector plus one value word covers both, the
+// same trick PackSchedule uses for the schedule kind and chunk.
+type TaskIterEnum uint8
+
+const (
+	TaskIterNone TaskIterEnum = iota
+	TaskIterGrainsize
+	TaskIterNumTasks
+)
+
+// String returns the clause spelling.
+func (ti TaskIterEnum) String() string {
+	switch ti {
+	case TaskIterGrainsize:
+		return "grainsize"
+	case TaskIterNumTasks:
+		return "num_tasks"
 	}
 	return "none"
 }
@@ -188,6 +227,13 @@ type Clauses struct {
 	Name       string // critical section name, empty = unnamed
 
 	ThreadPrivateVars []string // threadprivate(…) list
+
+	// Tasking clauses (task, taskloop).
+	Final     string // raw host expression, empty = absent
+	Untied    bool
+	NoGroup   bool
+	Grainsize int64 // 0 = absent; mutually exclusive with NumTasks
+	NumTasks  int64 // 0 = absent; mutually exclusive with Grainsize
 }
 
 // Directive is a parsed pragma.

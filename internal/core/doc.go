@@ -42,4 +42,16 @@
 //	//omp sections / //omp section
 //	//omp single [nowait] / //omp master / //omp barrier
 //	//omp critical[(name)] / //omp atomic / //omp threadprivate(v)
+//	//omp task [private…] [firstprivate…] [shared…] [default…]
+//	//         [if(expr)] [final(expr)] [untied]
+//	//omp taskwait / //omp taskgroup
+//	//omp taskloop [grainsize(n) | num_tasks(n)] [nogroup]
+//	//             [private…] [firstprivate…] [shared…] [if…] [final…] [untied]
+//
+// The tasking directives (task, taskwait, taskgroup, taskloop) lower onto
+// the work-stealing task runtime (internal/kmp/task.go): a task block is
+// outlined into a deferred closure with firstprivate values captured by
+// copy at creation, and a taskloop carves its canonical for statement into
+// chunk tasks by grainsize/num_tasks — the packed clause word reuses the
+// schedule-chunk trick bit for bit (encode.go word 5).
 package core

@@ -12,11 +12,16 @@ import "fmt"
 //	        (29 bits; 0 = no chunk, since a legal chunk is > 0 — the
 //	        paper's exact trick)
 //	word 1  flags: default (2 bits) | nowait (1) | collapse (4) |
-//	        ordered (1) | hasSchedule (1)
+//	        ordered (1) | hasSchedule (1) | untied (1) | nogroup (1)
 //	word 2  num_threads expression: string-table index + 1, 0 = absent
 //	word 3  if expression: string-table index + 1, 0 = absent
 //	word 4  critical name: string-table index + 1, 0 = absent/unnamed
-//	words 5..18  seven (begin,end) list slices into ExtraData:
+//	word 5  taskloop granularity: selector in bits 0-1 (none/grainsize/
+//	        num_tasks, mutually exclusive per spec), value in bits 2-31
+//	        (30 bits; 0 = absent, since a legal value is > 0 — the same
+//	        trick as the schedule chunk)
+//	word 6  final expression: string-table index + 1, 0 = absent
+//	words 7..20  seven (begin,end) list slices into ExtraData:
 //	        private, firstprivate, lastprivate, shared, copyprivate,
 //	        threadprivate, reduction
 //
@@ -36,11 +41,13 @@ const (
 
 // Flag bit positions in word 1.
 const (
-	flagDefaultShift  = 0 // 2 bits
-	flagNoWaitShift   = 2 // 1 bit
-	flagCollapseShift = 3 // 4 bits
-	flagOrderedShift  = 7 // 1 bit
-	flagHasSchedShift = 8 // 1 bit
+	flagDefaultShift  = 0  // 2 bits
+	flagNoWaitShift   = 2  // 1 bit
+	flagCollapseShift = 3  // 4 bits
+	flagOrderedShift  = 7  // 1 bit
+	flagHasSchedShift = 8  // 1 bit
+	flagUntiedShift   = 9  // 1 bit
+	flagNoGroupShift  = 10 // 1 bit
 
 	// MaxCollapse is the largest encodable collapse depth: 4 bits, "as
 	// it is unlikely that a user would wish to collapse more than 16
@@ -48,7 +55,7 @@ const (
 	MaxCollapse = 1<<4 - 1
 )
 
-const recordWords = 5 + 2*7 // fixed prefix + seven (begin,end) slices
+const recordWords = 7 + 2*7 // fixed prefix + seven (begin,end) slices
 
 // Node is one directive in encoded form.
 type Node struct {
@@ -114,6 +121,47 @@ func UnpackSchedule(w uint32) (SchedEnum, int64) {
 	return SchedEnum(w & schedKindMask), int64(w >> schedKindBits)
 }
 
+// Packing geometry of word 5: 2-bit selector, 30-bit value.
+const (
+	taskIterBits = 2
+	taskIterMask = 1<<taskIterBits - 1
+	// MaxTaskIter is the largest encodable grainsize/num_tasks value.
+	MaxTaskIter = 1 << (32 - taskIterBits) // 2^30
+)
+
+// PackTaskIter packs the taskloop granularity — grainsize(n) or
+// num_tasks(n), at most one present — into one 32-bit word, the way
+// PackSchedule packs the schedule chunk. Value 0 with selector TaskIterNone
+// encodes "no granularity clause".
+func PackTaskIter(grainsize, numTasks int64) (uint32, error) {
+	if grainsize > 0 && numTasks > 0 {
+		return 0, fmt.Errorf("core: grainsize and num_tasks are mutually exclusive")
+	}
+	kind, val := TaskIterNone, int64(0)
+	switch {
+	case grainsize > 0:
+		kind, val = TaskIterGrainsize, grainsize
+	case numTasks > 0:
+		kind, val = TaskIterNumTasks, numTasks
+	}
+	if grainsize < 0 || numTasks < 0 || val >= MaxTaskIter {
+		return 0, fmt.Errorf("core: task granularity %d outside [0, %d)", val, MaxTaskIter)
+	}
+	return uint32(kind) | uint32(val)<<taskIterBits, nil
+}
+
+// UnpackTaskIter reverses PackTaskIter.
+func UnpackTaskIter(w uint32) (grainsize, numTasks int64) {
+	val := int64(w >> taskIterBits)
+	switch TaskIterEnum(w & taskIterMask) {
+	case TaskIterGrainsize:
+		return val, 0
+	case TaskIterNumTasks:
+		return 0, val
+	}
+	return 0, 0
+}
+
 // packFlags packs the sub-32-bit clauses into one word, "grouped into a
 // single packed structure".
 func packFlags(c *Clauses) (uint32, error) {
@@ -131,6 +179,12 @@ func packFlags(c *Clauses) (uint32, error) {
 	if c.HasSchedule {
 		w |= 1 << flagHasSchedShift
 	}
+	if c.Untied {
+		w |= 1 << flagUntiedShift
+	}
+	if c.NoGroup {
+		w |= 1 << flagNoGroupShift
+	}
 	return w, nil
 }
 
@@ -140,6 +194,8 @@ func unpackFlags(w uint32, c *Clauses) {
 	c.Collapse = int(w >> flagCollapseShift & 0b1111)
 	c.Ordered = w>>flagOrderedShift&1 != 0
 	c.HasSchedule = w>>flagHasSchedShift&1 != 0
+	c.Untied = w>>flagUntiedShift&1 != 0
+	c.NoGroup = w>>flagNoGroupShift&1 != 0
 }
 
 // Encode appends d to the tree and returns its node index. Clause data is
@@ -156,6 +212,10 @@ func (t *Tree) Encode(d *Directive) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	taskIter, err := PackTaskIter(c.Grainsize, c.NumTasks)
+	if err != nil {
+		return 0, err
+	}
 
 	recIdx := uint32(len(t.ExtraData))
 	t.ExtraData = append(t.ExtraData,
@@ -164,6 +224,8 @@ func (t *Tree) Encode(d *Directive) (int, error) {
 		t.optStr(c.NumThreads),
 		t.optStr(c.If),
 		t.optStr(c.Name),
+		taskIter,
+		t.optStr(c.Final),
 	)
 	// Reserve the seven (begin,end) slice headers; payload offsets are
 	// known only after the record.
@@ -222,9 +284,11 @@ func (t *Tree) Decode(i int) (*Directive, error) {
 	c.NumThreads = str(rec[2])
 	c.If = str(rec[3])
 	c.Name = str(rec[4])
+	c.Grainsize, c.NumTasks = UnpackTaskIter(rec[5])
+	c.Final = str(rec[6])
 
 	readList := func(slot int) []string {
-		begin, end := rec[5+2*slot], rec[5+2*slot+1]
+		begin, end := rec[7+2*slot], rec[7+2*slot+1]
 		if begin == end {
 			return nil
 		}
@@ -241,7 +305,7 @@ func (t *Tree) Decode(i int) (*Directive, error) {
 	c.CopyPrivate = readList(4)
 	c.ThreadPrivateVars = readList(5)
 
-	begin, end := rec[5+12], rec[5+13]
+	begin, end := rec[7+12], rec[7+13]
 	for w := begin; w < end; w += 2 {
 		c.Reductions = append(c.Reductions, ReductionClause{
 			Op:   ReduceOp(t.ExtraData[w]),

@@ -61,6 +61,10 @@ func TestFlagsRoundTrip(t *testing.T) {
 		{Collapse: 15},
 		{Collapse: 3, NoWait: true, Default: DefaultNone, HasSchedule: true},
 		{Ordered: true},
+		{Untied: true},
+		{NoGroup: true},
+		{Untied: true, NoGroup: true, NoWait: true},
+		{Untied: true, NoGroup: true, Collapse: 15, Default: DefaultNone, Ordered: true, HasSchedule: true},
 	} {
 		w, err := packFlags(&c)
 		if err != nil {
@@ -70,9 +74,75 @@ func TestFlagsRoundTrip(t *testing.T) {
 		unpackFlags(w, &got)
 		if got.Default != c.Default || got.NoWait != c.NoWait ||
 			got.Collapse != c.Collapse || got.Ordered != c.Ordered ||
-			got.HasSchedule != c.HasSchedule {
+			got.HasSchedule != c.HasSchedule || got.Untied != c.Untied ||
+			got.NoGroup != c.NoGroup {
 			t.Fatalf("flags round trip %+v → %#x → %+v", c, w, got)
 		}
+	}
+}
+
+// Table-driven round trip of the taskloop granularity word: boundary
+// values, both selectors, and the absent encoding.
+func TestPackTaskIterRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		grainsize, numTasks int64
+	}{
+		{0, 0},
+		{1, 0},
+		{0, 1},
+		{64, 0},
+		{0, 512},
+		{MaxTaskIter - 1, 0},
+		{0, MaxTaskIter - 1},
+	} {
+		w, err := PackTaskIter(tc.grainsize, tc.numTasks)
+		if err != nil {
+			t.Fatalf("PackTaskIter(%d,%d): %v", tc.grainsize, tc.numTasks, err)
+		}
+		g, n := UnpackTaskIter(w)
+		if g != tc.grainsize || n != tc.numTasks {
+			t.Fatalf("round trip (%d,%d) → %#x → (%d,%d)", tc.grainsize, tc.numTasks, w, g, n)
+		}
+	}
+}
+
+func TestPackTaskIterLimits(t *testing.T) {
+	if _, err := PackTaskIter(MaxTaskIter, 0); err == nil {
+		t.Error("grainsize 2^30 accepted")
+	}
+	if _, err := PackTaskIter(0, MaxTaskIter); err == nil {
+		t.Error("num_tasks 2^30 accepted")
+	}
+	if _, err := PackTaskIter(-1, 0); err == nil {
+		t.Error("negative grainsize accepted")
+	}
+	if _, err := PackTaskIter(4, 4); err == nil {
+		t.Error("grainsize and num_tasks together accepted")
+	}
+	if MaxTaskIter != 1073741824 {
+		t.Errorf("MaxTaskIter = %d, want 2^30", MaxTaskIter)
+	}
+}
+
+// Property: any 30-bit value survives the packing under either selector.
+func TestPackTaskIterQuick(t *testing.T) {
+	f := func(raw uint32, asNumTasks bool) bool {
+		val := int64(raw % MaxTaskIter)
+		var g, n int64
+		if asNumTasks {
+			n = val
+		} else {
+			g = val
+		}
+		w, err := PackTaskIter(g, n)
+		if err != nil {
+			return false
+		}
+		g2, n2 := UnpackTaskIter(w)
+		return g2 == g && n2 == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -99,6 +169,12 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		"threadprivate(alpha, beta)",
 		"sections nowait",
 		"master",
+		"task",
+		"task private(a) firstprivate(b) shared(c) if(depth < 8) final(n < 16) untied",
+		"taskwait",
+		"taskgroup",
+		"taskloop grainsize(64) firstprivate(x)",
+		"taskloop num_tasks(8) nogroup if(n > 100)",
 	}
 	tree := NewTree()
 	var want []*Directive
@@ -147,7 +223,7 @@ func TestListClauseLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := tree.ExtraData[tree.Nodes[idx].ClauseIdx:]
-	begin, end := rec[5], rec[6] // private slice header
+	begin, end := rec[7], rec[8] // private slice header
 	if end-begin != 3 {
 		t.Fatalf("private slice length %d, want 3", end-begin)
 	}

@@ -554,6 +554,173 @@ func (px *pctx) genAtomic(p *pragma) ([]edit, error) {
 	return []edit{{start: p.start, end: px.off(st.End()), text: text}}, nil
 }
 
+// ---------------------------------------------------------------- tasking
+
+// taskOptionArgs renders the clause options shared by task and taskloop.
+func taskOptionArgs(c *Clauses) []string {
+	var args []string
+	if c.If != "" {
+		args = append(args, fmt.Sprintf("omp.If(%s)", c.If))
+	}
+	if c.Final != "" {
+		args = append(args, fmt.Sprintf("omp.Final(%s)", c.Final))
+	}
+	if c.Untied {
+		args = append(args, "omp.Untied()")
+	}
+	if c.Grainsize > 0 {
+		args = append(args, fmt.Sprintf("omp.Grainsize(%d)", c.Grainsize))
+	}
+	if c.NumTasks > 0 {
+		args = append(args, fmt.Sprintf("omp.NumTasks(%d)", c.NumTasks))
+	}
+	if c.NoGroup {
+		args = append(args, "omp.NoGroup()")
+	}
+	return args
+}
+
+// genTask lowers `//omp task` over the following block into an omp.Task call
+// deferring the outlined body. Firstprivate values are copied into same-name
+// locals outside the closure — capture by copy at task *creation* time, as
+// the standard requires — while private variables shadow inside the deferred
+// body. The closure receives the *executing* thread as a shadowing parameter
+// so that nested directives inside the task body bind to whichever thread
+// steals the task, not to its creator.
+func (px *pctx) genTask(p *pragma, d *Directive) ([]edit, error) {
+	c := &d.Clauses
+	blk, ok := px.stmtAfter(p.end).(*ast.BlockStmt)
+	if !ok {
+		return nil, px.errf(p, "directive must immediately precede a { … } block")
+	}
+	if hasEscapingReturn(blk) {
+		return nil, px.errf(p, "return inside a task is not allowed (OpenMP forbids branching out of a structured block)")
+	}
+	if c.Default == DefaultNone {
+		if err := px.checkDefaultNone(p, c, blk); err != nil {
+			return nil, err
+		}
+	}
+	tvar := px.threadVar(p.start)
+	orphan := tvar == ""
+	if orphan {
+		tvar = "__omp_t"
+	}
+
+	var b strings.Builder
+	b.WriteString("{\n")
+	if orphan {
+		b.WriteString("__omp_t := omp.Current()\n")
+	}
+	for _, s := range shadowDecls(c.FirstPrivate) {
+		b.WriteString(s + "\n") // creation-time copies the closure captures
+	}
+	fmt.Fprintf(&b, "omp.Task(%s, func(%s *omp.Thread) {\n", tvar, tvar)
+	for _, s := range shadowDecls(c.Private) {
+		b.WriteString(s + "\n")
+	}
+	b.WriteString(px.text(blk.Lbrace+1, blk.Rbrace))
+	b.WriteString("\n}")
+	for _, a := range append(taskOptionArgs(c), px.locArg(p, "task")) {
+		b.WriteString(", " + a)
+	}
+	b.WriteString(")\n}")
+	return []edit{{start: p.start, end: px.off(blk.End()), text: b.String()}}, nil
+}
+
+// genTaskwait lowers the standalone `//omp taskwait` directive.
+func (px *pctx) genTaskwait(p *pragma) ([]edit, error) {
+	tvar := px.threadVar(p.start)
+	if tvar == "" {
+		tvar = "omp.Current()"
+	}
+	return []edit{{start: p.start, end: p.end, text: fmt.Sprintf("omp.Taskwait(%s)", tvar)}}, nil
+}
+
+// genTaskgroup lowers `//omp taskgroup`: the block runs on the encountering
+// thread, then the thread waits for every descendant task spawned inside.
+func (px *pctx) genTaskgroup(p *pragma, d *Directive) ([]edit, error) {
+	blk, ok := px.stmtAfter(p.end).(*ast.BlockStmt)
+	if !ok {
+		return nil, px.errf(p, "directive must immediately precede a { … } block")
+	}
+	if hasEscapingReturn(blk) {
+		return nil, px.errf(p, "return inside a taskgroup is not allowed")
+	}
+	tvar := px.threadVar(p.start)
+	pre := ""
+	if tvar == "" {
+		tvar, pre = "__omp_t", "__omp_t := omp.Current()\n"
+	}
+	text := fmt.Sprintf("{\n%somp.Taskgroup(%s, func() {\n%s\n}, %s)\n}",
+		pre, tvar, px.text(blk.Lbrace+1, blk.Rbrace), px.locArg(p, "taskgroup"))
+	return []edit{{start: p.start, end: px.off(blk.End()), text: text}}, nil
+}
+
+// genTaskloop lowers `//omp taskloop`: the canonical for statement is
+// normalised to a trip count exactly as genFor does, but the iteration space
+// is carved into explicit tasks by grainsize/num_tasks instead of being
+// dispatched to the team — the second, chunk-granular lowering strategy for
+// loops. The chunk closure receives the executing thread (tasks migrate
+// between threads), and unless nogroup is present the encountering thread
+// waits for all chunks under an implicit taskgroup.
+func (px *pctx) genTaskloop(p *pragma, d *Directive) ([]edit, error) {
+	c := &d.Clauses
+	forStmt, ok := px.stmtAfter(p.end).(*ast.ForStmt)
+	if !ok {
+		return nil, px.errf(p, "directive must immediately precede a for statement")
+	}
+	hs, err := extractCollapseNest(px.src, 0, px.tf, forStmt, 1)
+	if err != nil {
+		return nil, px.errf(p, "%v", err)
+	}
+	h := hs[0]
+	body := h.Body
+	if hasEscapingReturn(body) {
+		return nil, px.errf(p, "return inside a taskloop is not allowed")
+	}
+	if c.Default == DefaultNone {
+		if err := px.checkDefaultNone(p, c, body, h.Var); err != nil {
+			return nil, err
+		}
+	}
+	tvar := px.threadVar(p.start)
+	orphan := tvar == ""
+	if orphan {
+		tvar = "__omp_t"
+	}
+
+	var b strings.Builder
+	b.WriteString("{\n")
+	if orphan {
+		b.WriteString("__omp_t := omp.Current()\n")
+	}
+	incl := "false"
+	if h.Inclusive {
+		incl = "true"
+	}
+	fmt.Fprintf(&b, "__omp_lb0 := int64(%s)\n", h.LB)
+	fmt.Fprintf(&b, "__omp_st0 := int64(%s)\n", h.Step)
+	fmt.Fprintf(&b, "__omp_trip := omp.TripCount(__omp_lb0, int64(%s), __omp_st0, %s)\n", h.UB, incl)
+	for _, s := range shadowDecls(c.FirstPrivate) {
+		b.WriteString(s + "\n") // creation-time snapshot
+	}
+	fmt.Fprintf(&b, "omp.Taskloop(%s, __omp_trip, func(%s *omp.Thread, __omp_clo, __omp_chi int64) {\n", tvar, tvar)
+	// Per-task copies: each chunk task privatises from the snapshot.
+	for _, s := range shadowDecls(c.Private, c.FirstPrivate) {
+		b.WriteString(s + "\n")
+	}
+	b.WriteString("for __omp_k := __omp_clo; __omp_k < __omp_chi; __omp_k++ {\n")
+	fmt.Fprintf(&b, "%s := int(__omp_lb0 + __omp_k*__omp_st0)\n_ = %s\n", h.Var, h.Var)
+	b.WriteString(px.text(body.Lbrace+1, body.Rbrace))
+	b.WriteString("\n}\n}")
+	for _, a := range append(taskOptionArgs(c), px.locArg(p, "taskloop")) {
+		b.WriteString(", " + a)
+	}
+	b.WriteString(")\n}")
+	return []edit{{start: p.start, end: px.off(forStmt.End()), text: b.String()}}, nil
+}
+
 // ---------------------------------------------------------- threadprivate
 
 // genThreadPrivate rewrites package-level variables to per-thread storage:

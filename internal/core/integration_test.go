@@ -271,3 +271,79 @@ func main() {
 		t.Fatalf("output = %q, want true", got)
 	}
 }
+
+// The tasking pipeline end to end: a source file tagged with //omp task,
+// //omp taskwait, //omp single and //omp taskloop round-trips through
+// tokenize → parse → encode → gen and the generated Go computes the same
+// results as the serial reference. Recursive Fibonacci through orphaned
+// task directives is the canonical irregular workload; the taskloop sums an
+// arithmetic series whose closed form is the check.
+func TestEndToEndTasking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	var x, y int
+	//omp task shared(x) final(n < 8)
+	{
+		x = fib(n - 1)
+	}
+	y = fib(n - 2)
+	//omp taskwait
+	return x + y
+}
+
+func main() {
+	r := 0
+	//omp parallel num_threads(4)
+	{
+		//omp single
+		{
+			r = fib(15)
+		}
+	}
+
+	total := 0
+	//omp parallel num_threads(4)
+	{
+		//omp single
+		{
+			//omp taskloop grainsize(16)
+			for i := 0; i < 1000; i++ {
+				//omp atomic
+				total += i
+			}
+		}
+	}
+
+	grouped := 0
+	//omp parallel num_threads(4)
+	{
+		//omp single
+		{
+			//omp taskgroup
+			{
+				for k := 0; k < 10; k++ {
+					//omp task firstprivate(k)
+					{
+						//omp atomic
+						grouped += k
+					}
+				}
+			}
+		}
+	}
+	fmt.Println(r, total, grouped)
+}
+`)
+	if strings.TrimSpace(got) != "610 499500 45" {
+		t.Fatalf("output = %q, want \"610 499500 45\"", got)
+	}
+}

@@ -88,6 +88,14 @@ func ParseDirective(text string) (*Directive, error) {
 		d.Kind = DirBarrier
 	case p.eatToken(TokAtomic) != nil:
 		d.Kind = DirAtomic
+	case p.eatToken(TokTaskwait) != nil:
+		d.Kind = DirTaskwait
+	case p.eatToken(TokTaskgroup) != nil:
+		d.Kind = DirTaskgroup
+	case p.eatToken(TokTaskloop) != nil:
+		d.Kind = DirTaskloop
+	case p.eatToken(TokTask) != nil:
+		d.Kind = DirTask
 	case p.eatToken(TokThreadPrivate) != nil:
 		d.Kind = DirThreadPrivate
 		vars, err := p.parseIdentList()
@@ -184,6 +192,28 @@ func (p *dirParser) parseClauses(d *Directive) error {
 			c.NoWait = true
 		case p.eatToken(TokOrdered) != nil:
 			c.Ordered = true
+		case p.eatToken(TokFinal) != nil:
+			expr, err := p.parseRawExpr("final")
+			if err != nil {
+				return err
+			}
+			c.Final = expr
+		case p.eatToken(TokUntied) != nil:
+			c.Untied = true
+		case p.eatToken(TokNoGroup) != nil:
+			c.NoGroup = true
+		case p.eatToken(TokGrainsize) != nil:
+			n, err := p.parseIntArg("grainsize")
+			if err != nil {
+				return err
+			}
+			c.Grainsize = n
+		case p.eatToken(TokNumTasks) != nil:
+			n, err := p.parseIntArg("num_tasks")
+			if err != nil {
+				return err
+			}
+			c.NumTasks = n
 		default:
 			return fmt.Errorf("pragma: unknown clause at %s", p.peek())
 		}

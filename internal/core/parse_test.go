@@ -30,6 +30,10 @@ func TestParseDirectiveKinds(t *testing.T) {
 		"barrier":          DirBarrier,
 		"atomic":           DirAtomic,
 		"threadprivate(x)": DirThreadPrivate,
+		"task":             DirTask,
+		"taskwait":         DirTaskwait,
+		"taskgroup":        DirTaskgroup,
+		"taskloop":         DirTaskloop,
 	}
 	for text, want := range cases {
 		if d := mustParse(t, text); d.Kind != want {
@@ -187,6 +191,17 @@ func TestParseErrors(t *testing.T) {
 		"sections reduction(+:x)",            // not lowered on sections
 		"sections lastprivate(x)",            // not lowered on sections
 		"threadprivate",                      // missing list
+		"taskwait if(x)",                     // taskwait takes no clauses
+		"taskgroup private(x)",               // taskgroup takes no clauses
+		"task schedule(static)",              // loop-only clause on task
+		"task grainsize(4)",                  // taskloop-only clause on task
+		"task nowait",                        // no nowait on task
+		"taskloop grainsize(4) num_tasks(2)", // mutually exclusive
+		"taskloop grainsize(0)",              // must be positive
+		"taskloop num_tasks(-1)",             // must be positive
+		"taskloop nowait",                    // taskloop has nogroup, not nowait
+		"for untied",                         // task-only clause on for
+		"parallel final(x)",                  // task-only clause on parallel
 	}
 	for _, text := range cases {
 		if _, err := ParseDirective(text); err == nil {
@@ -250,6 +265,45 @@ func TestDirectiveString(t *testing.T) {
 	for _, want := range []string{"parallel for", "private(a)", "reduction(*:p)", "schedule(guided,4)", "num_threads(n)"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseTaskClauses(t *testing.T) {
+	d := mustParse(t, "task private(a) firstprivate(b) shared(c) if(depth < limit) final(n < 16) untied")
+	c := &d.Clauses
+	if c.If != "depth < limit" || c.Final != "n < 16" || !c.Untied {
+		t.Errorf("task clauses = %+v", c)
+	}
+	if !reflect.DeepEqual(c.FirstPrivate, []string{"b"}) {
+		t.Errorf("FirstPrivate = %v", c.FirstPrivate)
+	}
+
+	d = mustParse(t, "taskloop grainsize(64) nogroup untied")
+	if d.Clauses.Grainsize != 64 || !d.Clauses.NoGroup || !d.Clauses.Untied {
+		t.Errorf("taskloop clauses = %+v", d.Clauses)
+	}
+	d = mustParse(t, "taskloop num_tasks(8)")
+	if d.Clauses.NumTasks != 8 || d.Clauses.Grainsize != 0 {
+		t.Errorf("taskloop clauses = %+v", d.Clauses)
+	}
+}
+
+func TestTaskDirectiveString(t *testing.T) {
+	for _, text := range []string{
+		"task private(a) if(x) final(y) untied",
+		"taskloop grainsize(64) nogroup",
+		"taskloop num_tasks(8)",
+		"taskwait",
+		"taskgroup",
+	} {
+		d := mustParse(t, text)
+		// String() must itself re-parse to the same directive (surface
+		// syntax is stable), the property the preprocessor's fused
+		// parallel-for rewriting depends on.
+		d2 := mustParse(t, d.String())
+		if !reflect.DeepEqual(d, d2) {
+			t.Errorf("String round trip %q → %q → %+v", text, d.String(), d2)
 		}
 	}
 }

@@ -37,8 +37,8 @@ type passStep int
 
 const (
 	stepParallel  passStep = iota // parallel, parallel for
-	stepWorkshare                 // for, sections
-	stepSync                      // single, master, critical, barrier, atomic, threadprivate
+	stepWorkshare                 // for, sections, taskloop
+	stepSync                      // single, master, critical, barrier, atomic, threadprivate, task*
 	stepDone
 )
 
@@ -46,7 +46,7 @@ func stepOf(k DirKind) passStep {
 	switch k {
 	case DirParallel, DirParallelFor:
 		return stepParallel
-	case DirFor, DirSections:
+	case DirFor, DirSections, DirTaskloop:
 		return stepWorkshare
 	default:
 		return stepSync
@@ -242,6 +242,14 @@ func (px *pctx) gen(p *pragma) ([]edit, error) {
 		return px.genAtomic(p)
 	case DirThreadPrivate:
 		return px.genThreadPrivate(p, p.d)
+	case DirTask:
+		return px.genTask(p, p.d)
+	case DirTaskwait:
+		return px.genTaskwait(p)
+	case DirTaskgroup:
+		return px.genTaskgroup(p, p.d)
+	case DirTaskloop:
+		return px.genTaskloop(p, p.d)
 	}
 	return nil, px.errf(p, "no generator for directive")
 }

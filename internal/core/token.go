@@ -71,6 +71,15 @@ const (
 	TokTrapezoidal
 	TokMin
 	TokMax
+	TokTask
+	TokTaskwait
+	TokTaskgroup
+	TokTaskloop
+	TokFinal
+	TokUntied
+	TokGrainsize
+	TokNumTasks
+	TokNoGroup
 )
 
 // keywordTags is the hash map of strings to keyword tokens used "to identify
@@ -113,6 +122,15 @@ var keywordTags = map[string]TokenTag{
 	"trapezoidal":   TokTrapezoidal,
 	"min":           TokMin,
 	"max":           TokMax,
+	"task":          TokTask,
+	"taskwait":      TokTaskwait,
+	"taskgroup":     TokTaskgroup,
+	"taskloop":      TokTaskloop,
+	"final":         TokFinal,
+	"untied":        TokUntied,
+	"grainsize":     TokGrainsize,
+	"num_tasks":     TokNumTasks,
+	"nogroup":       TokNoGroup,
 }
 
 // KeywordTag returns the keyword tag for an identifier spelling, or

@@ -22,6 +22,11 @@ const (
 	allowOrdered
 	allowNumThreads
 	allowIf
+	allowFinal
+	allowUntied
+	allowGrainsize
+	allowNumTasks
+	allowNoGroup
 )
 
 // allowedClauses is the directive/clause compatibility matrix, the OpenMP
@@ -47,6 +52,16 @@ var allowedClauses = map[DirKind]clauseSet{
 	DirBarrier:       0,
 	DirAtomic:        0,
 	DirThreadPrivate: 0,
+	DirTask: allowPrivate | allowFirstPrivate | allowShared | allowDefault |
+		allowIf | allowFinal | allowUntied,
+	DirTaskwait:  0,
+	DirTaskgroup: 0,
+	// OpenMP also allows collapse/reduction/lastprivate on taskloop; this
+	// implementation does not lower them there, so they are rejected
+	// rather than silently ignored.
+	DirTaskloop: allowPrivate | allowFirstPrivate | allowShared | allowDefault |
+		allowIf | allowFinal | allowUntied | allowGrainsize | allowNumTasks |
+		allowNoGroup,
 }
 
 // Validate checks directive/clause compatibility and clause-level
@@ -78,6 +93,11 @@ func Validate(d *Directive) error {
 		{c.Ordered, allowOrdered, "ordered"},
 		{c.NumThreads != "", allowNumThreads, "num_threads"},
 		{c.If != "", allowIf, "if"},
+		{c.Final != "", allowFinal, "final"},
+		{c.Untied, allowUntied, "untied"},
+		{c.Grainsize > 0, allowGrainsize, "grainsize"},
+		{c.NumTasks > 0, allowNumTasks, "num_tasks"},
+		{c.NoGroup, allowNoGroup, "nogroup"},
 	} {
 		if ch.present && allowed&ch.set == 0 {
 			return fmt.Errorf("pragma: clause %s is not permitted on the %s directive", ch.name, d.Kind)
@@ -95,6 +115,12 @@ func Validate(d *Directive) error {
 	}
 	if c.Chunk > 0 && !c.HasSchedule {
 		return fmt.Errorf("pragma: chunk without schedule clause")
+	}
+	if c.Grainsize > 0 && c.NumTasks > 0 {
+		return fmt.Errorf("pragma: grainsize and num_tasks are mutually exclusive (OpenMP 5.2 §12.6)")
+	}
+	if c.Grainsize >= MaxTaskIter || c.NumTasks >= MaxTaskIter {
+		return fmt.Errorf("pragma: task granularity exceeds the encodable maximum %d", int64(MaxTaskIter)-1)
 	}
 
 	// A variable may appear in at most one data-sharing clause
@@ -213,6 +239,21 @@ func (d *Directive) String() string {
 	}
 	if c.If != "" {
 		fmt.Fprintf(&b, " if(%s)", c.If)
+	}
+	if c.Final != "" {
+		fmt.Fprintf(&b, " final(%s)", c.Final)
+	}
+	if c.Grainsize > 0 {
+		fmt.Fprintf(&b, " grainsize(%d)", c.Grainsize)
+	}
+	if c.NumTasks > 0 {
+		fmt.Fprintf(&b, " num_tasks(%d)", c.NumTasks)
+	}
+	if c.Untied {
+		b.WriteString(" untied")
+	}
+	if c.NoGroup {
+		b.WriteString(" nogroup")
 	}
 	if c.NoWait {
 		b.WriteString(" nowait")

@@ -9,11 +9,43 @@
 //   - barriers           → __kmpc_barrier            → (*Thread).Barrier
 //   - critical           → __kmpc_critical           → Critical
 //   - single / master    → __kmpc_single/master      → (*Thread).Single / Master
+//   - explicit tasks     → __kmpc_omp_task           → (*Thread).TaskSpawn
+//   - taskwait           → __kmpc_omp_taskwait       → (*Thread).Taskwait
+//   - taskgroup          → __kmpc_taskgroup/end      → (*Thread).TaskgroupRun
+//   - taskloop           → __kmpc_taskloop           → (*Thread).Taskloop
 //
 // This package provides those entry points natively: goroutine worker teams
 // stand in for the pthread teams of libomp. Teams are "hot" — workers are
 // created once and parked between parallel regions, exactly as libomp keeps
 // its hot team — so fork/join cost is a channel wake-up, not a spawn.
+//
+// # Explicit tasking
+//
+// Every deferred task lands on the creating thread's Chase–Lev
+// work-stealing deque (taskdeque.go): the owner pushes and pops at the
+// bottom in LIFO order (keeps recursive working sets cache-hot and bounds
+// deque depth), while thieves steal the oldest task from the top in FIFO
+// order (one steal takes the largest remaining subtree). All deque accesses
+// are atomic, so the structure is lock-free and race-detector-clean; the
+// one synchronised point is the CAS on top that decides ownership of a
+// task, including the owner-vs-thief race for the last element.
+//
+// Completion follows two rules (task.go):
+//
+//   - taskwait waits for the *children* of the current task only — each
+//     task carries a counter of its outstanding deferred children.
+//   - taskgroup end waits for all *descendants* spawned in the group —
+//     a task inherits its creator's group, so transitively created tasks
+//     count against it too.
+//
+// Both waits, and every team barrier, are task scheduling points: a waiting
+// thread executes ready tasks (its own deque first, then steals round-robin
+// from teammates) instead of spinning, so one producer thread plus an idle
+// team drains any task tree. The implicit barrier at region end completes
+// all outstanding tasks before ForkCall returns. if(false) and final tasks
+// — and every descendant of a final task — execute undeferred on the
+// spawning thread's stack; untied is accepted but executes tied, the
+// conforming fallback (untied permits migration, it does not require it).
 //
 // Because the evaluation machines for the original paper expose more
 // hardware threads than typical CI hosts, teams may be larger than

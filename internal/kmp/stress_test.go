@@ -206,6 +206,75 @@ func TestZeroTripLoops(t *testing.T) {
 	}
 }
 
+// Steal-heavy tasking: one thread spawns thousands of fine-grained tasks in
+// an unbalanced pattern (everything lands on thread 0's deque) while the
+// rest of the team arrives at the barrier with empty deques and must feed
+// entirely by stealing. Some tasks re-spawn children from whichever thread
+// stole them, so deques other than thread 0's also see owner pushes racing
+// thief CASes. Run under -race this exercises every shared edge of the
+// Chase–Lev deque: pop vs steal on the last element, growth during steals,
+// and the completion counters.
+func TestTaskStealStress(t *testing.T) {
+	const spawners = 4000
+	var sum atomic.Int64
+	var stolen atomic.Int64
+	ForkCall(Ident{}, 8, func(th *Thread) {
+		home := th
+		if th.Tid == 0 {
+			for i := 0; i < spawners; i++ {
+				v := int64(i)
+				th.TaskSpawn(Ident{}, func(ex *Thread) {
+					if ex != home {
+						stolen.Add(1)
+					}
+					if v%16 == 0 {
+						// Re-spawn from the executing thread: its deque
+						// becomes a steal victim too.
+						ex.TaskSpawn(Ident{}, func(*Thread) { sum.Add(1) }, false, false, false)
+					}
+					sum.Add(v)
+				}, false, false, false)
+			}
+		}
+		th.Barrier()
+	})
+	want := int64(spawners)*(spawners-1)/2 + spawners/16
+	if got := sum.Load(); got != want {
+		t.Fatalf("steal-heavy sum = %d, want %d", got, want)
+	}
+	t.Logf("stolen %d of %d tasks", stolen.Load(), spawners)
+}
+
+// Recursive unbalanced spawn tree under load: every task spawns a deep
+// left-heavy chain, interleaved across two back-to-back regions to check
+// the pooled team's task state resets.
+func TestTaskTreeStress(t *testing.T) {
+	for round := 0; round < 2; round++ {
+		var count atomic.Int64
+		var grow func(th *Thread, depth int)
+		grow = func(th *Thread, depth int) {
+			count.Add(1)
+			if depth == 0 {
+				return
+			}
+			for c := 0; c < 2; c++ {
+				d := depth - 1
+				th.TaskSpawn(Ident{}, func(ex *Thread) { grow(ex, d) }, false, false, false)
+			}
+			th.Taskwait()
+		}
+		ForkCall(Ident{}, 6, func(th *Thread) {
+			if th.Single() {
+				grow(th, 10)
+			}
+			th.Barrier()
+		})
+		if got := count.Load(); got != 1<<11-1 {
+			t.Fatalf("round %d: tree ran %d nodes, want %d", round, got, 1<<11-1)
+		}
+	}
+}
+
 func TestStaticChunkedZeroAndNegativeChunk(t *testing.T) {
 	// chunk <= 0 is clamped to 1 rather than dividing by zero.
 	var count int

@@ -1,0 +1,277 @@
+package kmp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Explicit tasking: the analog of libomp's __kmpc_omp_task* entry points.
+// Every explicit task becomes a taskNode pushed onto the creating thread's
+// work-stealing deque (taskdeque.go); threads execute their own newest
+// tasks first and steal the oldest task of a teammate when their deque runs
+// dry — at taskwait, at taskgroup ends, and at team barriers, which makes
+// barriers task scheduling points as the standard requires: idle threads
+// help drain the task pool instead of spinning.
+//
+// Completion bookkeeping uses two counters:
+//
+//   - taskNode.children counts outstanding *deferred child* tasks of one
+//     task; Taskwait spins (executing other tasks) until the current task's
+//     counter reaches zero. This is exactly taskwait's contract — children
+//     only, not descendants.
+//   - taskGroup.pending counts every task spawned inside the group,
+//     transitively: a task created while executing a group member inherits
+//     the member's group, so descendants are counted too, which is
+//     taskgroup's (stronger) contract.
+//
+// A team-wide Team.taskCount makes the end-of-region and explicit barriers
+// complete all outstanding tasks before any thread passes.
+//
+// Tied vs untied: every task here executes tied — it runs to completion on
+// the thread that dequeued it and never migrates mid-execution (Go has no
+// continuation capture to migrate with). The untied clause is accepted and
+// recorded, then treated as tied, the conforming fallback the standard
+// allows (untied is a permission to migrate, not an obligation).
+
+// taskNode is one explicit task instance: libomp's kmp_taskdata_t reduced
+// to what closure capture does not already carry.
+type taskNode struct {
+	fn     func(*Thread) // outlined task body, invoked with the executing thread
+	parent *taskNode     // creating task (nil for a lazily-created implicit task's parent)
+	group  *taskGroup    // innermost enclosing taskgroup at creation, nil if none
+	team   *Team
+	final  bool // final clause: all descendants execute undeferred
+
+	// children counts spawned-but-incomplete deferred child tasks.
+	children atomic.Int32
+}
+
+// finish runs the completion protocol after fn returns.
+func (n *taskNode) finish() {
+	if n.group != nil {
+		n.group.pending.Add(-1)
+	}
+	if n.parent != nil {
+		n.parent.children.Add(-1)
+	}
+	if n.team != nil {
+		n.team.taskCount.Add(-1)
+	}
+}
+
+// taskGroup is one active taskgroup region; groups nest by parent links.
+type taskGroup struct {
+	pending atomic.Int32
+	parent  *taskGroup
+}
+
+// currentTask returns the task the thread is executing, creating the
+// region's implicit task on first use (implicit tasks exist only so that
+// Taskwait has a children counter to watch).
+func (t *Thread) currentTask() *taskNode {
+	if t.curTask == nil {
+		t.curTask = &taskNode{team: t.team}
+	}
+	return t.curTask
+}
+
+// TaskSpawn creates an explicit task executing fn — __kmpc_omp_task. The
+// task is deferred onto the calling thread's deque unless it must execute
+// undeferred: if(false) tasks, final tasks and all descendants of final
+// tasks (included tasks), and tasks created outside a multi-thread team,
+// which all run immediately on the caller's stack.
+//
+// t must be the calling thread's own descriptor: the deque push is
+// owner-only. Task bodies receive the executing thread, which for stolen
+// tasks differs from t. loc is the construct's source position, attributed
+// to the spawn trace event.
+func (t *Thread) TaskSpawn(loc Ident, fn func(*Thread), undeferred, final, untied bool) {
+	_ = untied // accepted, executed tied (see package comment)
+	parent := t.currentTask()
+	inherit := parent.final
+	if undeferred || final || inherit || t.team == nil || t.team.n == 1 {
+		// Undeferred/included path: execute now, on this thread, with the
+		// task still visible as the current task so that taskwait and
+		// data-environment nesting behave as if it had been deferred.
+		node := &taskNode{parent: parent, group: t.curGroup, team: t.team, final: final || inherit}
+		t.runTask(node, fn)
+		return
+	}
+	node := &taskNode{fn: fn, parent: parent, group: t.curGroup, team: t.team}
+	parent.children.Add(1)
+	if node.group != nil {
+		node.group.pending.Add(1)
+	}
+	t.team.taskCount.Add(1)
+	if tr := traceHook(); tr != nil {
+		tr(TraceEvent{Kind: TraceTaskSpawn, Loc: loc, Tid: t.Tid})
+	}
+	t.deque.push(node)
+}
+
+// runTask executes a task body on this thread with the task-environment
+// stacking (current task, current group) saved and restored around it.
+func (t *Thread) runTask(node *taskNode, fn func(*Thread)) {
+	prevTask, prevGroup := t.curTask, t.curGroup
+	t.curTask, t.curGroup = node, node.group
+	fn(t)
+	t.curTask, t.curGroup = prevTask, prevGroup
+}
+
+// runOneTask pops or steals one ready task and executes it to completion.
+// Returns false when no task was found anywhere in the team.
+func (t *Thread) runOneTask() bool {
+	node := t.deque.pop()
+	if node == nil && t.team != nil {
+		tm := t.team
+		for i := 1; i < tm.n; i++ {
+			victim := tm.threads[(t.Tid+i)%tm.n]
+			if node = victim.deque.steal(); node != nil {
+				if tr := traceHook(); tr != nil {
+					tr(TraceEvent{Kind: TraceTaskSteal, Loc: tm.loc, Tid: t.Tid})
+				}
+				break
+			}
+		}
+	}
+	if node == nil {
+		return false
+	}
+	t.runTask(node, node.fn)
+	node.finish()
+	return true
+}
+
+// taskIdle is the found-no-work backoff for task scheduling points: yield
+// for a while (another thread is probably mid-task and about to spawn or
+// finish), then sleep briefly so oversubscribed teams cannot starve the
+// thread actually doing the work — the same policy as spinThenYield.
+type taskIdle int
+
+func (i *taskIdle) wait() {
+	*i++
+	if *i < 128 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(20 * time.Microsecond)
+}
+
+// Taskwait blocks until all child tasks of the current task have completed
+// (__kmpc_omp_taskwait). It is a task scheduling point: while waiting, the
+// thread executes other ready tasks — its own or stolen — so recursive
+// divide-and-conquer patterns (spawn children, taskwait, combine) keep
+// every thread busy.
+func (t *Thread) Taskwait() {
+	if t == nil || t.curTask == nil {
+		return // no task has been spawned from this context
+	}
+	cur := t.curTask
+	var idle taskIdle
+	for cur.children.Load() > 0 {
+		if t.runOneTask() {
+			idle = 0
+		} else {
+			idle.wait()
+		}
+	}
+}
+
+// TaskgroupRun executes body inside a new taskgroup and then waits for
+// every task spawned in the group, including transitively created
+// descendants (__kmpc_taskgroup / __kmpc_end_taskgroup). The wait is a task
+// scheduling point like Taskwait.
+func (t *Thread) TaskgroupRun(loc Ident, body func()) {
+	if t == nil {
+		body()
+		return
+	}
+	if tr := traceHook(); tr != nil {
+		tr(TraceEvent{Kind: TraceTaskgroup, Loc: loc, Tid: t.Tid})
+	}
+	g := &taskGroup{parent: t.curGroup}
+	t.curGroup = g
+	body()
+	t.curGroup = g.parent
+	var idle taskIdle
+	for g.pending.Load() > 0 {
+		if t.runOneTask() {
+			idle = 0
+		} else {
+			idle.wait()
+		}
+	}
+}
+
+// Taskloop carves [0, trip) into explicit tasks — __kmpc_taskloop, the
+// chunk-granular lowering strategy for loops. Granularity: grainsize(g)
+// yields ceil(trip/g) tasks of ~g iterations; num_tasks(n) yields n
+// balanced tasks; with neither, two tasks per team thread (libomp's
+// KMP_TASKLOOP num_tasks default). Unless nogroup is set the call waits for
+// all chunks under an implicit taskgroup. undeferred (the if(false) clause)
+// executes the whole loop immediately on the calling thread.
+func (t *Thread) Taskloop(loc Ident, trip, grainsize, numTasks int64, nogroup, undeferred bool, body func(t *Thread, lo, hi int64)) {
+	if trip <= 0 {
+		return
+	}
+	if t == nil || t.team == nil || t.team.n == 1 || undeferred {
+		body(t, 0, trip)
+		return
+	}
+	if tr := traceHook(); tr != nil {
+		tr(TraceEvent{Kind: TraceTaskloop, Loc: loc, Tid: t.Tid})
+	}
+	var chunks int64
+	switch {
+	case grainsize > 0:
+		chunks = (trip + grainsize - 1) / grainsize
+	case numTasks > 0:
+		chunks = numTasks
+	default:
+		chunks = 2 * int64(t.team.n)
+	}
+	if chunks > trip {
+		chunks = trip
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	spawn := func() {
+		base, rem := trip/chunks, trip%chunks
+		lo := int64(0)
+		for c := int64(0); c < chunks; c++ {
+			hi := lo + base
+			if c < rem {
+				hi++
+			}
+			clo, chi := lo, hi
+			t.TaskSpawn(loc, func(ex *Thread) { body(ex, clo, chi) }, false, false, false)
+			lo = hi
+		}
+	}
+	if nogroup {
+		spawn()
+	} else {
+		t.TaskgroupRun(loc, spawn)
+	}
+}
+
+// taskDrain executes ready tasks until none remain anywhere in the team:
+// the task-completion half of a barrier. Threads that find no work yield
+// rather than spin hard — another thread may still be running a task that
+// will spawn more.
+func (t *Thread) taskDrain() {
+	if t == nil || t.team == nil {
+		return
+	}
+	tm := t.team
+	var idle taskIdle
+	for tm.taskCount.Load() > 0 {
+		if t.runOneTask() {
+			idle = 0
+		} else {
+			idle.wait()
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package kmp
+
+import "sync/atomic"
+
+// Per-thread work-stealing deque in the style of Chase & Lev ("Dynamic
+// Circular Work-Stealing Deque", SPAA 2005), the algorithm behind libomp's
+// task queues and most task runtimes since Cilk. The owning thread pushes
+// and pops newly-created tasks at the bottom (LIFO order keeps the working
+// set cache-hot and bounds memory for recursive spawn trees); thieves take
+// the oldest task from the top (FIFO order steals the largest remaining
+// subtrees, amortising steal traffic).
+//
+// Go simplifies the classic algorithm in two ways: the garbage collector
+// removes the freed-buffer ABA hazard that the original paper spends a
+// section on, and sync/atomic operations are sequentially consistent, which
+// subsumes the acquire/release fences of the C11 formulation. Every shared
+// access — top, bottom, the ring pointer and the ring slots themselves —
+// is atomic, so the implementation is also clean under the race detector.
+
+const initialDequeCap = 64
+
+// taskRing is one immutable-capacity circular buffer; the deque swaps in a
+// doubled ring when full (the "growable" variant of the paper).
+type taskRing struct {
+	mask int64 // capacity-1; capacity is a power of two
+	buf  []atomic.Pointer[taskNode]
+}
+
+func newTaskRing(capacity int64) *taskRing {
+	return &taskRing{mask: capacity - 1, buf: make([]atomic.Pointer[taskNode], capacity)}
+}
+
+func (r *taskRing) get(i int64) *taskNode    { return r.buf[i&r.mask].Load() }
+func (r *taskRing) put(i int64, n *taskNode) { r.buf[i&r.mask].Store(n) }
+
+// taskDeque is the per-thread deque. top and bottom only grow; top is the
+// next index to steal, bottom the next index to push, so bottom-top is the
+// current length.
+type taskDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[taskRing]
+	_      pad
+}
+
+// push appends a task at the bottom. Owner only.
+func (d *taskDeque) push(n *taskNode) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if r == nil {
+		r = newTaskRing(initialDequeCap)
+		d.ring.Store(r)
+	}
+	if b-t > r.mask {
+		r = d.grow(r, b, t)
+	}
+	r.put(b, n)
+	d.bottom.Store(b + 1)
+}
+
+// grow swaps in a ring of double capacity, copying the live range. Owner
+// only; concurrent thieves keep reading the old ring, whose entries stay
+// valid — the CAS on top decides who owns each task.
+func (d *taskDeque) grow(old *taskRing, b, t int64) *taskRing {
+	r := newTaskRing(2 * (old.mask + 1))
+	for i := t; i < b; i++ {
+		r.put(i, old.get(i))
+	}
+	d.ring.Store(r)
+	return r
+}
+
+// pop removes the newest task (LIFO). Owner only. Returns nil when the
+// deque is empty or a thief won the race for the last task.
+//
+// Popped slots are cleared so completed task closures do not stay
+// reachable from the pooled hot team's ring: once index b is outside
+// [top, bottom) no thief can claim it (top is monotonic and never reaches
+// past bottom), so the owner's nil store cannot destroy a live task. A
+// thief that already read the slot before the clear only uses the value if
+// its CAS on top succeeds, which the same monotonicity argument prevents.
+func (d *taskDeque) pop() *taskNode {
+	r := d.ring.Load()
+	if r == nil {
+		return nil
+	}
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	switch {
+	case t > b:
+		// Empty: undo the reservation.
+		d.bottom.Store(b + 1)
+		return nil
+	case t == b:
+		// Last element: race the thieves for it through top.
+		n := r.get(b)
+		if !d.top.CompareAndSwap(t, t+1) {
+			n = nil // a thief got it first; it read the slot pre-CAS
+		}
+		r.put(b, nil)
+		d.bottom.Store(b + 1)
+		return n
+	default:
+		n := r.get(b)
+		r.put(b, nil)
+		return n
+	}
+}
+
+// release drops the ring so the GC reclaims it and any stale stolen-slot
+// references. Only safe when no other thread can touch the deque — it is
+// called from team reset, between regions, with the team quiesced.
+func (d *taskDeque) release() {
+	d.top.Store(0)
+	d.bottom.Store(0)
+	d.ring.Store(nil)
+}
+
+// steal removes the oldest task (FIFO). Safe from any thread. Returns nil
+// when the deque is empty.
+func (d *taskDeque) steal() *taskNode {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return nil
+		}
+		r := d.ring.Load()
+		if r == nil {
+			return nil
+		}
+		n := r.get(t)
+		if d.top.CompareAndSwap(t, t+1) {
+			return n
+		}
+		// Lost the race against the owner or another thief; retry.
+	}
+}

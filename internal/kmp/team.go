@@ -3,6 +3,7 @@ package kmp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Ident describes the source location of a lowered construct, the analog of
@@ -43,6 +44,10 @@ type Team struct {
 	disp    [dispatchRing]dispatchBuf
 	singles [dispatchRing]singleBuf
 	copyPB  copyPrivateBuf
+
+	// taskCount is the number of spawned-but-incomplete explicit tasks in
+	// the team (task.go); barriers drain it to zero before releasing.
+	taskCount atomic.Int64
 
 	// loc is the source location of the region being executed, so
 	// barrier events can be attributed to their region by the profiler.
@@ -110,10 +115,17 @@ func (tm *Team) reset() {
 		tm.singles[i].reset()
 	}
 	tm.copyPB.reset()
+	tm.taskCount.Store(0)
 	for _, th := range tm.threads {
 		th.dispatchSeq = 0
 		th.singleSeq = 0
 		th.curLoop = nil
+		th.curTask = nil
+		th.curGroup = nil
+		// Deques are empty between regions (the implicit barrier drained
+		// them) but stolen slots may still reference completed closures;
+		// dropping the ring releases them and any growth.
+		th.deque.release()
 	}
 }
 
@@ -193,16 +205,24 @@ func ForkCall(loc Ident, nthreads int, fn Microtask) {
 		defer tr(TraceEvent{Kind: TraceForkEnd, Loc: loc, NThreads: n})
 	}
 
+	// The implicit barrier at region end must also complete every explicit
+	// task spawned in the region, so each thread drains the team's task
+	// pool after the region body returns (task.go).
+	run := func(th *Thread) {
+		fn(th)
+		th.taskDrain()
+	}
+
 	tm.join.Add(n - 1)
 	for i := 1; i < n; i++ {
-		tm.workers[i-1].tasks <- fn
+		tm.workers[i-1].tasks <- run
 	}
 
 	// The caller runs as the master. Its goroutine may already be
 	// registered (nested enabled); stack the registration for the region.
 	master := tm.threads[0]
 	gid, prev := registerCurrent(master)
-	fn(master)
+	run(master)
 	unregister(gid, prev)
 
 	tm.join.Wait()
@@ -235,6 +255,13 @@ func (t *Thread) Barrier() {
 	if tr := traceHook(); tr != nil {
 		tr(TraceEvent{Kind: TraceBarrier, Loc: t.team.loc, Tid: t.Tid})
 	}
+	// A barrier is a task scheduling point: instead of spinning, arriving
+	// threads execute outstanding explicit tasks (their own, then stolen)
+	// until the team's task pool is dry. A thread that enters Wait only
+	// after seeing zero may still be overtaken by a task spawning more
+	// tasks, but the spawning thread drains those before arriving itself,
+	// so all tasks created before the barrier complete before release.
+	t.taskDrain()
 	t.team.barrier.Wait(t.Tid)
 }
 

@@ -39,6 +39,13 @@ type Thread struct {
 	singleSeq   uint32
 	curLoop     *dispatchBuf
 
+	// Explicit tasking (task.go): the thread's work-stealing deque, the
+	// task it is currently executing (nil = implicit task not yet
+	// materialised) and the innermost taskgroup open at this point.
+	deque    taskDeque
+	curTask  *taskNode
+	curGroup *taskGroup
+
 	_ pad
 }
 

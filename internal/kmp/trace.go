@@ -16,6 +16,14 @@ const (
 	TraceLoopInit
 	// TraceLoopFini fires when a thread finishes a dynamic loop.
 	TraceLoopFini
+	// TraceTaskSpawn fires when a thread defers an explicit task.
+	TraceTaskSpawn
+	// TraceTaskSteal fires when a thread steals a task from a teammate.
+	TraceTaskSteal
+	// TraceTaskgroup fires when a thread opens a taskgroup region.
+	TraceTaskgroup
+	// TraceTaskloop fires when a thread starts carving a taskloop.
+	TraceTaskloop
 )
 
 // TraceEvent is one instrumentation record. The paper names compiler-driven

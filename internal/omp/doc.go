@@ -13,7 +13,8 @@
 //
 //   - The structured constructs the preprocessor lowers pragmas onto:
 //     Parallel, For, ParallelFor, Single, Masked, Sections, Critical,
-//     Barrier and the reduction cells. These correspond to the paper's
+//     Barrier, the explicit-tasking constructs (Task, Taskwait, Taskgroup,
+//     Taskloop) and the reduction cells. These correspond to the paper's
 //     `.omp.internal` namespace of generic wrappers over the __kmpc_*
 //     families — not intended to be pretty for humans, but they are usable
 //     directly and the examples do so.

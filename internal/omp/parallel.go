@@ -15,6 +15,14 @@ type config struct {
 	ifClause   bool
 	hasIf      bool
 	loc        kmp.Ident
+
+	// Tasking clauses (task.go).
+	finalClause bool
+	hasFinal    bool
+	untied      bool
+	grainsize   int64
+	numTasks    int64
+	nogroup     bool
 }
 
 func (c *config) apply(opts []Option) {

@@ -1,0 +1,96 @@
+package omp
+
+// Explicit tasking constructs: the user-facing lowering targets of
+// `//omp task`, `//omp taskwait`, `//omp taskgroup` and `//omp taskloop`.
+// The runtime behind them (internal/kmp/task.go) runs per-thread
+// work-stealing deques; team barriers double as task scheduling points, so
+// a single thread may spawn a whole task tree and the rest of the team
+// drains it.
+
+// Final is the final clause: when cond is true the task — and every task it
+// creates, transitively — executes undeferred on the spawning thread. The
+// standard cut-off switch for recursive decomposition.
+func Final(cond bool) Option {
+	return func(c *config) { c.finalClause = cond; c.hasFinal = true }
+}
+
+// Untied is the untied clause. Accepted for source compatibility; tasks
+// always execute tied to the thread that dequeues them (the conforming
+// fallback — untied permits migration, it does not require it).
+func Untied() Option { return func(c *config) { c.untied = true } }
+
+// Grainsize is the taskloop grainsize(n) clause: chunks of about n
+// iterations per task. Mutually exclusive with NumTasks.
+func Grainsize(n int64) Option { return func(c *config) { c.grainsize = n } }
+
+// NumTasks is the taskloop num_tasks(n) clause: n balanced chunk tasks.
+// Mutually exclusive with Grainsize.
+func NumTasks(n int64) Option { return func(c *config) { c.numTasks = n } }
+
+// NoGroup is the taskloop nogroup clause: do not wait for the chunk tasks
+// at the end of the construct (completion moves to the next taskwait,
+// taskgroup end or barrier).
+func NoGroup() Option { return func(c *config) { c.nogroup = true } }
+
+// Task spawns body as an explicit task: the lowering of `//omp task`.
+// t must be the calling thread (nil outside any parallel region, where the
+// task executes immediately). body receives the thread that eventually
+// executes the task — for a stolen task a different one than t — so nested
+// constructs inside the body bind to the executor.
+//
+// An If(false) or Final(true) task is undeferred: it executes on the
+// calling thread before Task returns, as the standard requires.
+func Task(t *Thread, body func(t *Thread), opts ...Option) {
+	var c config
+	c.apply(opts)
+	if c.loc.Region == "" {
+		c.loc.Region = "task"
+	}
+	undeferred := c.hasIf && !c.ifClause
+	final := c.hasFinal && c.finalClause
+	if t == nil || t.Team() == nil {
+		// Outside any team: the initial thread runs the task inline.
+		body(t)
+		return
+	}
+	t.TaskSpawn(c.loc, body, undeferred, final, c.untied)
+}
+
+// Taskwait blocks until all child tasks spawned by the current task have
+// completed: the lowering of `//omp taskwait`. While waiting, the thread
+// executes other ready tasks.
+func Taskwait(t *Thread) { t.Taskwait() }
+
+// Taskgroup runs body and then waits for every task spawned inside it,
+// including transitively created descendants: the lowering of
+// `//omp taskgroup`.
+func Taskgroup(t *Thread, body func(), opts ...Option) {
+	var c config
+	c.apply(opts)
+	if c.loc.Region == "" {
+		c.loc.Region = "taskgroup"
+	}
+	t.TaskgroupRun(c.loc, body)
+}
+
+// Taskloop chunks [0, trip) into explicit tasks: the lowering of
+// `//omp taskloop`, and a second, task-granular scheduling strategy for
+// loops next to For's static/dynamic dispatch. body receives each chunk
+// with the thread executing it. Granularity comes from Grainsize or
+// NumTasks (default: two chunks per team thread); the call waits for all
+// chunks unless NoGroup is given.
+func Taskloop(t *Thread, trip int64, body func(t *Thread, lo, hi int64), opts ...Option) {
+	var c config
+	c.apply(opts)
+	if c.loc.Region == "" {
+		c.loc.Region = "taskloop"
+	}
+	undeferred := c.hasIf && !c.ifClause
+	if t == nil || !t.InParallel() {
+		if trip > 0 {
+			body(t, 0, trip)
+		}
+		return
+	}
+	t.Taskloop(c.loc, trip, c.grainsize, c.numTasks, c.nogroup, undeferred, body)
+}
