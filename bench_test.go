@@ -24,7 +24,7 @@ import (
 	"gomp/internal/core"
 	"gomp/internal/kmp"
 	"gomp/internal/npb"
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 func benchClass() npb.Class {

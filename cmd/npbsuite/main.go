@@ -17,15 +17,32 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"gomp/internal/bench"
 	"gomp/internal/npb"
 )
+
+// jsonReport is the machine-readable form of one npbsuite invocation,
+// written as BENCH_<class>.json so successive PRs accumulate a perf
+// trajectory that tooling can diff without re-parsing the human tables.
+type jsonReport struct {
+	Timestamp  string           `json:"timestamp"`
+	Class      string           `json:"class"`
+	Threads    []int            `json:"threads"`
+	Runs       int              `json:"runs"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Kernels    []*bench.Sweep   `json:"kernels"`
+	Tasks      *bench.TaskSweep `json:"tasks,omitempty"`
+}
 
 func main() {
 	var (
@@ -35,6 +52,7 @@ func main() {
 		paperTh  = flag.Bool("paper-threads", false, "use the paper's thread counts {1,2,16,32,64,96,128}")
 		runs     = flag.Int("runs", 1, "repetitions per configuration (paper uses 5)")
 		tasks    = flag.Bool("tasks", true, "append the tasking section (explicit-task fib, taskloop vs for)")
+		jsonOut  = flag.Bool("json", false, "also write machine-readable results to BENCH_<class>.json")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -59,6 +77,15 @@ func main() {
 		}
 	}
 
+	report := jsonReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Class:      class.String(),
+		Threads:    threads,
+		Runs:       *runs,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
 	exit := 0
 	for _, kernel := range strings.Split(*kernels, ",") {
 		kernel = strings.TrimSpace(kernel)
@@ -74,6 +101,7 @@ func main() {
 		}
 		fmt.Println(sw.RuntimeTable())
 		fmt.Println(sw.SpeedupFigure())
+		report.Kernels = append(report.Kernels, sw)
 		for _, pts := range sw.Points {
 			for _, p := range pts {
 				if !p.Verified {
@@ -88,8 +116,26 @@ func main() {
 			fmt.Fprint(os.Stderr, "\r\033[K")
 		}
 		fmt.Println(tsw.Table())
+		report.Tasks = tsw
+	}
+	if *jsonOut {
+		path := fmt.Sprintf("BENCH_%s.json", class)
+		if err := writeJSON(path, &report); err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 	os.Exit(exit)
+}
+
+func writeJSON(path string, report *jsonReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func parseInts(s string) ([]int, error) {

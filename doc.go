@@ -9,17 +9,22 @@
 // This repository rebuilds every layer of that stack for Go:
 //
 //   - internal/core — the contribution: pragma tokeniser (keywords stay
-//     identifiers), directive parser, bit-packed 32-bit clause encoding
-//     (extra_data emulation), and the multi-pass source-to-source
-//     preprocessor over go/ast.
-//   - internal/kmp — the libomp analog: hot goroutine teams, ForkCall,
-//     three barrier algorithms, static partitioning, dynamic/guided
-//     dispatch rings, criticals, locks, single/master, threadprivate, and
-//     the explicit-tasking layer (task/taskwait/taskgroup/taskloop) over
+//     identifiers), directive parser (including cancel and cancellation
+//     point), bit-packed 32-bit clause encoding (extra_data emulation),
+//     and the multi-pass source-to-source preprocessor over go/ast.
+//   - internal/kmp — the libomp analog: hot goroutine teams, ForkCall and
+//     its error/context-aware sibling, three barrier algorithms plus a
+//     cancellation-aware one, static partitioning, dynamic/guided dispatch
+//     rings, criticals, locks, single/master, threadprivate, OpenMP
+//     cancellation flags observed at every scheduling point, and the
+//     explicit-tasking layer (task/taskwait/taskgroup/taskloop) over
 //     per-thread Chase–Lev work-stealing deques, with barriers doubling as
 //     task scheduling points.
-//   - internal/omp — the user-facing API (omp_* routines with the prefix
-//     dropped) and the structured constructs generated code targets.
+//   - omp — the public, importable user-facing API (omp_* routines with
+//     the prefix dropped), the structured constructs generated code
+//     targets, and the v2 surface: context-aware error-returning region
+//     launch, generic ForEach/ReduceInto, and Cancel/CancellationPoint.
+//     internal/omp remains as a thin forwarding shim for v1 call sites.
 //   - internal/atomicx — atomic cells with the paper's Listing 6 CAS-loop
 //     lowering for multiply/divide/logical reductions.
 //   - internal/npb{,/cg,/ep,/is} — the three benchmark kernels, each as

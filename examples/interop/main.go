@@ -15,7 +15,7 @@ import (
 	"math"
 
 	"gomp/internal/fortran"
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 // matvecKernel is the "ported" side: an OpenMP-parallel dense matrix-vector

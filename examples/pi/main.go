@@ -11,7 +11,7 @@ import (
 	"math"
 
 	"gomp/internal/atomicx"
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 func main() {

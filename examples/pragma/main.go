@@ -15,7 +15,7 @@ import (
 	"fmt"
 
 	"gomp/internal/core"
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 // annotated is the input program: plain Go plus the paper's special-comment

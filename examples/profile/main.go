@@ -12,8 +12,8 @@ import (
 
 	"gomp/internal/npb"
 	"gomp/internal/npb/cg"
-	"gomp/internal/omp"
 	"gomp/internal/trace"
+	"gomp/omp"
 )
 
 func main() {

@@ -1,6 +1,7 @@
-// Quickstart: the runtime API in five minutes — a parallel dot product and
-// a parallel-region reduction, the two shapes every NPB kernel in this
-// repository is built from.
+// Quickstart: the v2 API in five minutes — the generic collection
+// constructs for everyday use, then the directive-shaped primitives they
+// are built from, which is what the preprocessor targets and what every
+// NPB kernel in this repository is written with.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,31 +10,29 @@ import (
 	"fmt"
 	"math"
 
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 func main() {
 	const n = 1 << 20
 	a := make([]float64, n)
 	b := make([]float64, n)
-	for i := range a {
-		a[i] = float64(i%1000) * 0.001
+	_ = omp.ForEach(a, func(t *omp.Thread, i int64, v *float64) {
+		*v = float64(i%1000) * 0.001
 		b[i] = float64((i+1)%1000) * 0.002
-	}
-
-	// A fused parallel-for: the lowering of
-	//   //omp parallel for reduction(+:dot) schedule(static)
-	dot := omp.NewFloat64Reduction(omp.ReduceSum, 0)
-	start := omp.GetWtime()
-	omp.Parallel(func(t *omp.Thread) {
-		local := dot.Identity()
-		omp.ForRange(t, n, func(lo, hi int64) {
-			for i := lo; i < hi; i++ {
-				local += a[i] * b[i]
-			}
-		})
-		dot.Combine(local)
 	})
+
+	// A parallel dot product in one construct: ReduceInto seeds each
+	// thread with the + identity, folds partials atomically, and writes
+	// the result back — the v2 form of
+	//   //omp parallel for reduction(+:dot) schedule(static)
+	dot := 0.0
+	start := omp.GetWtime()
+	if err := omp.ReduceInto(omp.ReduceSum, &dot, n, func(t *omp.Thread, i int64, acc float64) float64 {
+		return acc + a[i]*b[i]
+	}); err != nil {
+		panic(err)
+	}
 	elapsed := omp.GetWtime() - start
 
 	serial := 0.0
@@ -41,11 +40,13 @@ func main() {
 		serial += a[i] * b[i]
 	}
 	fmt.Printf("dot product over %d elements on %d threads: %.6f (serial %.6f, diff %.2e) in %.3f ms\n",
-		n, omp.GetMaxThreads(), dot.Value(), serial, math.Abs(dot.Value()-serial), elapsed*1e3)
+		n, omp.GetMaxThreads(), dot, serial, math.Abs(dot-serial), elapsed*1e3)
 
-	// Worksharing with a dynamic schedule and a max reduction: find the
-	// largest |a[i]−b[i]| gap.
-	gap := omp.NewFloat64Reduction(omp.ReduceMax, math.Inf(-1))
+	// The same shape written against the v1 primitives — what generated
+	// code looks like: explicit region, worksharing loop, reduction cell.
+	// Here with a dynamic schedule and a max reduction: find the largest
+	// |a[i]−b[i]| gap.
+	gap := omp.NewReduction(omp.ReduceMax, math.Inf(-1))
 	omp.Parallel(func(t *omp.Thread) {
 		local := gap.Identity()
 		omp.For(t, n, func(i int64) {
@@ -57,10 +58,15 @@ func main() {
 	}, omp.NumThreads(4))
 	fmt.Printf("largest gap (4 threads, dynamic schedule): %.3f\n", gap.Value())
 
-	// Thread introspection inside a region.
-	omp.Parallel(func(t *omp.Thread) {
+	// Thread introspection inside a region, with panic-to-error recovery:
+	// ParallelErr returns instead of crashing if a thread panics.
+	err := omp.ParallelErr(func(t *omp.Thread) error {
 		omp.Critical("io", func() {
 			fmt.Printf("  hello from thread %d of %d\n", t.Tid, t.NumThreads())
 		})
+		return nil
 	}, omp.NumThreads(3))
+	if err != nil {
+		panic(err)
+	}
 }

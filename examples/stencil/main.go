@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"math"
 
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 const (

@@ -18,7 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 // fibTask is the recursive task decomposition of fib(n): spawn fib(n-1) as

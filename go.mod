@@ -1,3 +1,3 @@
 module gomp
 
-go 1.23
+go 1.24

@@ -5,7 +5,7 @@ import (
 	"runtime"
 	"strings"
 
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 // Tasking microbenchmarks: the explicit-task subsystem measured the same

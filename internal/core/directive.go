@@ -39,6 +39,12 @@ const (
 	DirTaskgroup
 	// DirTaskloop chunks the following for statement into explicit tasks.
 	DirTaskloop
+	// DirCancel requests cancellation of the innermost enclosing construct
+	// of the kind named by Clauses.Cancel.
+	DirCancel
+	// DirCancellationPoint checks for pending cancellation of the kind
+	// named by Clauses.Cancel.
+	DirCancellationPoint
 )
 
 // String returns the OpenMP surface spelling.
@@ -74,8 +80,51 @@ func (k DirKind) String() string {
 		return "taskgroup"
 	case DirTaskloop:
 		return "taskloop"
+	case DirCancel:
+		return "cancel"
+	case DirCancellationPoint:
+		return "cancellation point"
 	}
 	return fmt.Sprintf("DirKind(%d)", int(k))
+}
+
+// CancelEnum is the 2-bit construct-kind argument of the cancel and
+// cancellation point directives in the packed clause encoding. This
+// implementation lowers parallel, for and taskgroup; cancel sections is
+// rejected at parse time like the other unlowered clause combinations.
+type CancelEnum uint8
+
+const (
+	CancelNone CancelEnum = iota
+	CancelParallel
+	CancelFor
+	CancelTaskgroup
+)
+
+// String returns the directive-argument spelling.
+func (c CancelEnum) String() string {
+	switch c {
+	case CancelParallel:
+		return "parallel"
+	case CancelFor:
+		return "for"
+	case CancelTaskgroup:
+		return "taskgroup"
+	}
+	return "none"
+}
+
+// RuntimeName returns the omp package constant that codegen references.
+func (c CancelEnum) RuntimeName() string {
+	switch c {
+	case CancelParallel:
+		return "omp.CancelParallel"
+	case CancelFor:
+		return "omp.CancelFor"
+	case CancelTaskgroup:
+		return "omp.CancelTaskgroup"
+	}
+	return ""
 }
 
 // SchedEnum is the 3-bit schedule kind of the paper's packed clause encoding
@@ -234,6 +283,10 @@ type Clauses struct {
 	NoGroup   bool
 	Grainsize int64 // 0 = absent; mutually exclusive with NumTasks
 	NumTasks  int64 // 0 = absent; mutually exclusive with Grainsize
+
+	// Cancel is the construct-kind argument of cancel/cancellation point
+	// (CancelNone on every other directive).
+	Cancel CancelEnum
 }
 
 // Directive is a parsed pragma.

@@ -12,7 +12,8 @@ import "fmt"
 //	        (29 bits; 0 = no chunk, since a legal chunk is > 0 — the
 //	        paper's exact trick)
 //	word 1  flags: default (2 bits) | nowait (1) | collapse (4) |
-//	        ordered (1) | hasSchedule (1) | untied (1) | nogroup (1)
+//	        ordered (1) | hasSchedule (1) | untied (1) | nogroup (1) |
+//	        cancel kind (2 bits: none/parallel/for/taskgroup)
 //	word 2  num_threads expression: string-table index + 1, 0 = absent
 //	word 3  if expression: string-table index + 1, 0 = absent
 //	word 4  critical name: string-table index + 1, 0 = absent/unnamed
@@ -48,6 +49,7 @@ const (
 	flagHasSchedShift = 8  // 1 bit
 	flagUntiedShift   = 9  // 1 bit
 	flagNoGroupShift  = 10 // 1 bit
+	flagCancelShift   = 11 // 2 bits
 
 	// MaxCollapse is the largest encodable collapse depth: 4 bits, "as
 	// it is unlikely that a user would wish to collapse more than 16
@@ -185,6 +187,10 @@ func packFlags(c *Clauses) (uint32, error) {
 	if c.NoGroup {
 		w |= 1 << flagNoGroupShift
 	}
+	if c.Cancel > CancelTaskgroup {
+		return 0, fmt.Errorf("core: cancel kind %d does not fit 2 bits", c.Cancel)
+	}
+	w |= uint32(c.Cancel) << flagCancelShift
 	return w, nil
 }
 
@@ -196,6 +202,7 @@ func unpackFlags(w uint32, c *Clauses) {
 	c.HasSchedule = w>>flagHasSchedShift&1 != 0
 	c.Untied = w>>flagUntiedShift&1 != 0
 	c.NoGroup = w>>flagNoGroupShift&1 != 0
+	c.Cancel = CancelEnum(w >> flagCancelShift & 0b11)
 }
 
 // Encode appends d to the tree and returns its node index. Clause data is

@@ -280,3 +280,36 @@ func TestRecordIsPure32Bit(t *testing.T) {
 		t.Fatalf("record shorter than the fixed prefix: %d < %d", len(tree.ExtraData), recordWords)
 	}
 }
+
+// The cancel construct kind rides in the packed flags word (2 bits); it must
+// survive Encode→Decode next to every neighbouring flag.
+func TestEncodeCancelRoundTrip(t *testing.T) {
+	tree := NewTree()
+	for _, text := range []string{
+		"cancel parallel",
+		"cancel for",
+		"cancel taskgroup if(pending > 0)",
+		"cancellation point parallel",
+		"cancellation point for",
+		"cancellation point taskgroup",
+	} {
+		d := mustParse(t, text)
+		idx, err := tree.Encode(d)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", text, err)
+		}
+		got, err := tree.Decode(idx)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", text, err)
+		}
+		if !reflect.DeepEqual(d, got) {
+			t.Errorf("round trip %q: got %+v, want %+v", text, got, d)
+		}
+	}
+}
+
+func TestPackFlagsCancelLimits(t *testing.T) {
+	if _, err := packFlags(&Clauses{Cancel: CancelTaskgroup + 1}); err == nil {
+		t.Error("3-bit cancel kind accepted into the 2-bit field")
+	}
+}

@@ -36,6 +36,45 @@ func (px *pctx) locArg(p *pragma, region string) string {
 	return fmt.Sprintf("omp.Loc(%q, %d, %q)", px.opts.Filename, p.line, region)
 }
 
+// usesCancellation reports whether the file carries any cancellation
+// directive, memoized for the current parse. Only then do barrier sites
+// double as lowered cancellation points (cancelGuard); files without cancel
+// pragmas keep byte-identical generated code.
+func (px *pctx) usesCancellation() bool {
+	if px.cancelUse == nil {
+		use := false
+		if all, err := px.pragmas(); err == nil {
+			for _, q := range all {
+				if q.d.Kind == DirCancel || q.d.Kind == DirCancellationPoint {
+					use = true
+					break
+				}
+			}
+		}
+		px.cancelUse = &use
+	}
+	return *px.cancelUse
+}
+
+// cancelGuard returns the branch-out guard emitted after a barrier when the
+// file uses cancellation: barriers (implicit and explicit) are cancellation
+// points, so a thread released from a cancelled team's barrier must skip to
+// the end of the enclosing construct instead of running the code behind it.
+// The progressive unwinding — each construct's trailing guard pops one
+// closure level — is what carries a `cancel parallel` encountered deep
+// inside a worksharing loop out to the region's end.
+//
+// Orphaned constructs get no guard: their barrier sites sit directly in the
+// user's function, where a bare return would exit (or fail to compile in)
+// the caller; an orphaned construct binds to a team of one whose region
+// ends with the function anyway.
+func (px *pctx) cancelGuard(tvar string, orphan bool) string {
+	if orphan || !px.usesCancellation() {
+		return ""
+	}
+	return fmt.Sprintf("if omp.CancellationPoint(%s, omp.CancelParallel) {\nreturn\n}\n", tvar)
+}
+
 // shadowDecls emits the private/firstprivate lowering: a same-name local
 // copy inside the construct. Both clauses copy — private's initial value is
 // unspecified by OpenMP, so initialising it is permitted — and the explicit
@@ -373,6 +412,7 @@ func (px *pctx) genFor(p *pragma, d *Directive) ([]edit, error) {
 	}
 	if !c.NoWait {
 		fmt.Fprintf(&b, "omp.Barrier(%s)\n", tvar)
+		b.WriteString(px.cancelGuard(tvar, orphan))
 	}
 	b.WriteString("}")
 	return []edit{{start: p.start, end: px.off(forStmt.End()), text: b.String()}}, nil
@@ -437,6 +477,9 @@ func (px *pctx) genSections(p *pragma, d *Directive) ([]edit, error) {
 		b.WriteString(", omp.NoWait()")
 	}
 	b.WriteString(", " + px.locArg(p, "sections") + ")\n")
+	if !c.NoWait {
+		b.WriteString(px.cancelGuard(tvar, orphan)) // the construct's implicit barrier is a cancellation point
+	}
 	b.WriteString("}")
 	return []edit{{start: p.start, end: px.off(blk.End()), text: b.String()}}, nil
 }
@@ -480,6 +523,7 @@ func (px *pctx) genSingle(p *pragma, d *Directive) ([]edit, error) {
 		fmt.Fprintf(&b, "omp.CopyPrivateAssign(%s, &%s)\n", tvar, v)
 		if !c.NoWait {
 			fmt.Fprintf(&b, "omp.Barrier(%s)\n", tvar)
+			b.WriteString(px.cancelGuard(tvar, orphan))
 		}
 	} else {
 		fmt.Fprintf(&b, "omp.Single(%s, func() {\n", tvar)
@@ -492,6 +536,9 @@ func (px *pctx) genSingle(p *pragma, d *Directive) ([]edit, error) {
 			b.WriteString(", omp.NoWait()")
 		}
 		b.WriteString(")\n")
+		if !c.NoWait {
+			b.WriteString(px.cancelGuard(tvar, orphan)) // the construct's implicit barrier is a cancellation point
+		}
 	}
 	b.WriteString("}")
 	return []edit{{start: p.start, end: px.off(blk.End()), text: b.String()}}, nil
@@ -530,10 +577,15 @@ func (px *pctx) genCritical(p *pragma, d *Directive) ([]edit, error) {
 
 func (px *pctx) genBarrier(p *pragma) ([]edit, error) {
 	tvar := px.threadVar(p.start)
-	if tvar == "" {
+	orphan := tvar == ""
+	if orphan {
 		tvar = "omp.Current()"
 	}
-	return []edit{{start: p.start, end: p.end, text: fmt.Sprintf("omp.Barrier(%s)", tvar)}}, nil
+	text := fmt.Sprintf("omp.Barrier(%s)", tvar)
+	if g := px.cancelGuard(tvar, orphan); g != "" {
+		text += "\n" + g
+	}
+	return []edit{{start: p.start, end: p.end, text: text}}, nil
 }
 
 // genAtomic serialises the following update statement. The lowering is a
@@ -719,6 +771,51 @@ func (px *pctx) genTaskloop(p *pragma, d *Directive) ([]edit, error) {
 	}
 	b.WriteString(")\n}")
 	return []edit{{start: p.start, end: px.off(forStmt.End()), text: b.String()}}, nil
+}
+
+// ----------------------------------------------------------- cancellation
+
+// genCancel lowers the standalone `//omp cancel {parallel|for|taskgroup}`
+// directive: omp.Cancel activates cancellation and reports whether the
+// encountering thread must branch to the end of the construct, which the
+// generated guard performs with a bare return — every outlined construct
+// body (parallel region closure, worksharing chunk closure, task body) is a
+// niladic function, so the return exits exactly the innermost construct.
+// An if clause gates activation, short-circuiting before the runtime call
+// as the standard's `cancel ... if(expr)` requires — but a cancel region is
+// itself a cancellation point regardless of the clause (OpenMP 5.2 §11.5),
+// so the false branch still consults CancellationPoint: a thread whose
+// condition is false must still honour cancellation another thread already
+// activated.
+//
+// The directive must be lexically inside a construct that carries a thread
+// context: a cancel with no enclosing *omp.Thread cannot know which team to
+// cancel (OpenMP's "innermost enclosing region" does not exist), so it is a
+// preprocessing error rather than a silent no-op.
+func (px *pctx) genCancel(p *pragma, d *Directive) ([]edit, error) {
+	tvar := px.threadVar(p.start)
+	if tvar == "" {
+		return nil, px.errf(p, "cancel %s outside a parallel region: no enclosing construct provides a thread context", d.Clauses.Cancel)
+	}
+	rt := d.Clauses.Cancel.RuntimeName()
+	cond := fmt.Sprintf("omp.Cancel(%s, %s)", tvar, rt)
+	if c := d.Clauses.If; c != "" {
+		cond = fmt.Sprintf("((%s) && %s) || omp.CancellationPoint(%s, %s)", c, cond, tvar, rt)
+	}
+	text := fmt.Sprintf("if %s {\nreturn\n}", cond)
+	return []edit{{start: p.start, end: p.end, text: text}}, nil
+}
+
+// genCancellationPoint lowers `//omp cancellation point {parallel|for|
+// taskgroup}` to the matching branch-out guard around omp.CancellationPoint.
+func (px *pctx) genCancellationPoint(p *pragma, d *Directive) ([]edit, error) {
+	tvar := px.threadVar(p.start)
+	if tvar == "" {
+		return nil, px.errf(p, "cancellation point %s outside a parallel region: no enclosing construct provides a thread context", d.Clauses.Cancel)
+	}
+	text := fmt.Sprintf("if omp.CancellationPoint(%s, %s) {\nreturn\n}",
+		tvar, d.Clauses.Cancel.RuntimeName())
+	return []edit{{start: p.start, end: p.end, text: text}}, nil
 }
 
 // ---------------------------------------------------------- threadprivate

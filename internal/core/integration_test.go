@@ -347,3 +347,90 @@ func main() {
 		t.Fatalf("output = %q, want \"610 499500 45\"", got)
 	}
 }
+
+// Cancellation end-to-end: cancel and cancellation point pragmas round-trip
+// through the preprocessor and behave at runtime — a found-it search stops a
+// worksharing loop, a cancelled taskgroup discards unstarted siblings, and a
+// cancelled parallel region makes every thread leave before its work.
+func TestEndToEndCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import (
+	"fmt"
+
+	omp "gomp/omp"
+)
+
+func main() {
+	omp.SetCancellation(true)
+
+	// cancel for: a parallel search stops dispatching chunks once found.
+	a := make([]int, 200000)
+	a[123456] = 7
+	hits := 0
+	//omp parallel for schedule(dynamic,64)
+	for i := 0; i < len(a); i++ {
+		if a[i] == 7 {
+			//omp atomic
+			hits++
+			//omp cancel for
+		}
+		//omp cancellation point for
+	}
+
+	// cancel taskgroup: unstarted sibling tasks are discarded.
+	done := 0
+	//omp parallel num_threads(4)
+	{
+		//omp single
+		{
+			//omp taskgroup
+			{
+				for k := 0; k < 64; k++ {
+					//omp task
+					{
+						//omp atomic
+						done++
+					}
+					if k == 0 {
+						//omp cancel taskgroup
+					}
+				}
+			}
+		}
+	}
+
+	// cancel parallel: every thread leaves at the cancel directive itself,
+	// so none reaches the combine below it.
+	left := omp.NewInt64Reduction(omp.ReduceSum, 0)
+	//omp parallel num_threads(4)
+	{
+		//omp cancel parallel
+		left.Combine(1)
+	}
+
+	// cancel parallel encountered *inside* a worksharing loop: the loop's
+	// implicit barrier is a cancellation point, so no thread runs the code
+	// between the loop and the region's end.
+	after := omp.NewInt64Reduction(omp.ReduceSum, 0)
+	//omp parallel num_threads(4)
+	{
+		//omp for
+		for i := 0; i < 1000; i++ {
+			if i == 0 {
+				//omp cancel parallel
+			}
+		}
+		after.Combine(1)
+	}
+
+	fmt.Println(hits == 1, done <= 1, left.Value() == 0, after.Value() == 0)
+}
+`)
+	if strings.TrimSpace(got) != "true true true true" {
+		t.Fatalf("output = %q, want \"true true true true\"", got)
+	}
+}

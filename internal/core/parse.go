@@ -96,6 +96,23 @@ func ParseDirective(text string) (*Directive, error) {
 		d.Kind = DirTaskloop
 	case p.eatToken(TokTask) != nil:
 		d.Kind = DirTask
+	case p.eatToken(TokCancel) != nil:
+		d.Kind = DirCancel
+		kind, err := p.parseCancelKind("cancel")
+		if err != nil {
+			return nil, err
+		}
+		d.Clauses.Cancel = kind
+	case p.eatToken(TokCancellation) != nil:
+		if p.eatToken(TokPoint) == nil {
+			return nil, fmt.Errorf("pragma: expected 'point' after 'cancellation', found %s", p.peek())
+		}
+		d.Kind = DirCancellationPoint
+		kind, err := p.parseCancelKind("cancellation point")
+		if err != nil {
+			return nil, err
+		}
+		d.Clauses.Cancel = kind
 	case p.eatToken(TokThreadPrivate) != nil:
 		d.Kind = DirThreadPrivate
 		vars, err := p.parseIdentList()
@@ -218,6 +235,24 @@ func (p *dirParser) parseClauses(d *Directive) error {
 			return fmt.Errorf("pragma: unknown clause at %s", p.peek())
 		}
 	}
+}
+
+// parseCancelKind parses the construct-kind argument of cancel and
+// cancellation point: parallel, for or taskgroup. The kinds OpenMP defines
+// but this implementation does not lower (sections) are named explicitly in
+// the error, mirroring the sections/taskloop clause rejections.
+func (p *dirParser) parseCancelKind(dir string) (CancelEnum, error) {
+	switch {
+	case p.eatToken(TokParallel) != nil:
+		return CancelParallel, nil
+	case p.eatToken(TokFor) != nil:
+		return CancelFor, nil
+	case p.eatToken(TokTaskgroup) != nil:
+		return CancelTaskgroup, nil
+	case p.eatToken(TokSections) != nil:
+		return CancelNone, fmt.Errorf("pragma: %s sections is not supported by this implementation", dir)
+	}
+	return CancelNone, fmt.Errorf("pragma: %s requires a construct kind (parallel, for, or taskgroup), found %s", dir, p.peek())
 }
 
 // parseIdentList parses "( ident {, ident} )".

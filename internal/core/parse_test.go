@@ -202,6 +202,18 @@ func TestParseErrors(t *testing.T) {
 		"taskloop nowait",                    // taskloop has nogroup, not nowait
 		"for untied",                         // task-only clause on for
 		"parallel final(x)",                  // task-only clause on parallel
+		"cancel",                             // cancel requires a construct kind
+		"cancel single",                      // not a cancellable construct
+		"cancel sections",                    // cancellable in OpenMP, not lowered here
+		"cancel banana",                      // unknown construct kind
+		"cancel parallel nowait",             // cancel takes only the if clause
+		"cancel for schedule(static)",        // loop clause on cancel
+		"cancel taskgroup private(x)",        // data clause on cancel
+		"cancellation",                       // bare cancellation: missing point
+		"cancellation parallel",              // missing point before the kind
+		"cancellation point",                 // missing construct kind
+		"cancellation point critical",        // not a cancellable construct
+		"cancellation point for if(x)",       // cancellation point takes no clauses
 	}
 	for _, text := range cases {
 		if _, err := ParseDirective(text); err == nil {
@@ -305,5 +317,59 @@ func TestTaskDirectiveString(t *testing.T) {
 		if !reflect.DeepEqual(d, d2) {
 			t.Errorf("String round trip %q → %q → %+v", text, d.String(), d2)
 		}
+	}
+}
+
+func TestParseCancelDirectives(t *testing.T) {
+	cases := map[string]struct {
+		kind   DirKind
+		cancel CancelEnum
+	}{
+		"cancel parallel":             {DirCancel, CancelParallel},
+		"cancel for":                  {DirCancel, CancelFor},
+		"cancel do":                   {DirCancel, CancelFor}, // Fortran spelling
+		"cancel taskgroup":            {DirCancel, CancelTaskgroup},
+		"cancellation point parallel": {DirCancellationPoint, CancelParallel},
+		"cancellation point for":      {DirCancellationPoint, CancelFor},
+		"cancellation point taskgroup": {
+			DirCancellationPoint, CancelTaskgroup},
+	}
+	for text, want := range cases {
+		d := mustParse(t, text)
+		if d.Kind != want.kind || d.Clauses.Cancel != want.cancel {
+			t.Errorf("%q → kind %v cancel %v, want %v %v", text, d.Kind, d.Clauses.Cancel, want.kind, want.cancel)
+		}
+	}
+
+	d := mustParse(t, "cancel taskgroup if(n > 4)")
+	if d.Clauses.If != "n > 4" {
+		t.Errorf("cancel if clause = %q, want %q", d.Clauses.If, "n > 4")
+	}
+}
+
+func TestCancelDirectiveString(t *testing.T) {
+	for _, text := range []string{
+		"cancel parallel",
+		"cancel for",
+		"cancel taskgroup if(x)",
+		"cancellation point parallel",
+		"cancellation point taskgroup",
+	} {
+		d := mustParse(t, text)
+		d2 := mustParse(t, d.String())
+		if !reflect.DeepEqual(d, d2) {
+			t.Errorf("String round trip %q → %q → %+v", text, d.String(), d2)
+		}
+	}
+}
+
+func TestValidateCancelKindProgrammatically(t *testing.T) {
+	// The parser cannot produce these shapes; Validate guards directives
+	// constructed in code (or decoded from a corrupted record).
+	if err := Validate(&Directive{Kind: DirCancel}); err == nil {
+		t.Error("cancel without a construct kind validated")
+	}
+	if err := Validate(&Directive{Kind: DirBarrier, Clauses: Clauses{Cancel: CancelFor}}); err == nil {
+		t.Error("construct kind on a non-cancel directive validated")
 	}
 }

@@ -23,7 +23,7 @@ func (o *Options) defaults() {
 		o.Filename = "src.go"
 	}
 	if o.OmpImport == "" {
-		o.OmpImport = "gomp/internal/omp"
+		o.OmpImport = "gomp/omp"
 	}
 }
 
@@ -39,6 +39,7 @@ const (
 	stepParallel  passStep = iota // parallel, parallel for
 	stepWorkshare                 // for, sections, taskloop
 	stepSync                      // single, master, critical, barrier, atomic, threadprivate, task*
+	stepCancel                    // cancel, cancellation point
 	stepDone
 )
 
@@ -48,6 +49,13 @@ func stepOf(k DirKind) passStep {
 		return stepParallel
 	case DirFor, DirSections, DirTaskloop:
 		return stepWorkshare
+	case DirCancel, DirCancellationPoint:
+		// Cancellation lowers to a `return` guard, which must be emitted
+		// only after every enclosing construct of the earlier steps has
+		// been outlined — both so the guard lands inside the right closure
+		// and so the enclosing constructs' escaping-return checks (which
+		// run on the original body text) never see it.
+		return stepCancel
 	default:
 		return stepSync
 	}
@@ -93,6 +101,9 @@ type pctx struct {
 	fset *token.FileSet
 	file *ast.File
 	tf   *token.File
+
+	// cancelUse memoizes usesCancellation (gen.go) for this parse.
+	cancelUse *bool
 }
 
 // pragma is the paper's "payload … contain[ing] the information required to
@@ -250,6 +261,10 @@ func (px *pctx) gen(p *pragma) ([]edit, error) {
 		return px.genTaskgroup(p, p.d)
 	case DirTaskloop:
 		return px.genTaskloop(p, p.d)
+	case DirCancel:
+		return px.genCancel(p, p.d)
+	case DirCancellationPoint:
+		return px.genCancellationPoint(p, p.d)
 	}
 	return nil, px.errf(p, "no generator for directive")
 }
@@ -331,9 +346,17 @@ func hasEscapingReturn(body ast.Node) bool {
 	return found
 }
 
+// legacyOmpImport is the v1 shim path previously annotated files may still
+// import; it binds the same API, so re-preprocessing them must not add a
+// second, clashing `omp` import.
+const legacyOmpImport = "gomp/internal/omp"
+
 // ensureImport guarantees the file imports the runtime package under the
-// name `omp`. A second import declaration is appended after the package
-// clause; gofmt folds it in.
+// name `omp`: the configured OmpImport path or the legacy shim path, either
+// of which satisfies generated code. An unrelated package that merely
+// happens to be named omp does not count — generated omp.* calls must never
+// silently bind to foreign code. Otherwise a second import declaration is
+// appended after the package clause; gofmt folds it in.
 func ensureImport(src []byte, opts Options) ([]byte, error) {
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, opts.Filename, src, parser.ImportsOnly)
@@ -342,7 +365,7 @@ func ensureImport(src []byte, opts Options) ([]byte, error) {
 	}
 	for _, imp := range file.Imports {
 		path := strings.Trim(imp.Path.Value, `"`)
-		if path != opts.OmpImport {
+		if path != opts.OmpImport && path != legacyOmpImport {
 			continue
 		}
 		if imp.Name == nil || imp.Name.Name == "omp" {

@@ -50,7 +50,7 @@ func f() {
 		"omp.Parallel(func(__omp_t *omp.Thread)",
 		"omp.NumThreads(4)",
 		`omp.Loc("test.go", 5, "parallel")`,
-		`import omp "gomp/internal/omp"`,
+		`import omp "gomp/omp"`,
 	)
 }
 
@@ -585,7 +585,10 @@ func f() {
 }
 `)
 	if got := strings.Count(out, `"gomp/internal/omp"`); got != 1 {
-		t.Fatalf("import appears %d times, want 1:\n%s", got, out)
+		t.Fatalf("legacy shim import appears %d times, want 1:\n%s", got, out)
+	}
+	if strings.Contains(out, `"gomp/omp"`) {
+		t.Fatalf("v2 import added despite existing omp binding:\n%s", out)
 	}
 }
 
@@ -605,5 +608,159 @@ func f(a []float64) float64 {
 	twice := pp(t, once)
 	if once != twice {
 		t.Fatalf("preprocessing its own output changed it:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+func TestPreprocessCancelParallel(t *testing.T) {
+	out := pp(t, `package p
+
+func f(work []int) {
+	//omp parallel
+	{
+		//omp cancellation point parallel
+		for i := range work {
+			if work[i] < 0 {
+				//omp cancel parallel
+			}
+			work[i]++
+		}
+	}
+}
+`)
+	wantContains(t, out,
+		"omp.Parallel(func(__omp_t *omp.Thread)",
+		"if omp.CancellationPoint(__omp_t, omp.CancelParallel) { return }",
+		"if omp.Cancel(__omp_t, omp.CancelParallel) { return }",
+		`import omp "gomp/omp"`,
+	)
+}
+
+func TestPreprocessCancelForWithIf(t *testing.T) {
+	out := pp(t, `package p
+
+func find(a []int, target int) int {
+	found := -1
+	//omp parallel for
+	for i := 0; i < len(a); i++ {
+		if a[i] == target {
+			found = i
+			//omp cancel for if(found >= 0)
+		}
+	}
+	return found
+}
+`)
+	// The false branch still consults CancellationPoint: a cancel region
+	// is a cancellation point regardless of its if clause.
+	wantContains(t, out,
+		"if ((found >= 0) && omp.Cancel(__omp_t, omp.CancelFor)) || omp.CancellationPoint(__omp_t, omp.CancelFor) { return }",
+	)
+}
+
+func TestPreprocessCancelTaskgroup(t *testing.T) {
+	out := pp(t, `package p
+
+func f(t *omp.Thread) {
+	//omp taskgroup
+	{
+		//omp task
+		{
+			//omp cancel taskgroup
+		}
+	}
+}
+`)
+	wantContains(t, out,
+		"omp.Taskgroup(t, func() {",
+		"if omp.Cancel(t, omp.CancelTaskgroup) { return }",
+	)
+}
+
+// A cancel with no lexically enclosing construct has no team to cancel:
+// OpenMP's "innermost enclosing region" does not exist, and the
+// preprocessor rejects the pragma instead of silently dropping it.
+func TestPreprocessCancelOutsideRegionRejected(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\nfunc f() {\n\t//omp cancel parallel\n}\n",
+		"package p\n\nfunc f() {\n\t//omp cancellation point for\n}\n",
+	} {
+		if _, err := Preprocess([]byte(src), Options{Filename: "test.go"}); err == nil {
+			t.Errorf("cancel outside any region preprocessed without error:\n%s", src)
+		} else if !strings.Contains(err.Error(), "outside a parallel region") {
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+}
+
+// When a file uses cancellation, every barrier site doubles as a lowered
+// cancellation point: the guard after the loop's implicit barrier is what
+// carries a `cancel parallel` out of the loop to the region's end.
+func TestPreprocessBarrierGuardsWhenCancelling(t *testing.T) {
+	out := pp(t, `package p
+
+func f(n int) {
+	//omp parallel
+	{
+		//omp for
+		for i := 0; i < n; i++ {
+			if i == 0 {
+				//omp cancel parallel
+			}
+		}
+	}
+}
+`)
+	wantContains(t, out,
+		"omp.Barrier(__omp_t)",
+		"if omp.CancellationPoint(__omp_t, omp.CancelParallel) { return }",
+	)
+}
+
+// Files without cancel pragmas must not pay for guards: the barrier sites
+// stay byte-identical to the pre-cancellation lowering.
+func TestPreprocessNoGuardsWithoutCancel(t *testing.T) {
+	out := pp(t, `package p
+
+func f(n int) {
+	//omp parallel
+	{
+		//omp for
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+		//omp barrier
+	}
+}
+`)
+	if strings.Contains(out, "CancellationPoint") {
+		t.Fatalf("guards emitted without any cancel pragma:\n%s", out)
+	}
+}
+
+// An orphaned worksharing construct in a cancel-using file must not receive
+// a barrier guard: the guard's bare return would land in the user's
+// function, breaking compilation when it has results.
+func TestPreprocessNoGuardOnOrphanedConstructs(t *testing.T) {
+	out := pp(t, `package p
+
+func region(t *omp.Thread) {
+	//omp cancellation point parallel
+	_ = 1
+}
+
+func sum(a []float64) float64 {
+	s := 0.0
+	//omp for
+	for i := 0; i < len(a); i++ {
+		s += a[i]
+	}
+	//omp barrier
+	return s
+}
+`)
+	// Exactly one CancellationPoint: the explicit pragma; neither the
+	// orphaned loop's barrier nor the orphaned explicit barrier grew one.
+	if got := strings.Count(out, "CancellationPoint"); got != 1 {
+		t.Fatalf("CancellationPoint appears %d times, want 1 (no orphan guards):\n%s", got, out)
 	}
 }

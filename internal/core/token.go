@@ -80,6 +80,9 @@ const (
 	TokGrainsize
 	TokNumTasks
 	TokNoGroup
+	TokCancel
+	TokCancellation
+	TokPoint
 )
 
 // keywordTags is the hash map of strings to keyword tokens used "to identify
@@ -131,6 +134,9 @@ var keywordTags = map[string]TokenTag{
 	"grainsize":     TokGrainsize,
 	"num_tasks":     TokNumTasks,
 	"nogroup":       TokNoGroup,
+	"cancel":        TokCancel,
+	"cancellation":  TokCancellation,
+	"point":         TokPoint,
 }
 
 // KeywordTag returns the keyword tag for an identifier spelling, or

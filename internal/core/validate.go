@@ -62,6 +62,11 @@ var allowedClauses = map[DirKind]clauseSet{
 	DirTaskloop: allowPrivate | allowFirstPrivate | allowShared | allowDefault |
 		allowIf | allowFinal | allowUntied | allowGrainsize | allowNumTasks |
 		allowNoGroup,
+	// cancel takes the if clause (cancellation activates only when the
+	// expression holds); cancellation point takes none, per OpenMP 5.2
+	// §11.5.
+	DirCancel:            allowIf,
+	DirCancellationPoint: 0,
 }
 
 // Validate checks directive/clause compatibility and clause-level
@@ -163,6 +168,20 @@ func Validate(d *Directive) error {
 	if d.Kind == DirThreadPrivate && len(c.ThreadPrivateVars) == 0 {
 		return fmt.Errorf("pragma: threadprivate requires a variable list")
 	}
+	// The construct-kind argument travels in the Cancel field; it is
+	// mandatory on the cancellation directives (the parser enforces the
+	// spelling, this guards programmatic construction) and meaningless
+	// anywhere else.
+	switch d.Kind {
+	case DirCancel, DirCancellationPoint:
+		if c.Cancel == CancelNone {
+			return fmt.Errorf("pragma: %s requires a construct kind (parallel, for, or taskgroup)", d.Kind)
+		}
+	default:
+		if c.Cancel != CancelNone {
+			return fmt.Errorf("pragma: construct kind %s is only valid on cancel directives", c.Cancel)
+		}
+	}
 	return nil
 }
 
@@ -204,6 +223,9 @@ func (d *Directive) String() string {
 	c := &d.Clauses
 	if d.Kind == DirCritical && c.Name != "" {
 		fmt.Fprintf(&b, "(%s)", c.Name)
+	}
+	if c.Cancel != CancelNone {
+		fmt.Fprintf(&b, " %s", c.Cancel)
 	}
 	list := func(name string, vars []string) {
 		if len(vars) > 0 {

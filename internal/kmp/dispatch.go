@@ -68,6 +68,8 @@ func (t *Thread) DispatchInit(loc Ident, sched Sched, trip int64) {
 		tr(TraceEvent{Kind: TraceLoopInit, Loc: loc, Tid: t.Tid})
 	}
 	tm := t.team
+	t.wsSeq++
+	t.curWsSeq = t.wsSeq
 	seq := t.dispatchSeq
 	t.dispatchSeq++
 	buf := &tm.disp[seq%dispatchRing]
@@ -100,6 +102,12 @@ func (t *Thread) DispatchInit(loc Ident, sched Sched, trip int64) {
 func (t *Thread) DispatchNext() (lo, hi int64, ok bool) {
 	buf := t.curLoop
 	if buf == nil {
+		return 0, 0, false
+	}
+	// Chunk grabs are cancellation points: a cancelled loop (or region)
+	// dispatches no further iterations.
+	if t.loopCancelled() {
+		t.detach(buf)
 		return 0, 0, false
 	}
 	lo, hi, ok = buf.grab()
@@ -206,6 +214,7 @@ func (b *dispatchBuf) grabTrapezoidal() (int64, int64, bool) {
 // frees the buffer for reuse by instance seq+ring.
 func (t *Thread) detach(buf *dispatchBuf) {
 	t.curLoop = nil
+	t.curWsSeq = 0 // the thread is no longer inside a worksharing loop
 	if tr := traceHook(); tr != nil {
 		tr(TraceEvent{Kind: TraceLoopFini, Tid: t.Tid})
 	}

@@ -22,6 +22,11 @@ const (
 	WaitActive
 )
 
+// NestedMaxLevels is the max-active-levels value the deprecated nested
+// switch (SetNested(true), OMP_NESTED) maps onto: effectively unlimited
+// nesting, the pre-5.0 meaning of nest-var = true.
+const NestedMaxLevels = 1 << 30
+
 // BarrierKind selects the barrier algorithm (the GOMP_BARRIER environment
 // variable; an ablation axis in this reproduction — libomp hard-wires its
 // hierarchical barrier).
@@ -47,9 +52,16 @@ type ICV struct {
 	RunSched Sched
 	// Dynamic is dyn-var: whether the runtime may shrink requested teams.
 	Dynamic bool
-	// Nested is whether nested parallel regions fork real teams (true) or
-	// serialise to teams of one (false, the default).
-	Nested bool
+	// MaxActiveLevels is max-active-levels-var: the number of nested
+	// parallel regions that may be active (more than one thread) at once.
+	// The default of 1 serialises nested regions — OpenMP 5.x's
+	// replacement for the deprecated nest-var, which this runtime keeps
+	// only as a compatibility view (MaxActiveLevels > 1).
+	MaxActiveLevels int
+	// Cancellation is cancel-var (OMP_CANCELLATION): whether the cancel
+	// directive may activate cancellation. Regions launched through the
+	// error/context entry point are cancellable regardless.
+	Cancellation bool
 	// WaitPolicy is wait-policy-var.
 	WaitPolicy WaitPolicy
 	// Barrier selects the barrier algorithm used by new teams.
@@ -71,10 +83,11 @@ var (
 // GOMP_BARRIER extension.
 func defaultICV() ICV {
 	v := ICV{
-		NumThreads: runtime.GOMAXPROCS(0),
-		RunSched:   Sched{Kind: SchedStatic},
-		WaitPolicy: WaitPassive,
-		Barrier:    BarrierCentral,
+		NumThreads:      runtime.GOMAXPROCS(0),
+		RunSched:        Sched{Kind: SchedStatic},
+		WaitPolicy:      WaitPassive,
+		Barrier:         BarrierCentral,
+		MaxActiveLevels: 1,
 	}
 	if s := os.Getenv("OMP_NUM_THREADS"); s != "" {
 		// OMP_NUM_THREADS may be a comma list (one per nesting level);
@@ -92,8 +105,23 @@ func defaultICV() ICV {
 	if s := os.Getenv("OMP_DYNAMIC"); s != "" {
 		v.Dynamic = parseBool(s)
 	}
+	// OMP_NESTED (deprecated in OpenMP 5.0) maps onto max-active-levels:
+	// true lifts the cap, false pins it to 1. An explicit
+	// OMP_MAX_ACTIVE_LEVELS, parsed after, wins over the mapping.
 	if s := os.Getenv("OMP_NESTED"); s != "" {
-		v.Nested = parseBool(s)
+		if parseBool(s) {
+			v.MaxActiveLevels = NestedMaxLevels
+		} else {
+			v.MaxActiveLevels = 1
+		}
+	}
+	if s := os.Getenv("OMP_MAX_ACTIVE_LEVELS"); s != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && n >= 0 {
+			v.MaxActiveLevels = n
+		}
+	}
+	if s := os.Getenv("OMP_CANCELLATION"); s != "" {
+		v.Cancellation = parseBool(s)
 	}
 	if s := os.Getenv("OMP_WAIT_POLICY"); strings.EqualFold(strings.TrimSpace(s), "active") {
 		v.WaitPolicy = WaitActive
@@ -151,6 +179,9 @@ func UpdateICV(f func(*ICV)) {
 	f(&icv)
 	if icv.NumThreads < 1 {
 		icv.NumThreads = 1
+	}
+	if icv.MaxActiveLevels < 0 {
+		icv.MaxActiveLevels = 0 // 0 is legal: every region serialises
 	}
 }
 

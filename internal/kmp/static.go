@@ -87,8 +87,23 @@ func StaticChunked(tid, nth int, trip, chunk int64, body func(begin, end int64))
 // code simply omits the trailing Barrier call).
 func ForStatic(t *Thread, trip, chunk int64, body func(begin, end int64)) {
 	tid, nth := 0, 1
+	cancellable := false
 	if t != nil && t.team != nil {
 		tid, nth = t.Tid, t.team.n
+		// Static loops count as worksharing instances too, so `cancel for`
+		// can name them (cancel.go) — the counter advances identically on
+		// every thread by the OpenMP same-sequence rule. The instance
+		// context clears at loop exit: a Cancel(CancelLoop) issued between
+		// loops must report "not inside a loop", not poison the slot with
+		// a finished instance.
+		t.wsSeq++
+		t.curWsSeq = t.wsSeq
+		defer func() { t.curWsSeq = 0 }()
+		cancellable = t.team.cancellable
+	}
+	if cancellable {
+		forStaticCancel(t, tid, nth, trip, chunk, body)
+		return
 	}
 	if chunk > 0 {
 		StaticChunked(tid, nth, trip, chunk, body)
@@ -97,6 +112,45 @@ func ForStatic(t *Thread, trip, chunk int64, body func(begin, end int64)) {
 	begin, end := StaticBlock(tid, nth, trip)
 	if begin < end {
 		body(begin, end)
+	}
+}
+
+// forStaticCancel is ForStatic for cancellable teams: the thread's share is
+// delivered in bounded sub-chunks with a cancellation check between
+// consecutive chunks, so a context deadline or a `cancel` directive stops a
+// static loop at the next chunk boundary instead of running its whole block.
+// Non-cancellable teams keep the single-call fast path above.
+func forStaticCancel(t *Thread, tid, nth int, trip, chunk int64, body func(begin, end int64)) {
+	if chunk > 0 {
+		stride := int64(nth) * chunk
+		for lo := int64(tid) * chunk; lo < trip; lo += stride {
+			if t.loopCancelled() {
+				return
+			}
+			body(lo, min(lo+chunk, trip))
+		}
+		return
+	}
+	begin, end := StaticBlock(tid, nth, trip)
+	if begin >= end {
+		return
+	}
+	// ~32 checks per block bounds the post-cancellation overshoot at ~3%
+	// of the thread's share without measurably slowing the uncancelled
+	// path; the absolute cap keeps the check interval tolerable when the
+	// per-iteration body is expensive and blocks are huge.
+	sub := (end - begin + 31) / 32
+	if sub > 4096 {
+		sub = 4096
+	}
+	if sub < 1 {
+		sub = 1
+	}
+	for lo := begin; lo < end; lo += sub {
+		if t.loopCancelled() {
+			return
+		}
+		body(lo, min(lo+sub, end))
 	}
 }
 

@@ -93,7 +93,7 @@ func TestDispatchMixedSchedulesNoWait(t *testing.T) {
 // the goroutine→thread registry must unwind correctly afterwards.
 func TestNestedForkStress(t *testing.T) {
 	ResetICV()
-	UpdateICV(func(v *ICV) { v.Nested = true })
+	UpdateICV(func(v *ICV) { v.MaxActiveLevels = NestedMaxLevels })
 	defer ResetICV()
 	var leaves atomic.Int32
 	ForkCall(Ident{}, 3, func(outer *Thread) {

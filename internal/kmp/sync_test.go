@@ -221,8 +221,8 @@ func TestICVEnvDefaults(t *testing.T) {
 	if v.RunSched != (Sched{Kind: SchedGuidedChunked, Chunk: 4}) {
 		t.Errorf("RunSched = %+v", v.RunSched)
 	}
-	if !v.Dynamic || !v.Nested {
-		t.Errorf("Dynamic/Nested = %v/%v, want true/true", v.Dynamic, v.Nested)
+	if !v.Dynamic || v.MaxActiveLevels <= 1 {
+		t.Errorf("Dynamic/MaxActiveLevels = %v/%v, want true and > 1", v.Dynamic, v.MaxActiveLevels)
 	}
 	if v.WaitPolicy != WaitActive {
 		t.Errorf("WaitPolicy = %v, want active", v.WaitPolicy)

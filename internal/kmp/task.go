@@ -1,6 +1,7 @@
 package kmp
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -61,9 +62,13 @@ func (n *taskNode) finish() {
 }
 
 // taskGroup is one active taskgroup region; groups nest by parent links.
+// cancelled is set by `cancel taskgroup` (cancel.go): unstarted tasks of the
+// group — and of every group nested inside it — are discarded at their next
+// scheduling point instead of executing.
 type taskGroup struct {
-	pending atomic.Int32
-	parent  *taskGroup
+	pending   atomic.Int32
+	cancelled atomic.Bool
+	parent    *taskGroup
 }
 
 // currentTask returns the task the thread is executing, creating the
@@ -89,6 +94,12 @@ func (t *Thread) currentTask() *taskNode {
 func (t *Thread) TaskSpawn(loc Ident, fn func(*Thread), undeferred, final, untied bool) {
 	_ = untied // accepted, executed tied (see package comment)
 	parent := t.currentTask()
+	// Task creation is a task scheduling point, hence a cancellation
+	// point: once the region or an enclosing taskgroup is cancelled, new
+	// tasks are discarded before they acquire any bookkeeping.
+	if (t.team != nil && t.team.cancelRegion.Load()) || groupCancelled(t.curGroup) {
+		return
+	}
 	inherit := parent.final
 	if undeferred || final || inherit || t.team == nil || t.team.n == 1 {
 		// Undeferred/included path: execute now, on this thread, with the
@@ -111,12 +122,35 @@ func (t *Thread) TaskSpawn(loc Ident, fn func(*Thread), undeferred, final, untie
 }
 
 // runTask executes a task body on this thread with the task-environment
-// stacking (current task, current group) saved and restored around it.
+// stacking (current task, current group, worksharing-loop instance) saved
+// and restored around it — a task executing at a scheduling point inside a
+// loop must neither inherit nor clobber the interrupted loop's cancel
+// context.
 func (t *Thread) runTask(node *taskNode, fn func(*Thread)) {
-	prevTask, prevGroup := t.curTask, t.curGroup
-	t.curTask, t.curGroup = node, node.group
+	prevTask, prevGroup, prevWs := t.curTask, t.curGroup, t.curWsSeq
+	t.curTask, t.curGroup, t.curWsSeq = node, node.group, 0
 	fn(t)
-	t.curTask, t.curGroup = prevTask, prevGroup
+	t.curTask, t.curGroup, t.curWsSeq = prevTask, prevGroup, prevWs
+}
+
+// runTaskRecover is runTask for catch-mode (ForkCallErr) teams: a panic in
+// the task body becomes the team's first error plus region cancellation
+// instead of killing the process. Deferred tasks execute at scheduling
+// points — including the region-end drain, which lies outside the region
+// body's own recovery — so the conversion must happen here, at the task
+// boundary. The caller's finish() still runs, keeping the completion
+// counters that taskwait/taskgroup/barriers watch consistent.
+func (t *Thread) runTaskRecover(node *taskNode, eb *errBox) {
+	prevTask, prevGroup, prevWs := t.curTask, t.curGroup, t.curWsSeq
+	t.curTask, t.curGroup, t.curWsSeq = node, node.group, 0
+	defer func() {
+		t.curTask, t.curGroup, t.curWsSeq = prevTask, prevGroup, prevWs
+		if r := recover(); r != nil {
+			eb.set(fmt.Errorf("omp: panic in explicit task: %v", r))
+			t.team.cancel()
+		}
+	}()
+	node.fn(t)
 }
 
 // runOneTask pops or steals one ready task and executes it to completion.
@@ -138,7 +172,19 @@ func (t *Thread) runOneTask() bool {
 	if node == nil {
 		return false
 	}
-	t.runTask(node, node.fn)
+	// Dequeue is a task scheduling point: tasks whose region or taskgroup
+	// has been cancelled are discarded — completion bookkeeping runs so
+	// the counters taskwait/taskgroup/barriers watch still drain, but the
+	// body does not.
+	if node.discarded() {
+		node.finish()
+		return true
+	}
+	if t.team != nil && t.team.eb != nil {
+		t.runTaskRecover(node, t.team.eb)
+	} else {
+		t.runTask(node, node.fn)
+	}
 	node.finish()
 	return true
 }

@@ -1,6 +1,7 @@
 package kmp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,26 @@ type Team struct {
 	// taskCount is the number of spawned-but-incomplete explicit tasks in
 	// the team (task.go); barriers drain it to zero before releasing.
 	taskCount atomic.Int64
+
+	// Cancellation state (cancel.go). cancellable is decided at fork: the
+	// cancel-var ICV is set, or the region was launched through the
+	// error/context entry point. cancelCh is closed exactly once when
+	// region cancellation activates, releasing barrier waiters; cbar is the
+	// cancellation-aware barrier cancellable teams synchronise with.
+	// cancelledLoop holds the worksharing sequence number of a loop
+	// instance cancelled by `cancel for` (0 = none).
+	cancellable   bool
+	cancelRegion  atomic.Bool
+	cancelledLoop atomic.Uint64
+	cancelCh      chan struct{}
+	cbar          cancelBarrier
+
+	// eb is the error collector of a catch-mode (ForkCallErr) region, nil
+	// otherwise. Task execution consults it so a panic inside an explicit
+	// task — which may run at any scheduling point, including the
+	// region-end drain — converts to the team's error instead of killing
+	// the process.
+	eb *errBox
 
 	// loc is the source location of the region being executed, so
 	// barrier events can be attributed to their region by the profiler.
@@ -116,9 +137,18 @@ func (tm *Team) reset() {
 	}
 	tm.copyPB.reset()
 	tm.taskCount.Store(0)
+	tm.cancellable = false
+	tm.cancelRegion.Store(false)
+	tm.cancelledLoop.Store(0)
+	tm.cancelCh = nil
+	// cbar is re-armed at fork only for cancellable regions — the hot-team
+	// fast path must not pay a channel allocation per region.
+	tm.eb = nil
 	for _, th := range tm.threads {
 		th.dispatchSeq = 0
 		th.singleSeq = 0
+		th.wsSeq = 0
+		th.curWsSeq = 0
 		th.curLoop = nil
 		th.curTask = nil
 		th.curGroup = nil
@@ -153,6 +183,24 @@ func releaseTeam(tm *Team) {
 	teamPool.free = append(teamPool.free, tm)
 }
 
+// errBox collects the first error a team reports. First writer wins, as
+// errgroup does; later errors (usually cascades of the first) are dropped.
+type errBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *errBox) set(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
 // ForkCall runs fn on a team of nthreads threads and returns when all have
 // finished (the implicit barrier at the end of a parallel region). It is the
 // analog of __kmpc_fork_call: the paper's preprocessor replaces
@@ -165,8 +213,43 @@ func releaseTeam(tm *Team) {
 // thread 0, exactly as the forking thread becomes the team master in libomp.
 //
 // Nested parallel regions — fn itself calling ForkCall — serialise to a team
-// of one unless the Nested ICV is set, matching the OpenMP default.
+// of one once the active nesting depth reaches the max-active-levels ICV
+// (default 1), matching the OpenMP default of disabled nested parallelism.
 func ForkCall(loc Ident, nthreads int, fn Microtask) {
+	forkCall(loc, nthreads, nil, false, func(t *Thread) error {
+		fn(t)
+		return nil
+	})
+}
+
+// ForkCallErr is the error- and context-aware fork behind omp.ParallelErr
+// and omp.WithContext. It differs from ForkCall in three ways:
+//
+//   - the team is always cancellable, regardless of the cancel-var ICV;
+//   - a non-nil ctx tears the team down when it is cancelled or its
+//     deadline passes: region cancellation activates, every thread stops at
+//     its next cancellation point, and ctx.Err() is returned;
+//   - worker panics are recovered and returned as errors instead of
+//     crashing the process, and the first non-nil error any team member
+//     returns cancels the rest of the team.
+//
+// The serialised-region and hot-team mechanics are shared with ForkCall.
+func ForkCallErr(loc Ident, nthreads int, ctx context.Context, fn func(*Thread) error) error {
+	return forkCall(loc, nthreads, ctx, true, fn)
+}
+
+// ForkCallCtx is ForkCall with a context bound: ctx cancellation tears the
+// team down at the next cancellation point, but panics propagate and no
+// error is reported — the void-construct variant of ForkCallErr, backing
+// omp.Parallel+WithContext.
+func ForkCallCtx(loc Ident, nthreads int, ctx context.Context, fn Microtask) {
+	forkCall(loc, nthreads, ctx, false, func(t *Thread) error {
+		fn(t)
+		return nil
+	})
+}
+
+func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fn func(*Thread) error) error {
 	v := GetICV()
 	n := nthreads
 	if n <= 0 {
@@ -180,24 +263,36 @@ func ForkCall(loc Ident, nthreads int, fn Microtask) {
 	}
 
 	level := 1
+	curActive := 0
 	if cur := Current(); cur != nil {
 		level = cur.Level + 1
-		if cur.InParallel() && !v.Nested {
-			n = 1 // serialised nested region
-		}
+		curActive = cur.ActiveLevel
 	}
+	if curActive+1 > v.MaxActiveLevels {
+		n = 1 // serialised region: max-active-levels-var reached
+	}
+	cancellable := catch || ctx != nil || v.Cancellation
 
 	if n == 1 {
-		forkSerial(level, fn)
-		return
+		return forkSerial(level, curActive, ctx, catch, cancellable, fn)
 	}
 
 	tm := acquireTeam(v)
 	tm.resize(n)
 	tm.reset()
 	tm.loc = loc
+	tm.cancellable = cancellable
+	if cancellable {
+		tm.cancelCh = make(chan struct{})
+		tm.cbar.reset()
+	}
+	var eb errBox
+	if catch {
+		tm.eb = &eb
+	}
 	for _, th := range tm.threads[:n] {
 		th.Level = level
+		th.ActiveLevel = curActive + 1
 	}
 
 	if tr := traceHook(); tr != nil {
@@ -205,10 +300,28 @@ func ForkCall(loc Ident, nthreads int, fn Microtask) {
 		defer tr(TraceEvent{Kind: TraceForkEnd, Loc: loc, NThreads: n})
 	}
 
+	stopWatch, watchDone := watchContext(ctx, tm)
+
 	// The implicit barrier at region end must also complete every explicit
 	// task spawned in the region, so each thread drains the team's task
-	// pool after the region body returns (task.go).
+	// pool after the region body returns (task.go). In catch mode the drain
+	// moves into the deferred recovery so a panicking thread still helps
+	// (or discards) outstanding tasks before leaving.
 	run := func(th *Thread) {
+		if catch {
+			defer func() {
+				if r := recover(); r != nil {
+					eb.set(fmt.Errorf("omp: panic in parallel region: %v", r))
+					tm.cancel()
+				}
+				th.taskDrain()
+			}()
+			if err := fn(th); err != nil {
+				eb.set(err)
+				tm.cancel()
+			}
+			return
+		}
 		fn(th)
 		th.taskDrain()
 	}
@@ -226,23 +339,68 @@ func ForkCall(loc Ident, nthreads int, fn Microtask) {
 	unregister(gid, prev)
 
 	tm.join.Wait()
+	// Quiesce the context watcher before the team returns to the pool: a
+	// late cancel() must not hit a team already running someone else's
+	// region.
+	if stopWatch != nil && !stopWatch() {
+		<-watchDone
+	}
+	if ctx != nil && tm.cancelRegion.Load() {
+		eb.set(ctx.Err())
+	}
+	err := eb.err
 	releaseTeam(tm)
+	return err
+}
+
+// watchContext arms the context-to-cancellation bridge: when ctx is
+// cancelled, region cancellation activates. The caller must stop the
+// returned watcher (and, if stopping lost the race, wait on done) before
+// recycling the team.
+func watchContext(ctx context.Context, tm *Team) (stop func() bool, done chan struct{}) {
+	if ctx == nil {
+		return nil, nil
+	}
+	done = make(chan struct{})
+	stop = context.AfterFunc(ctx, func() {
+		tm.cancel()
+		close(done)
+	})
+	return stop, done
 }
 
 // forkSerial runs fn as a team of one on the calling goroutine: the lowering
 // of a serialised (nested or single-thread) parallel region — libomp's
 // __kmpc_serialized_parallel.
-func forkSerial(level int, fn Microtask) {
+func forkSerial(level, curActive int, ctx context.Context, catch, cancellable bool, fn func(*Thread) error) (err error) {
 	tm := &Team{n: 1, serial: true, policy: GetICV().WaitPolicy}
-	th := &Thread{Gtid: nextGtid(), Tid: 0, Level: level, team: tm}
+	tm.cancellable = cancellable
+	if cancellable {
+		tm.cancelCh = make(chan struct{})
+	}
+	th := &Thread{Gtid: nextGtid(), Tid: 0, Level: level, ActiveLevel: curActive, team: tm}
 	tm.threads = []*Thread{th}
 	tm.barrier = newCentralBarrier(1)
 	for i := range tm.disp {
 		tm.disp[i].init()
 	}
+	stopWatch, watchDone := watchContext(ctx, tm)
 	gid, prev := registerCurrent(th)
-	fn(th)
-	unregister(gid, prev)
+	defer func() {
+		unregister(gid, prev)
+		if catch {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("omp: panic in parallel region: %v", r)
+			}
+		}
+		if stopWatch != nil && !stopWatch() {
+			<-watchDone
+		}
+		if err == nil && ctx != nil && tm.cancelRegion.Load() {
+			err = ctx.Err()
+		}
+	}()
+	return fn(th)
 }
 
 // Barrier blocks until every thread of the team has reached it: the lowering
@@ -262,6 +420,14 @@ func (t *Thread) Barrier() {
 	// tasks, but the spawning thread drains those before arriving itself,
 	// so all tasks created before the barrier complete before release.
 	t.taskDrain()
+	// A barrier is also a cancellation point: cancellable teams rendezvous
+	// through the cancellation-aware barrier, which a region cancel
+	// releases immediately — threads that already branched to the region's
+	// end will never arrive, and waiting for them would deadlock.
+	if t.team.cancellable {
+		t.team.cbar.wait(t.team)
+		return
+	}
 	t.team.barrier.Wait(t.Tid)
 }
 

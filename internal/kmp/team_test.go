@@ -106,7 +106,7 @@ func TestNestedSerializesByDefault(t *testing.T) {
 
 func TestNestedForksWhenEnabled(t *testing.T) {
 	ResetICV()
-	UpdateICV(func(v *ICV) { v.Nested = true })
+	UpdateICV(func(v *ICV) { v.MaxActiveLevels = NestedMaxLevels })
 	defer ResetICV()
 	var total atomic.Int32
 	ForkCall(Ident{}, 2, func(outer *Thread) {

@@ -28,6 +28,10 @@ type Thread struct {
 	// Level is the nesting depth of the enclosing parallel region
 	// (omp_get_level): 1 for a region forked from the initial thread.
 	Level int
+	// ActiveLevel is the number of enclosing *active* (more than one
+	// thread) parallel regions (omp_get_active_level); the
+	// max-active-levels ICV is compared against it at fork.
+	ActiveLevel int
 
 	team *Team
 
@@ -38,6 +42,14 @@ type Thread struct {
 	dispatchSeq uint32
 	singleSeq   uint32
 	curLoop     *dispatchBuf
+
+	// wsSeq counts every worksharing loop (static or dynamic) this thread
+	// has entered in the current region; curWsSeq is the instance it is in
+	// (0 = none). The OpenMP same-sequence rule keeps these equal across
+	// the team, which is what lets `cancel for` name its loop instance by
+	// number alone (Team.cancelledLoop).
+	wsSeq    uint64
+	curWsSeq uint64
 
 	// Explicit tasking (task.go): the thread's work-stealing deque, the
 	// task it is currently executing (nil = implicit task not yet

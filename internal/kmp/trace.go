@@ -24,6 +24,9 @@ const (
 	TraceTaskgroup
 	// TraceTaskloop fires when a thread starts carving a taskloop.
 	TraceTaskloop
+	// TraceCancel fires when a thread encounters a cancel directive on a
+	// cancellable team (whether or not activation succeeds).
+	TraceCancel
 )
 
 // TraceEvent is one instrumentation record. The paper names compiler-driven

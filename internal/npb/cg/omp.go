@@ -4,7 +4,7 @@ import (
 	"math"
 
 	"gomp/internal/npb"
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 // The omp flavour mirrors the paper's port: only conj_grad is parallelised

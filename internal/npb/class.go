@@ -35,6 +35,12 @@ func ParseClass(s string) (Class, error) {
 
 func (c Class) String() string { return string(rune(c)) }
 
+// MarshalJSON renders the class as its letter rather than its raw byte, so
+// npbsuite's BENCH_<class>.json reads "S" instead of 83.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + c.String() + `"`), nil
+}
+
 // Timer accumulates wall-clock time across Start/Stop pairs, the shape of
 // the timers built into the NPB reference implementations (the paper
 // measures with those internal timers).

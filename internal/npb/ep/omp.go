@@ -2,7 +2,7 @@ package ep
 
 import (
 	"gomp/internal/npb"
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 // tpScratch is the threadprivate uniform-deviate buffer: one 2·2^16-element

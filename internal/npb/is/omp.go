@@ -2,7 +2,7 @@ package is
 
 import (
 	"gomp/internal/npb"
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 // The omp flavour parallelises rank() the way the NPB OpenMP version does:

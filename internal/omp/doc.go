@@ -1,31 +1,18 @@
-// Package omp is the user-facing OpenMP API of this reproduction — the
-// analog of the `omp` namespace the paper adds to the Zig standard library
-// (Section III-C), with the omp_ prefix dropped exactly as the paper drops
-// it: omp_get_thread_num becomes omp.GetThreadNum.
+// Package omp is the v1 compatibility shim over the promoted top-level API
+// package gomp/omp.
 //
-// Two layers coexist:
+// The paper's user-facing surface originally lived here, invisible to
+// external programs behind Go's internal/ rule. PR 2 promoted it: the
+// implementation, including the structured constructs generated code
+// targets, now lives in gomp/omp, and this package re-exports every v1 name
+// as an alias or inlinable wrapper so that previously generated code and
+// existing call sites keep compiling. The only v2 names carried here are
+// the cancellation symbols (Cancel, CancellationPoint, Cancel* kinds),
+// because re-preprocessing a legacy-import file that gains a cancel pragma
+// generates references to them; the rest of the v2 surface (ParallelErr,
+// WithContext, ForEach, ReduceInto, SetMaxActiveLevels, …) is deliberately
+// only available from the real package.
 //
-//   - The standard OpenMP runtime-library routines (GetThreadNum,
-//     GetNumThreads, SetNumThreads, GetWtime, locks, schedule ICVs, …),
-//     callable from anywhere. Inside a parallel region they resolve the
-//     calling goroutine's thread via the registry; generated code uses the
-//     explicit-context variants on *Thread, which are free of that lookup.
-//
-//   - The structured constructs the preprocessor lowers pragmas onto:
-//     Parallel, For, ParallelFor, Single, Masked, Sections, Critical,
-//     Barrier, the explicit-tasking constructs (Task, Taskwait, Taskgroup,
-//     Taskloop) and the reduction cells. These correspond to the paper's
-//     `.omp.internal` namespace of generic wrappers over the __kmpc_*
-//     families — not intended to be pretty for humans, but they are usable
-//     directly and the examples do so.
-//
-// A minimal parallel sum:
-//
-//	sum := omp.NewFloat64Reduction(omp.ReduceSum, 0)
-//	omp.Parallel(func(t *omp.Thread) {
-//		local := sum.Identity()
-//		omp.For(t, int64(len(a)), func(i int64) { local += a[i] })
-//		sum.Combine(local)
-//	})
-//	total := sum.Value()
+// New code and freshly preprocessed code should import gomp/omp; see that
+// package's documentation for the v1 → v2 migration table.
 package omp

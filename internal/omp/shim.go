@@ -1,0 +1,307 @@
+package omp
+
+import (
+	"gomp/omp"
+)
+
+// Forwarding shim: every name the v1 internal API exported, aliased to the
+// promoted top-level package so that previously generated code and existing
+// call sites keep compiling unchanged. Types are aliases — values flow
+// between the two import paths freely — and functions are thin wrappers the
+// compiler inlines. New code should import gomp/omp directly; see doc.go
+// for the migration table.
+
+// ----------------------------------------------------------------- types
+
+type (
+	// Thread is the per-team-member execution context.
+	Thread = omp.Thread
+	// Sched and SchedKind describe loop schedules.
+	Sched = omp.Sched
+	// SchedKind identifies a worksharing-loop schedule.
+	SchedKind = omp.SchedKind
+	// Lock is omp_lock_t; NestLock is omp_nest_lock_t.
+	Lock = omp.Lock
+	// NestLock is the nestable lock.
+	NestLock = omp.NestLock
+	// Option configures a construct, the analog of a directive clause.
+	Option = omp.Option
+	// ReduceOp enumerates the reduction-clause operators.
+	ReduceOp = omp.ReduceOp
+	// CombineStrategy selects the reduction combine path (ablation A1).
+	CombineStrategy = omp.CombineStrategy
+	// Float64Reduction lowers a reduction clause over a float64 variable.
+	Float64Reduction = omp.Float64Reduction
+	// Int64Reduction lowers a reduction clause over an integer variable.
+	Int64Reduction = omp.Int64Reduction
+	// BoolReduction lowers the logical reduction operators.
+	BoolReduction = omp.BoolReduction
+	// Numeric constrains the generic reduction cell.
+	Numeric = omp.Numeric
+	// Reduction is the type-inferred generic reduction cell.
+	Reduction[T omp.Numeric] = omp.Reduction[T]
+	// ThreadPrivate is the threadprivate directive's per-thread storage.
+	ThreadPrivate[T any] = omp.ThreadPrivate[T]
+	// AtomicInt64 lowers atomic updates of integer variables.
+	AtomicInt64 = omp.AtomicInt64
+	// AtomicUint64 lowers atomic updates of unsigned variables.
+	AtomicUint64 = omp.AtomicUint64
+	// AtomicFloat64 lowers atomic updates of float variables.
+	AtomicFloat64 = omp.AtomicFloat64
+	// AtomicBool lowers atomic updates of boolean variables.
+	AtomicBool = omp.AtomicBool
+	// CancelKind selects the construct a cancellation construct binds to.
+	CancelKind = omp.CancelKind
+)
+
+// ------------------------------------------------------------- constants
+
+// Schedule kinds, re-exported with their OpenMP surface names.
+const (
+	Static      = omp.Static
+	Dynamic     = omp.Dynamic
+	Guided      = omp.Guided
+	Runtime     = omp.Runtime
+	Auto        = omp.Auto
+	Trapezoidal = omp.Trapezoidal
+)
+
+// Reduction operators.
+const (
+	ReduceSum        = omp.ReduceSum
+	ReduceProd       = omp.ReduceProd
+	ReduceMin        = omp.ReduceMin
+	ReduceMax        = omp.ReduceMax
+	ReduceBitAnd     = omp.ReduceBitAnd
+	ReduceBitOr      = omp.ReduceBitOr
+	ReduceBitXor     = omp.ReduceBitXor
+	ReduceLogicalAnd = omp.ReduceLogicalAnd
+	ReduceLogicalOr  = omp.ReduceLogicalOr
+)
+
+// Combine strategies.
+const (
+	CombineAtomic   = omp.CombineAtomic
+	CombineCritical = omp.CombineCritical
+)
+
+// Cancellation construct kinds. The preprocessor emits references to these
+// (and to Cancel/CancellationPoint below) for cancel pragmas, and a legacy
+// file importing this shim may be re-preprocessed after gaining one, so the
+// cancellation surface is the one v2 addition the shim must carry.
+const (
+	CancelParallel  = omp.CancelParallel
+	CancelFor       = omp.CancelFor
+	CancelTaskgroup = omp.CancelTaskgroup
+)
+
+// ----------------------------------------------- runtime-library routines
+//
+// Plain wrapper functions, not `var F = omp.F` forwards: package-level
+// function variables would let any importer reassign the API process-wide.
+
+// NewNestLock returns an unlocked nestable lock (omp_init_nest_lock).
+func NewNestLock() *NestLock { return omp.NewNestLock() }
+
+// GetWtime returns elapsed wall-clock seconds (omp_get_wtime).
+func GetWtime() float64 { return omp.GetWtime() }
+
+// GetWtick returns the timer resolution in seconds (omp_get_wtick).
+func GetWtick() float64 { return omp.GetWtick() }
+
+// GetThreadNum returns the calling thread's team-local number.
+func GetThreadNum() int { return omp.GetThreadNum() }
+
+// GetNumThreads returns the size of the current team.
+func GetNumThreads() int { return omp.GetNumThreads() }
+
+// GetMaxThreads returns the default team size for the next region.
+func GetMaxThreads() int { return omp.GetMaxThreads() }
+
+// SetNumThreads sets the nthreads-var ICV.
+func SetNumThreads(n int) { omp.SetNumThreads(n) }
+
+// GetNumProcs returns the number of available processors.
+func GetNumProcs() int { return omp.GetNumProcs() }
+
+// InParallel reports whether the caller is inside an active region.
+func InParallel() bool { return omp.InParallel() }
+
+// GetLevel returns the nesting depth of enclosing parallel regions.
+func GetLevel() int { return omp.GetLevel() }
+
+// SetSchedule sets the run-sched-var ICV.
+func SetSchedule(kind SchedKind, chunk int) { omp.SetSchedule(kind, chunk) }
+
+// GetSchedule returns the run-sched-var ICV.
+func GetSchedule() (SchedKind, int) { return omp.GetSchedule() }
+
+// SetDynamic sets dyn-var.
+func SetDynamic(on bool) { omp.SetDynamic(on) }
+
+// GetDynamic returns dyn-var.
+func GetDynamic() bool { return omp.GetDynamic() }
+
+// SetNested sets nest-var.
+//
+// Deprecated: use gomp/omp's SetMaxActiveLevels.
+func SetNested(on bool) { omp.SetNested(on) }
+
+// GetNested reports whether nested regions may fork real teams.
+//
+// Deprecated: use gomp/omp's GetMaxActiveLevels.
+func GetNested() bool { return omp.GetNested() }
+
+// GetThreadLimit returns thread-limit-var.
+func GetThreadLimit() int { return omp.GetThreadLimit() }
+
+// Current returns the calling goroutine's thread context, if any.
+func Current() *Thread { return omp.Current() }
+
+// ------------------------------------------------------- clause options
+
+// NumThreads is the num_threads clause.
+func NumThreads(n int) Option { return omp.NumThreads(n) }
+
+// Schedule is the schedule clause.
+func Schedule(kind SchedKind, chunk int64) Option { return omp.Schedule(kind, chunk) }
+
+// NoWait is the nowait clause.
+func NoWait() Option { return omp.NoWait() }
+
+// If is the if clause.
+func If(cond bool) Option { return omp.If(cond) }
+
+// Loc attaches the pragma's source position.
+func Loc(file string, line int, region string) Option { return omp.Loc(file, line, region) }
+
+// Final is the final clause.
+func Final(cond bool) Option { return omp.Final(cond) }
+
+// Untied is the untied clause.
+func Untied() Option { return omp.Untied() }
+
+// Grainsize is the taskloop grainsize clause.
+func Grainsize(n int64) Option { return omp.Grainsize(n) }
+
+// NumTasks is the taskloop num_tasks clause.
+func NumTasks(n int64) Option { return omp.NumTasks(n) }
+
+// NoGroup is the taskloop nogroup clause.
+func NoGroup() Option { return omp.NoGroup() }
+
+// ------------------------------------------------------------ constructs
+
+// Parallel runs body as a parallel region.
+func Parallel(body func(t *Thread), opts ...Option) { omp.Parallel(body, opts...) }
+
+// For runs a worksharing loop inside a parallel region.
+func For(t *Thread, trip int64, body func(i int64), opts ...Option) {
+	omp.For(t, trip, body, opts...)
+}
+
+// ForRange is For at chunk granularity.
+func ForRange(t *Thread, trip int64, body func(lo, hi int64), opts ...Option) {
+	omp.ForRange(t, trip, body, opts...)
+}
+
+// ParallelFor fuses Parallel and For.
+func ParallelFor(trip int64, body func(t *Thread, i int64), opts ...Option) {
+	omp.ParallelFor(trip, body, opts...)
+}
+
+// ParallelForRange is ParallelFor at chunk granularity.
+func ParallelForRange(trip int64, body func(t *Thread, lo, hi int64), opts ...Option) {
+	omp.ParallelForRange(trip, body, opts...)
+}
+
+// Barrier is the barrier directive.
+func Barrier(t *Thread) { omp.Barrier(t) }
+
+// Critical runs body in the named critical section.
+func Critical(name string, body func()) { omp.Critical(name, body) }
+
+// Single runs body on exactly one team thread.
+func Single(t *Thread, body func(), opts ...Option) { omp.Single(t, body, opts...) }
+
+// Masked runs body on the master thread only.
+func Masked(t *Thread, body func()) { omp.Masked(t, body) }
+
+// Sections distributes the given blocks over the team.
+func Sections(t *Thread, blocks []func(), opts ...Option) { omp.Sections(t, blocks, opts...) }
+
+// Task spawns body as an explicit task.
+func Task(t *Thread, body func(t *Thread), opts ...Option) { omp.Task(t, body, opts...) }
+
+// Taskwait waits for the current task's children.
+func Taskwait(t *Thread) { omp.Taskwait(t) }
+
+// Taskgroup runs body and waits for every descendant task.
+func Taskgroup(t *Thread, body func(), opts ...Option) { omp.Taskgroup(t, body, opts...) }
+
+// Taskloop carves a trip count into explicit tasks.
+func Taskloop(t *Thread, trip int64, body func(t *Thread, lo, hi int64), opts ...Option) {
+	omp.Taskloop(t, trip, body, opts...)
+}
+
+// Cancel is the cancel directive's lowering target.
+func Cancel(t *Thread, kind CancelKind) bool { return omp.Cancel(t, kind) }
+
+// CancellationPoint is the cancellation point directive's lowering target.
+func CancellationPoint(t *Thread, kind CancelKind) bool { return omp.CancellationPoint(t, kind) }
+
+// ------------------------------------------- reductions & generated-code
+
+// NewFloat64Reduction builds an atomic float64 reduction cell.
+func NewFloat64Reduction(op ReduceOp, initial float64) *Float64Reduction {
+	return omp.NewFloat64Reduction(op, initial)
+}
+
+// NewFloat64ReductionWith selects the combine strategy explicitly.
+func NewFloat64ReductionWith(op ReduceOp, initial float64, s CombineStrategy) *Float64Reduction {
+	return omp.NewFloat64ReductionWith(op, initial, s)
+}
+
+// NewInt64Reduction builds an atomic int64 reduction cell.
+func NewInt64Reduction(op ReduceOp, initial int64) *Int64Reduction {
+	return omp.NewInt64Reduction(op, initial)
+}
+
+// NewInt64ReductionWith selects the combine strategy explicitly.
+func NewInt64ReductionWith(op ReduceOp, initial int64, s CombineStrategy) *Int64Reduction {
+	return omp.NewInt64ReductionWith(op, initial, s)
+}
+
+// NewBoolReduction builds a logical reduction cell.
+func NewBoolReduction(op ReduceOp, initial bool) *BoolReduction {
+	return omp.NewBoolReduction(op, initial)
+}
+
+// TripCount normalises a canonical loop header to an iteration count.
+func TripCount(lb, ub, st int64, inclusive bool) int64 {
+	return omp.TripCount(lb, ub, st, inclusive)
+}
+
+// CopyPrivatePublish publishes the single-construct winner's value.
+func CopyPrivatePublish(t *Thread, v any) { omp.CopyPrivatePublish(t, v) }
+
+// NewReduction builds the generic type-inferred reduction cell.
+func NewReduction[T omp.Numeric](op ReduceOp, initial T) *Reduction[T] {
+	return omp.NewReduction(op, initial)
+}
+
+// ReduceIdentity returns the identity element of op for T.
+func ReduceIdentity[T omp.Numeric](op ReduceOp, sample T) T {
+	return omp.ReduceIdentity(op, sample)
+}
+
+// NewThreadPrivate returns a threadprivate variable.
+func NewThreadPrivate[T any](newFn func() *T) *ThreadPrivate[T] {
+	return omp.NewThreadPrivate(newFn)
+}
+
+// CopyPrivateAssign stores the single-construct winner's published value
+// into dst.
+func CopyPrivateAssign[T any](t *Thread, dst *T) {
+	omp.CopyPrivateAssign(t, dst)
+}

@@ -1,0 +1,45 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	pub "gomp/omp"
+)
+
+// The shim's whole contract is type identity and behavioural equivalence
+// with the promoted package: a *Thread from one import path must be usable
+// through the other, and the v1 construct spellings must still run.
+
+func TestShimTypeIdentity(t *testing.T) {
+	// Compile-time: aliases, not copies.
+	var th *Thread = (*pub.Thread)(nil)
+	_ = th
+	var opt Option = pub.NumThreads(2)
+	_ = opt
+	var red *Reduction[int] = pub.NewReduction(pub.ReduceSum, 0)
+	_ = red
+	if ReduceSum != pub.ReduceSum || Dynamic != pub.Dynamic {
+		t.Fatal("re-exported constants diverge from the public package")
+	}
+}
+
+func TestShimConstructsRun(t *testing.T) {
+	sum := NewInt64Reduction(ReduceSum, 0)
+	var seen atomic.Int32
+	Parallel(func(th *Thread) {
+		local := sum.Identity()
+		For(th, 100, func(i int64) { local += i })
+		sum.Combine(local)
+		// Cross-path call: the public package accepts the shim's thread.
+		if pub.GetThreadNum() == th.Tid {
+			seen.Add(1)
+		}
+	}, NumThreads(3))
+	if sum.Value() != 99*100/2 {
+		t.Fatalf("shim reduction = %d", sum.Value())
+	}
+	if seen.Load() != 3 {
+		t.Fatalf("cross-path thread identity held on %d of 3 threads", seen.Load())
+	}
+}

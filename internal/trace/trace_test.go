@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"gomp/internal/kmp"
-	"gomp/internal/omp"
+	"gomp/omp"
 )
 
 func TestProfilerCapturesRegions(t *testing.T) {

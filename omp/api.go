@@ -115,13 +115,62 @@ func SetDynamic(on bool) { kmp.UpdateICV(func(v *kmp.ICV) { v.Dynamic = on }) }
 // GetDynamic returns dyn-var (omp_get_dynamic).
 func GetDynamic() bool { return kmp.GetICV().Dynamic }
 
-// SetNested sets nest-var: whether nested regions fork real teams
-// (omp_set_nested).
-func SetNested(on bool) { kmp.UpdateICV(func(v *kmp.ICV) { v.Nested = on }) }
+// SetMaxActiveLevels sets max-active-levels-var, the number of nested
+// parallel regions that may be active — more than one thread — at once
+// (omp_set_max_active_levels). 1, the default, serialises nested regions;
+// 0 serialises every region. Negative values are ignored, as the standard
+// allows.
+func SetMaxActiveLevels(n int) {
+	if n < 0 {
+		return
+	}
+	kmp.UpdateICV(func(v *kmp.ICV) { v.MaxActiveLevels = n })
+}
 
-// GetNested returns nest-var (omp_get_nested).
-func GetNested() bool { return kmp.GetICV().Nested }
+// GetMaxActiveLevels returns max-active-levels-var
+// (omp_get_max_active_levels).
+func GetMaxActiveLevels() int { return kmp.GetICV().MaxActiveLevels }
+
+// GetActiveLevel returns the number of enclosing active parallel regions —
+// regions executing with more than one thread (omp_get_active_level); 0
+// outside any region.
+func GetActiveLevel() int {
+	if t := kmp.Current(); t != nil {
+		return t.ActiveLevel
+	}
+	return 0
+}
+
+// SetNested sets nest-var (omp_set_nested).
+//
+// Deprecated: nest-var was deprecated in OpenMP 5.0; nesting is governed by
+// max-active-levels-var. SetNested(true) is SetMaxActiveLevels(unlimited),
+// SetNested(false) is SetMaxActiveLevels(1). Use SetMaxActiveLevels.
+func SetNested(on bool) {
+	if on {
+		SetMaxActiveLevels(kmp.NestedMaxLevels)
+	} else {
+		SetMaxActiveLevels(1)
+	}
+}
+
+// GetNested reports whether nested regions may fork real teams
+// (omp_get_nested).
+//
+// Deprecated: see SetNested. Equivalent to GetMaxActiveLevels() > 1.
+func GetNested() bool { return kmp.GetICV().MaxActiveLevels > 1 }
 
 // GetThreadLimit returns thread-limit-var, 0 meaning unlimited
 // (omp_get_thread_limit).
 func GetThreadLimit() int { return kmp.GetICV().ThreadLimit }
+
+// GetCancellation returns cancel-var: whether the cancel directive may
+// activate cancellation (omp_get_cancellation, the OMP_CANCELLATION
+// environment variable). Regions launched through ParallelErr or bound to a
+// context via WithContext are cancellable regardless.
+func GetCancellation() bool { return kmp.GetICV().Cancellation }
+
+// SetCancellation sets cancel-var programmatically. An extension: standard
+// OpenMP exposes cancel-var only through the environment, but a library API
+// has no reason to force a re-exec to flip it.
+func SetCancellation(on bool) { kmp.UpdateICV(func(v *kmp.ICV) { v.Cancellation = on }) }

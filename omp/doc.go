@@ -1,0 +1,62 @@
+// Package omp is the user-facing OpenMP API of this reproduction — the
+// analog of the `omp` namespace the paper grafts onto the Zig standard
+// library (Section III-C), promoted in v2 from internal/omp to an importable
+// top-level package, with the omp_ prefix dropped exactly as the paper drops
+// it: omp_get_thread_num becomes omp.GetThreadNum.
+//
+// Three layers coexist:
+//
+//   - The standard OpenMP runtime-library routines (GetThreadNum,
+//     GetNumThreads, SetNumThreads, GetWtime, locks, schedule and
+//     max-active-levels ICVs, cancellation state, …), callable from
+//     anywhere. Inside a parallel region they resolve the calling
+//     goroutine's thread via the registry; generated code uses the
+//     explicit-context variants on *Thread, which are free of that lookup.
+//
+//   - The structured constructs the preprocessor lowers pragmas onto:
+//     Parallel, For, ParallelFor, Single, Masked, Sections, Critical,
+//     Barrier, the explicit-tasking constructs (Task, Taskwait, Taskgroup,
+//     Taskloop), the cancellation pair (Cancel, CancellationPoint) and the
+//     reduction cells. These correspond to the paper's `.omp.internal`
+//     namespace of generic wrappers over the __kmpc_* families — not
+//     intended to be pretty for humans, but usable directly.
+//
+//   - The v2 library constructs, which only an importable package (not a
+//     pragma) can express: error- and context-aware region launch
+//     (ParallelErr, ParallelForErr, WithContext) that recovers worker
+//     panics and tears teams down on deadline, and the type-safe generic
+//     collection constructs (ForEach over any slice type, ReduceInto over
+//     any Numeric type, the generic Reduction cell).
+//
+// # Migrating from the v1 internal API
+//
+// The old import path gomp/internal/omp remains a forwarding shim, so v1
+// code compiles unchanged. New code should import gomp/omp and prefer the
+// v2 constructs where they fit:
+//
+//	v1 construct (gomp/internal/omp)        v2 construct (gomp/omp)
+//	--------------------------------        -----------------------------------------
+//	omp.Parallel(body)                      omp.ParallelErr(body) error
+//	omp.ParallelFor(n, body)                omp.ParallelForErr(n, body) error
+//	loop over a slice by index              omp.ForEach(s, body) error
+//	omp.NewInt64Reduction(op, v)            omp.NewReduction(op, v) (generic, atomic)
+//	omp.NewFloat64Reduction(op, v)          omp.NewReduction(op, v)
+//	reduction region boilerplate            omp.ReduceInto(op, &v, n, body) error
+//	omp.SetNested(true)                     omp.SetMaxActiveLevels(n)
+//	omp.GetNested()                         omp.GetMaxActiveLevels() > 1
+//	unbounded region                        omp.WithContext(ctx) option + *Err entry
+//	(no equivalent)                         omp.Cancel / omp.CancellationPoint
+//
+// A minimal parallel dot product with a deadline:
+//
+//	ctx, stop := context.WithTimeout(context.Background(), 50*time.Millisecond)
+//	defer stop()
+//	dot := 0.0
+//	err := omp.ReduceInto(omp.ReduceSum, &dot, int64(len(a)),
+//		func(t *omp.Thread, i int64, acc float64) float64 {
+//			return acc + a[i]*b[i]
+//		}, omp.WithContext(ctx))
+//
+// err is context.DeadlineExceeded when the deadline tore the team down, and
+// dot is then left untouched.
+package omp

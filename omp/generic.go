@@ -1,0 +1,210 @@
+package omp
+
+import (
+	"math"
+	"unsafe"
+
+	"gomp/internal/atomicx"
+	"gomp/internal/kmp"
+)
+
+// Current returns the calling goroutine's thread context, or nil outside any
+// parallel region. Preprocessor-generated code uses it to service orphaned
+// worksharing constructs (a //omp for with no lexically enclosing parallel).
+func Current() *Thread { return kmp.Current() }
+
+// Numeric constrains the generic reduction to the types the reduction
+// clause accepts for arithmetic and bitwise operators.
+type Numeric interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Reduction is the type-inferred reduction cell emitted by the preprocessor:
+// `omp.NewReduction(omp.ReduceSum, sum)` infers T from the reduction
+// variable, sparing generated code from naming types — the same trick the
+// paper plays with Zig's type inference to survive preprocessing without
+// semantic context (Section III-B3).
+//
+// One generic cell serves every Numeric type: the value lives as its bit
+// pattern in an atomicx.Uint64, partials fold in T's domain inside the
+// paper's Listing 6 CAS loop, and integer sums take the native RMW fast
+// path. This single design replaces the per-type atomic cells of the v1 API;
+// Int64Reduction and Float64Reduction remain as thin instantiations of it
+// (reduce.go).
+type Reduction[T Numeric] struct {
+	op   ReduceOp
+	bits atomicx.Uint64
+}
+
+// NewReduction builds a reduction cell seeded with the reduction variable's
+// pre-region value.
+func NewReduction[T Numeric](op ReduceOp, initial T) *Reduction[T] {
+	switch op {
+	case ReduceLogicalAnd, ReduceLogicalOr:
+		panic("omp: logical reduction operators apply to bool; use BoolReduction")
+	}
+	r := &Reduction[T]{op: op}
+	r.bits.Store(bitsOf(initial))
+	return r
+}
+
+// Identity returns the operator's identity element for T.
+func (r *Reduction[T]) Identity() T {
+	var zero T
+	switch r.op {
+	case ReduceProd:
+		return zero + 1
+	case ReduceMin:
+		return maxValue[T]()
+	case ReduceMax:
+		return minValue[T]()
+	case ReduceBitAnd:
+		return allOnes[T]()
+	default:
+		return zero
+	}
+}
+
+// Combine folds a thread's partial into the shared result; call once per
+// thread after private accumulation. Integer sums use the native atomic add
+// (two's-complement addition commutes with the bits encoding); every other
+// operator folds in T's domain under the CAS loop.
+func (r *Reduction[T]) Combine(partial T) {
+	if r.op == ReduceSum && !isFloat[T]() {
+		r.bits.Add(bitsOf(partial))
+		return
+	}
+	r.bits.RMW(func(cur uint64) uint64 {
+		return bitsOf(reduceFold(r.op, fromBits[T](cur), partial))
+	})
+}
+
+// Value returns the reduced result; call after the parallel region joins.
+func (r *Reduction[T]) Value() T { return fromBits[T](r.bits.Load()) }
+
+// reduceFold applies op to two values of T. Logical operators are excluded
+// by construction (NewReduction panics on them). Min/max propagate NaN like
+// math.Min/math.Max — a corrupt partial must surface in the result, not be
+// silently discarded by an always-false comparison.
+func reduceFold[T Numeric](op ReduceOp, a, b T) T {
+	switch op {
+	case ReduceSum:
+		return a + b
+	case ReduceProd:
+		return a * b
+	case ReduceMin:
+		if a != a { // NaN (floats only: x != x is never true for integers)
+			return a
+		}
+		if b != b || b < a {
+			return b
+		}
+		return a
+	case ReduceMax:
+		if a != a {
+			return a
+		}
+		if b != b || b > a {
+			return b
+		}
+		return a
+	case ReduceBitAnd:
+		return fromIntBits[T](toIntBits(a) & toIntBits(b))
+	case ReduceBitOr:
+		return fromIntBits[T](toIntBits(a) | toIntBits(b))
+	case ReduceBitXor:
+		return fromIntBits[T](toIntBits(a) ^ toIntBits(b))
+	}
+	return a
+}
+
+// isFloat reports whether T is a floating-point type. The probe is
+// structural — 1/2 is zero exactly for the integer types — so named float
+// types (`type celsius float64`) are classified correctly, which a type
+// switch on any(zero) would miss.
+func isFloat[T Numeric]() bool {
+	var zero T
+	return T(1)/T(2) != zero
+}
+
+// bitsOf encodes v as the uint64 bit pattern the shared cell stores: IEEE
+// bits for floats (32-bit floats occupy the low word), sign-extended
+// two's complement for integers.
+func bitsOf[T Numeric](v T) uint64 {
+	if isFloat[T]() {
+		if unsafe.Sizeof(v) == 4 {
+			return uint64(math.Float32bits(float32(v)))
+		}
+		return math.Float64bits(float64(v))
+	}
+	return uint64(int64(v))
+}
+
+// fromBits decodes bitsOf's encoding back to T.
+func fromBits[T Numeric](b uint64) T {
+	var zero T
+	if isFloat[T]() {
+		if unsafe.Sizeof(zero) == 4 {
+			return T(math.Float32frombits(uint32(b)))
+		}
+		return T(math.Float64frombits(b))
+	}
+	return T(int64(b))
+}
+
+// Only +, -, *, and comparisons are defined across the whole Numeric type
+// set (bit operators exclude floats), so the extreme-value helpers below
+// probe with arithmetic: unsigned types are recognised by 0-1 wrapping to
+// the maximum, signed maxima by doubling until overflow wraps negative.
+// Overflow of signed integers is well-defined (wrapping) in Go.
+
+// maxValue returns the largest representable T (min-reduction identity).
+func maxValue[T Numeric]() T {
+	var zero T
+	if isFloat[T]() {
+		return T(math.Inf(1))
+	}
+	if zero-1 > zero { // unsigned: wraps to all ones
+		return zero - 1
+	}
+	hi := T(1)
+	for {
+		next := hi * 2
+		if next <= hi { // wrapped negative: hi is 2^(bits-2)
+			break
+		}
+		hi = next
+	}
+	return hi - 1 + hi // 2^(bits-1) - 1
+}
+
+// minValue returns the smallest representable T (max-reduction identity).
+func minValue[T Numeric]() T {
+	var zero T
+	if isFloat[T]() {
+		return T(math.Inf(-1))
+	}
+	if zero-1 > zero { // unsigned
+		return zero
+	}
+	return -maxValue[T]() - 1 // two's complement
+}
+
+// allOnes returns the bit-and identity (~0). For both signed (-1) and
+// unsigned (max), that is 0-1. Panics for floats — validation rejects
+// bitwise reductions on floating-point variables before codegen.
+func allOnes[T Numeric]() T {
+	var zero T
+	if isFloat[T]() {
+		panic("omp: bitwise reduction on floating-point type")
+	}
+	return zero - 1
+}
+
+// toIntBits/fromIntBits move integer T through uint64 for bitwise ops,
+// preserving the bit pattern via sign extension both ways. Floats are
+// rejected by allOnes/validation before these are reached.
+func toIntBits[T Numeric](v T) uint64   { return uint64(int64(v)) }
+func fromIntBits[T Numeric](b uint64) T { return T(int64(b)) }

@@ -152,3 +152,24 @@ func TestCurrentMatchesThread(t *testing.T) {
 		t.Error("Current() outside region != nil")
 	}
 }
+
+// Min/max reductions must propagate NaN like math.Min/math.Max: a corrupt
+// partial surfaces in the result instead of losing every comparison.
+func TestReductionNaNPropagates(t *testing.T) {
+	nan := math.NaN()
+	for _, op := range []ReduceOp{ReduceMin, ReduceMax} {
+		r := NewReduction(op, 1.0)
+		r.Combine(5.0)
+		r.Combine(nan)
+		r.Combine(2.0)
+		if v := r.Value(); !math.IsNaN(v) {
+			t.Errorf("generic %s with NaN partial = %v, want NaN", op, v)
+		}
+		f := NewFloat64ReductionWith(op, 1.0, CombineCritical)
+		f.Combine(nan)
+		f.Combine(3.0)
+		if v := f.Value(); !math.IsNaN(v) {
+			t.Errorf("critical %s with NaN partial = %v, want NaN", op, v)
+		}
+	}
+}

@@ -269,16 +269,6 @@ func TestSetGetNumThreads(t *testing.T) {
 	}
 }
 
-func TestScheduleICVRoundTrip(t *testing.T) {
-	kmp.ResetICV()
-	defer kmp.ResetICV()
-	SetSchedule(Guided, 7)
-	k, c := GetSchedule()
-	if k != Guided || c != 7 {
-		t.Fatalf("GetSchedule = %v,%d want guided,7", k, c)
-	}
-}
-
 func TestDynamicNestedICVs(t *testing.T) {
 	kmp.ResetICV()
 	defer kmp.ResetICV()

@@ -1,6 +1,10 @@
 package omp
 
-import "gomp/internal/kmp"
+import (
+	"context"
+
+	"gomp/internal/kmp"
+)
 
 // Option configures a Parallel, For or ParallelFor construct — the analog of
 // a directive clause. Options not meaningful for a construct are ignored,
@@ -15,6 +19,7 @@ type config struct {
 	ifClause   bool
 	hasIf      bool
 	loc        kmp.Ident
+	ctx        context.Context // region teardown binding (WithContext)
 
 	// Tasking clauses (task.go).
 	finalClause bool
@@ -75,6 +80,10 @@ func Parallel(body func(t *Thread), opts ...Option) {
 	if c.loc.Region == "" {
 		c.loc.Region = "parallel"
 	}
+	if c.ctx != nil {
+		kmp.ForkCallCtx(c.loc, n, c.ctx, body)
+		return
+	}
 	kmp.ForkCall(c.loc, n, body)
 }
 
@@ -102,9 +111,19 @@ func ForRange(t *Thread, trip int64, body func(lo, hi int64), opts ...Option) {
 	var c config
 	c.apply(opts)
 	if t == nil || !t.InParallel() {
-		if trip > 0 {
-			body(0, trip)
+		if trip <= 0 {
+			return
 		}
+		// A serialised region of a cancellable team (NumThreads(1),
+		// If(false), max-active-levels reached, or a single-processor
+		// host) must still observe deadlines and cancel directives:
+		// route through the runtime's static driver, whose cancellable
+		// path checks the flags between bounded sub-chunks.
+		if t.Cancellable() {
+			kmp.ForStatic(t, trip, 0, body)
+			return
+		}
+		body(0, trip)
 		return
 	}
 	if c.loc.Region == "" {

@@ -1,7 +1,6 @@
 package omp
 
 import (
-	"math"
 	"sync"
 
 	"gomp/internal/atomicx"
@@ -72,6 +71,51 @@ const (
 	CombineCritical
 )
 
+// typedReduction adds the critical-path ablation strategy on top of the
+// generic atomic cell: the v1 per-type reduction API, now a single
+// implementation instantiated at int64 and float64. The atomic path is
+// exactly Reduction[T]; the critical path folds under a mutex with the same
+// operator table.
+type typedReduction[T Numeric] struct {
+	g        Reduction[T]
+	strategy CombineStrategy
+	mu       sync.Mutex
+	plain    T
+}
+
+func (r *typedReduction[T]) init(op ReduceOp, initial T, s CombineStrategy) {
+	r.strategy = s
+	r.plain = initial
+	r.g.op = op
+	r.g.bits.Store(bitsOf(initial))
+}
+
+// Identity returns the operator's identity element, the value each thread's
+// private copy must start from.
+func (r *typedReduction[T]) Identity() T { return r.g.Identity() }
+
+// Combine folds a thread's partial into the shared result. Call exactly once
+// per thread, after private accumulation.
+func (r *typedReduction[T]) Combine(partial T) {
+	if r.strategy == CombineCritical {
+		r.mu.Lock()
+		r.plain = reduceFold(r.g.op, r.plain, partial)
+		r.mu.Unlock()
+		return
+	}
+	r.g.Combine(partial)
+}
+
+// Value returns the reduced result; call after the parallel region joins.
+func (r *typedReduction[T]) Value() T {
+	if r.strategy == CombineCritical {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.plain
+	}
+	return r.g.Value()
+}
+
 // ---------------------------------------------------------------- float64
 
 // Float64Reduction lowers a reduction clause over a float64 variable.
@@ -82,11 +126,7 @@ const (
 // variable's value participates once, via the initial value given at
 // construction. Value() returns the final result after the region joins.
 type Float64Reduction struct {
-	op       ReduceOp
-	strategy CombineStrategy
-	cell     atomicx.Float64
-	mu       sync.Mutex
-	plain    float64
+	typedReduction[float64]
 }
 
 // NewFloat64Reduction builds a reduction cell seeded with the reduction
@@ -97,74 +137,14 @@ func NewFloat64Reduction(op ReduceOp, initial float64) *Float64Reduction {
 
 // NewFloat64ReductionWith selects the combine strategy explicitly.
 func NewFloat64ReductionWith(op ReduceOp, initial float64, s CombineStrategy) *Float64Reduction {
-	r := &Float64Reduction{op: op, strategy: s}
 	switch op {
 	case ReduceSum, ReduceProd, ReduceMin, ReduceMax:
 	default:
 		panic("omp: reduction operator " + op.String() + " not defined for float64")
 	}
-	r.cell.Store(initial)
-	r.plain = initial
+	r := &Float64Reduction{}
+	r.init(op, initial, s)
 	return r
-}
-
-// Identity returns the operator's identity element, the value each thread's
-// private copy must start from.
-func (r *Float64Reduction) Identity() float64 {
-	switch r.op {
-	case ReduceProd:
-		return 1
-	case ReduceMin:
-		return math.Inf(1)
-	case ReduceMax:
-		return math.Inf(-1)
-	default:
-		return 0
-	}
-}
-
-// Combine folds a thread's partial into the shared result. Call exactly once
-// per thread, after private accumulation.
-func (r *Float64Reduction) Combine(partial float64) {
-	if r.strategy == CombineCritical {
-		r.mu.Lock()
-		r.plain = foldFloat64(r.op, r.plain, partial)
-		r.mu.Unlock()
-		return
-	}
-	switch r.op {
-	case ReduceSum:
-		r.cell.Add(partial)
-	case ReduceProd:
-		r.cell.Mul(partial)
-	case ReduceMin:
-		r.cell.Min(partial)
-	case ReduceMax:
-		r.cell.Max(partial)
-	}
-}
-
-// Value returns the reduced result; call after the parallel region joins.
-func (r *Float64Reduction) Value() float64 {
-	if r.strategy == CombineCritical {
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		return r.plain
-	}
-	return r.cell.Load()
-}
-
-func foldFloat64(op ReduceOp, a, b float64) float64 {
-	switch op {
-	case ReduceSum:
-		return a + b
-	case ReduceProd:
-		return a * b
-	case ReduceMin:
-		return math.Min(a, b)
-	default:
-		return math.Max(a, b)
-	}
 }
 
 // ------------------------------------------------------------------ int64
@@ -172,11 +152,7 @@ func foldFloat64(op ReduceOp, a, b float64) float64 {
 // Int64Reduction lowers a reduction clause over an integer variable.
 // See Float64Reduction for the protocol.
 type Int64Reduction struct {
-	op       ReduceOp
-	strategy CombineStrategy
-	cell     atomicx.Int64
-	mu       sync.Mutex
-	plain    int64
+	typedReduction[int64]
 }
 
 // NewInt64Reduction builds a reduction cell seeded with the reduction
@@ -191,87 +167,9 @@ func NewInt64ReductionWith(op ReduceOp, initial int64, s CombineStrategy) *Int64
 	case ReduceLogicalAnd, ReduceLogicalOr:
 		panic("omp: logical reduction operators apply to bool; use BoolReduction")
 	}
-	r := &Int64Reduction{op: op, strategy: s}
-	r.cell.Store(initial)
-	r.plain = initial
+	r := &Int64Reduction{}
+	r.init(op, initial, s)
 	return r
-}
-
-// Identity returns the operator's identity element.
-func (r *Int64Reduction) Identity() int64 {
-	switch r.op {
-	case ReduceProd:
-		return 1
-	case ReduceMin:
-		return math.MaxInt64
-	case ReduceMax:
-		return math.MinInt64
-	case ReduceBitAnd:
-		return -1 // all ones
-	default: // Sum, BitOr, BitXor
-		return 0
-	}
-}
-
-// Combine folds a thread's partial into the shared result.
-func (r *Int64Reduction) Combine(partial int64) {
-	if r.strategy == CombineCritical {
-		r.mu.Lock()
-		r.plain = foldInt64(r.op, r.plain, partial)
-		r.mu.Unlock()
-		return
-	}
-	switch r.op {
-	case ReduceSum:
-		r.cell.Add(partial) // native RMW
-	case ReduceProd:
-		r.cell.Mul(partial) // Listing 6 CAS loop
-	case ReduceMin:
-		r.cell.Min(partial)
-	case ReduceMax:
-		r.cell.Max(partial)
-	case ReduceBitAnd:
-		r.cell.And(partial)
-	case ReduceBitOr:
-		r.cell.Or(partial)
-	case ReduceBitXor:
-		r.cell.Xor(partial)
-	}
-}
-
-// Value returns the reduced result; call after the parallel region joins.
-func (r *Int64Reduction) Value() int64 {
-	if r.strategy == CombineCritical {
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		return r.plain
-	}
-	return r.cell.Load()
-}
-
-func foldInt64(op ReduceOp, a, b int64) int64 {
-	switch op {
-	case ReduceSum:
-		return a + b
-	case ReduceProd:
-		return a * b
-	case ReduceMin:
-		if b < a {
-			return b
-		}
-		return a
-	case ReduceMax:
-		if b > a {
-			return b
-		}
-		return a
-	case ReduceBitAnd:
-		return a & b
-	case ReduceBitOr:
-		return a | b
-	default:
-		return a ^ b
-	}
 }
 
 // ------------------------------------------------------------------- bool

@@ -107,7 +107,7 @@ func TestInt64Reductions(t *testing.T) {
 			Parallel(func(t *Thread) {
 				local := r.Identity()
 				For(t, c.trip, func(i int64) {
-					local = foldInt64(c.op, local, c.f(i))
+					local = reduceFold(c.op, local, c.f(i))
 				})
 				r.Combine(local)
 			}, NumThreads(4))
