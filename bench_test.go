@@ -242,6 +242,42 @@ func BenchmarkAblationScheduleGuided(b *testing.B) { benchSchedule(b, omp.Guided
 func BenchmarkAblationScheduleTrapezoidal(b *testing.B) { benchSchedule(b, omp.Trapezoidal, 16) }
 
 // ---------------------------------------------------------------------
+// Worksharing engine — the headline number of the unified stealing engine:
+// a triangular workload (per-iteration cost ∝ i) under schedule(dynamic,1)
+// at GOMAXPROCS workers, dispatched monotonically (the legacy shared
+// iteration counter, one contended atomic per chunk) versus nonmonotonically
+// (static-seeded per-thread ranges with half-range stealing, where the hot
+// path touches only thread-local state).
+
+func benchImbalanced(b *testing.B, mod omp.SchedModifier) {
+	threads := runtime.GOMAXPROCS(0)
+	const trip = 4096
+	sink := omp.NewFloat64Reduction(omp.ReduceSum, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		omp.Parallel(func(t *omp.Thread) {
+			local := 0.0
+			omp.For(t, trip, func(j int64) {
+				for k := int64(0); k < j; k++ { // triangular: iteration j costs ∝ j
+					local += float64(k&7) * 1e-9
+				}
+			}, omp.Schedule(omp.Dynamic, 1, mod))
+			sink.Combine(local)
+		}, omp.NumThreads(threads))
+	}
+	b.StopTimer()
+	_ = sink.Value()
+}
+
+// BenchmarkImbalancedFor/monotonic: every chunk grab hits the shared counter.
+// BenchmarkImbalancedFor/nonmonotonic: chunk grabs are thread-local pops;
+// only rebalancing pays a cross-thread CAS.
+func BenchmarkImbalancedFor(b *testing.B) {
+	b.Run("monotonic", func(b *testing.B) { benchImbalanced(b, omp.Monotonic) })
+	b.Run("nonmonotonic", func(b *testing.B) { benchImbalanced(b, omp.Nonmonotonic) })
+}
+
+// ---------------------------------------------------------------------
 // Ablation A4 — fork/join overhead: the EPCC syncbench "PARALLEL"
 // microbenchmark — an empty region, so the hot-team wake/join path is all
 // that is measured.

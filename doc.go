@@ -14,12 +14,16 @@
 //     and the multi-pass source-to-source preprocessor over go/ast.
 //   - internal/kmp — the libomp analog: hot goroutine teams, ForkCall and
 //     its error/context-aware sibling, three barrier algorithms plus a
-//     cancellation-aware one, static partitioning, dynamic/guided dispatch
-//     rings, criticals, locks, single/master, threadprivate, OpenMP
-//     cancellation flags observed at every scheduling point, and the
-//     explicit-tasking layer (task/taskwait/taskgroup/taskloop) over
-//     per-thread Chase–Lev work-stealing deques, with barriers doubling as
-//     task scheduling points.
+//     cancellation-aware one, static partitioning, the unified worksharing
+//     engine (dynamic-family loops run work-stealing over static-seeded
+//     per-thread ranges by default, with the shared-counter dispatch ring
+//     kept as the monotonic:/ordered compliance path), the ordered
+//     construct's ticket chain, criticals, locks, single/master,
+//     threadprivate, OpenMP cancellation flags observed at every scheduling
+//     point — chunk grabs and steals included — and the explicit-tasking
+//     layer (task/taskwait/taskgroup/taskloop) over per-thread Chase–Lev
+//     work-stealing deques, with barriers doubling as task scheduling
+//     points.
 //   - omp — the public, importable user-facing API (omp_* routines with
 //     the prefix dropped), the structured constructs generated code
 //     targets, and the v2 surface: context-aware error-returning region
@@ -36,7 +40,10 @@
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's tables
 // and figures (BenchmarkTable1CG … BenchmarkFig5IS) plus the ablations
-// catalogued in DESIGN.md (BenchmarkAblation*) and the tasking pair
+// catalogued in DESIGN.md (BenchmarkAblation*), the tasking pair
 // (BenchmarkTaskFib, BenchmarkTaskloopVsFor) comparing the explicit-task
-// subsystem against serial recursion and the loop-directive lowerings.
+// subsystem against serial recursion and the loop-directive lowerings, and
+// BenchmarkImbalancedFor, the worksharing engine's headline number:
+// monotonic (shared-counter) versus nonmonotonic (stealing) dispatch of a
+// triangular workload.
 package gomp

@@ -45,6 +45,9 @@ const (
 	// DirCancellationPoint checks for pending cancellation of the kind
 	// named by Clauses.Cancel.
 	DirCancellationPoint
+	// DirOrdered runs the following block in sequential iteration order
+	// inside a worksharing loop carrying the ordered clause.
+	DirOrdered
 )
 
 // String returns the OpenMP surface spelling.
@@ -84,6 +87,8 @@ func (k DirKind) String() string {
 		return "cancel"
 	case DirCancellationPoint:
 		return "cancellation point"
+	case DirOrdered:
+		return "ordered"
 	}
 	return fmt.Sprintf("DirKind(%d)", int(k))
 }
@@ -158,6 +163,41 @@ func (s SchedEnum) String() string {
 		return "trapezoidal"
 	}
 	return "none"
+}
+
+// SchedModEnum is the 2-bit monotonic/nonmonotonic schedule modifier of the
+// packed clause encoding, stored in the flags word next to the ordered bit
+// it interacts with (nonmonotonic conflicts with ordered). SchedModNone
+// means no modifier was written, which for dynamic-family kinds defaults to
+// nonmonotonic (work-stealing) execution per OpenMP 5.0.
+type SchedModEnum uint8
+
+const (
+	SchedModNone SchedModEnum = iota
+	SchedModMonotonic
+	SchedModNonmonotonic
+)
+
+// String returns the modifier's clause spelling ("" when absent).
+func (m SchedModEnum) String() string {
+	switch m {
+	case SchedModMonotonic:
+		return "monotonic"
+	case SchedModNonmonotonic:
+		return "nonmonotonic"
+	}
+	return ""
+}
+
+// RuntimeName returns the omp package constant that codegen references.
+func (m SchedModEnum) RuntimeName() string {
+	switch m {
+	case SchedModMonotonic:
+		return "omp.Monotonic"
+	case SchedModNonmonotonic:
+		return "omp.Nonmonotonic"
+	}
+	return ""
 }
 
 // TaskIterEnum is the 2-bit selector of the taskloop granularity clause in
@@ -265,6 +305,7 @@ type Clauses struct {
 	Sched       SchedEnum
 	Chunk       int64 // 0 = no chunk specified (chunk must be > 0 per spec)
 	HasSchedule bool
+	SchedMod    SchedModEnum // monotonic/nonmonotonic schedule modifier
 
 	Default  DefaultKind
 	NoWait   bool

@@ -13,7 +13,8 @@ import "fmt"
 //	        paper's exact trick)
 //	word 1  flags: default (2 bits) | nowait (1) | collapse (4) |
 //	        ordered (1) | hasSchedule (1) | untied (1) | nogroup (1) |
-//	        cancel kind (2 bits: none/parallel/for/taskgroup)
+//	        cancel kind (2 bits: none/parallel/for/taskgroup) |
+//	        schedule modifier (2 bits: none/monotonic/nonmonotonic)
 //	word 2  num_threads expression: string-table index + 1, 0 = absent
 //	word 3  if expression: string-table index + 1, 0 = absent
 //	word 4  critical name: string-table index + 1, 0 = absent/unnamed
@@ -50,6 +51,7 @@ const (
 	flagUntiedShift   = 9  // 1 bit
 	flagNoGroupShift  = 10 // 1 bit
 	flagCancelShift   = 11 // 2 bits
+	flagSchedModShift = 13 // 2 bits
 
 	// MaxCollapse is the largest encodable collapse depth: 4 bits, "as
 	// it is unlikely that a user would wish to collapse more than 16
@@ -191,6 +193,10 @@ func packFlags(c *Clauses) (uint32, error) {
 		return 0, fmt.Errorf("core: cancel kind %d does not fit 2 bits", c.Cancel)
 	}
 	w |= uint32(c.Cancel) << flagCancelShift
+	if c.SchedMod > SchedModNonmonotonic {
+		return 0, fmt.Errorf("core: schedule modifier %d does not fit 2 bits", c.SchedMod)
+	}
+	w |= uint32(c.SchedMod) << flagSchedModShift
 	return w, nil
 }
 
@@ -203,6 +209,7 @@ func unpackFlags(w uint32, c *Clauses) {
 	c.Untied = w>>flagUntiedShift&1 != 0
 	c.NoGroup = w>>flagNoGroupShift&1 != 0
 	c.Cancel = CancelEnum(w >> flagCancelShift & 0b11)
+	c.SchedMod = SchedModEnum(w >> flagSchedModShift & 0b11)
 }
 
 // Encode appends d to the tree and returns its node index. Clause data is

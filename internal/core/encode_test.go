@@ -313,3 +313,55 @@ func TestPackFlagsCancelLimits(t *testing.T) {
 		t.Error("3-bit cancel kind accepted into the 2-bit field")
 	}
 }
+
+func TestFlagsSchedModRoundTrip(t *testing.T) {
+	for _, mod := range []SchedModEnum{SchedModNone, SchedModMonotonic, SchedModNonmonotonic} {
+		c := Clauses{SchedMod: mod, NoWait: true, Collapse: 3, Cancel: CancelFor}
+		w, err := packFlags(&c)
+		if err != nil {
+			t.Fatalf("packFlags(mod=%v): %v", mod, err)
+		}
+		var got Clauses
+		unpackFlags(w, &got)
+		if got.SchedMod != mod {
+			t.Errorf("SchedMod round trip = %v, want %v", got.SchedMod, mod)
+		}
+		if !got.NoWait || got.Collapse != 3 || got.Cancel != CancelFor {
+			t.Errorf("neighbouring flags corrupted by modifier bits: %+v", got)
+		}
+	}
+}
+
+func TestEncodeDecodeScheduleModifierAndOrdered(t *testing.T) {
+	d, err := ParseDirective("for schedule(nonmonotonic:dynamic,4) nowait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewTree()
+	idx, err := tree.Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.Decode(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clauses.SchedMod != SchedModNonmonotonic || got.Clauses.Sched != SchedDynamic || got.Clauses.Chunk != 4 {
+		t.Errorf("decoded %+v", got.Clauses)
+	}
+	d2, err := ParseDirective("for ordered schedule(monotonic:static,2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := tree.Encode(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := tree.Decode(idx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Clauses.Ordered || got2.Clauses.SchedMod != SchedModMonotonic {
+		t.Errorf("decoded %+v", got2.Clauses)
+	}
+}

@@ -377,8 +377,14 @@ func (px *pctx) genFor(p *pragma, d *Directive) ([]edit, error) {
 
 	args := []string{"omp.NoWait()"} // barrier is emitted explicitly below
 	if c.HasSchedule {
-		sched := c.Sched
-		args = append(args, fmt.Sprintf("omp.Schedule(%s, %d)", schedConst(sched), c.Chunk))
+		mod := ""
+		if c.SchedMod != SchedModNone {
+			mod = ", " + c.SchedMod.RuntimeName()
+		}
+		args = append(args, fmt.Sprintf("omp.Schedule(%s, %d%s)", schedConst(c.Sched), c.Chunk, mod))
+	}
+	if c.Ordered {
+		args = append(args, "omp.OrderedClause()")
 	}
 	args = append(args, px.locArg(p, "for"))
 
@@ -558,6 +564,72 @@ func (px *pctx) genMaster(p *pragma) ([]edit, error) {
 		tvar, pre = "__omp_t", "__omp_t := omp.Current()\n"
 	}
 	text := fmt.Sprintf("{\n%somp.Masked(%s, func() {\n%s\n})\n}",
+		pre, tvar, px.text(blk.Lbrace+1, blk.Rbrace))
+	return []edit{{start: p.start, end: px.off(blk.End()), text: text}}, nil
+}
+
+// checkOrderedBindings runs once over the original source, before any
+// rewriting: every `//omp ordered` pragma whose innermost lexically
+// enclosing worksharing-loop construct lacks the ordered clause is rejected
+// — non-conforming OpenMP that would otherwise silently execute unordered.
+// An ordered pragma enclosed by no loop construct at all is left alone:
+// orphaned ordered regions in called functions bind dynamically, the spec's
+// escape hatch a lexical check cannot see past.
+func (px *pctx) checkOrderedBindings() error {
+	all, err := px.pragmas()
+	if err != nil {
+		return nil // the main pass reports the parse problem with position info
+	}
+	type loopSpan struct {
+		p      pragma
+		s0, s1 int // pragma start .. end of the annotated for statement
+	}
+	var loops []loopSpan
+	for _, r := range all {
+		if r.d.Kind != DirFor && r.d.Kind != DirParallelFor {
+			continue
+		}
+		if st := px.stmtAfter(r.end); st != nil {
+			loops = append(loops, loopSpan{p: r, s0: r.start, s1: px.off(st.End())})
+		}
+	}
+	for _, q := range all {
+		if q.d.Kind != DirOrdered {
+			continue
+		}
+		var inner *loopSpan
+		for i := range loops {
+			l := &loops[i]
+			if q.start > l.s0 && q.end <= l.s1 && (inner == nil || l.s0 > inner.s0) {
+				inner = l
+			}
+		}
+		if inner != nil && !inner.p.d.Clauses.Ordered {
+			return px.errf(&inner.p, "ordered region inside a worksharing loop that lacks the ordered clause")
+		}
+	}
+	return nil
+}
+
+// genOrdered lowers `//omp ordered` over the following block: the body runs
+// under omp.Ordered, which sequences it into iteration order against the
+// enclosing worksharing loop's ordered ticket chain. The enclosing loop must
+// carry the ordered clause; without one the runtime degenerates to direct
+// execution, matching the spec's binding rules for orphaned constructs.
+func (px *pctx) genOrdered(p *pragma) ([]edit, error) {
+	blk, ok := px.stmtAfter(p.end).(*ast.BlockStmt)
+	if !ok {
+		return nil, px.errf(p, "directive must immediately precede a { … } block")
+	}
+	if hasEscapingReturn(blk) {
+		return nil, px.errf(p, "return inside an ordered block is not allowed")
+	}
+	tvar := px.threadVar(p.start)
+	pre := ""
+	if tvar == "" {
+		tvar, pre = "__omp_t", "__omp_t := omp.Current()\n"
+	}
+	text := fmt.Sprintf("{\n%somp.Ordered(%s, func() {\n%s\n})\n}",
 		pre, tvar, px.text(blk.Lbrace+1, blk.Rbrace))
 	return []edit{{start: p.start, end: px.off(blk.End()), text: text}}, nil
 }

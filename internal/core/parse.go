@@ -113,6 +113,8 @@ func ParseDirective(text string) (*Directive, error) {
 			return nil, err
 		}
 		d.Clauses.Cancel = kind
+	case p.eatToken(TokOrdered) != nil:
+		d.Kind = DirOrdered
 	case p.eatToken(TokThreadPrivate) != nil:
 		d.Kind = DirThreadPrivate
 		vars, err := p.parseIdentList()
@@ -329,10 +331,22 @@ func (p *dirParser) parseReduction(c *Clauses) error {
 	return nil
 }
 
-// parseSchedule parses "( kind [, chunk] )".
+// parseSchedule parses "( [modifier :] kind [, chunk] )", where modifier is
+// monotonic or nonmonotonic (OpenMP 5.2 §11.5.3).
 func (p *dirParser) parseSchedule(c *Clauses) error {
 	if _, err := p.expect(TokLParen, "'('"); err != nil {
 		return err
+	}
+	switch {
+	case p.eatToken(TokMonotonic) != nil:
+		c.SchedMod = SchedModMonotonic
+	case p.eatToken(TokNonmonotonic) != nil:
+		c.SchedMod = SchedModNonmonotonic
+	}
+	if c.SchedMod != SchedModNone {
+		if _, err := p.expect(TokColon, "':' after schedule modifier"); err != nil {
+			return err
+		}
 	}
 	switch {
 	case p.eatToken(TokStatic) != nil:

@@ -163,57 +163,62 @@ func TestParseThreadPrivate(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		"",                                   // no directive
-		"banana",                             // unknown directive
-		"parallel banana(x)",                 // unknown clause
-		"parallel private(",                  // unterminated list
-		"parallel private()",                 // empty list
-		"parallel private(1)",                // not an identifier
-		"for schedule(bogus)",                // bad schedule kind
-		"for schedule(static,0)",             // chunk must be positive
-		"for schedule(static,-4)",            // negative chunk
-		"for schedule(static,1x)",            // trailing junk in chunk
-		"parallel reduction(?:x)",            // bad operator
-		"parallel reduction(+x)",             // missing colon
-		"parallel default(dynamic)",          // bad default
-		"for collapse(0)",                    // collapse must be positive
-		"parallel if()",                      // empty expression
-		"parallel num_threads((n)",           // unbalanced parens
-		"flush",                              // unsupported directive
-		"parallel nowait",                    // clause not allowed on directive
-		"barrier private(x)",                 // clause on bare directive
-		"for num_threads(4)",                 // parallel-only clause on for
-		"parallel schedule(static)",          // loop-only clause on parallel
-		"for ordered",                        // declared unsupported
-		"for collapse(16)",                   // exceeds 4-bit packing
-		"parallel private(x) shared(x)",      // duplicate data-sharing
-		"parallel reduction(+:x) private(x)", // reduction vs private
-		"sections reduction(+:x)",            // not lowered on sections
-		"sections lastprivate(x)",            // not lowered on sections
-		"threadprivate",                      // missing list
-		"taskwait if(x)",                     // taskwait takes no clauses
-		"taskgroup private(x)",               // taskgroup takes no clauses
-		"task schedule(static)",              // loop-only clause on task
-		"task grainsize(4)",                  // taskloop-only clause on task
-		"task nowait",                        // no nowait on task
-		"taskloop grainsize(4) num_tasks(2)", // mutually exclusive
-		"taskloop grainsize(0)",              // must be positive
-		"taskloop num_tasks(-1)",             // must be positive
-		"taskloop nowait",                    // taskloop has nogroup, not nowait
-		"for untied",                         // task-only clause on for
-		"parallel final(x)",                  // task-only clause on parallel
-		"cancel",                             // cancel requires a construct kind
-		"cancel single",                      // not a cancellable construct
-		"cancel sections",                    // cancellable in OpenMP, not lowered here
-		"cancel banana",                      // unknown construct kind
-		"cancel parallel nowait",             // cancel takes only the if clause
-		"cancel for schedule(static)",        // loop clause on cancel
-		"cancel taskgroup private(x)",        // data clause on cancel
-		"cancellation",                       // bare cancellation: missing point
-		"cancellation parallel",              // missing point before the kind
-		"cancellation point",                 // missing construct kind
-		"cancellation point critical",        // not a cancellable construct
-		"cancellation point for if(x)",       // cancellation point takes no clauses
+		"",                                           // no directive
+		"banana",                                     // unknown directive
+		"parallel banana(x)",                         // unknown clause
+		"parallel private(",                          // unterminated list
+		"parallel private()",                         // empty list
+		"parallel private(1)",                        // not an identifier
+		"for schedule(bogus)",                        // bad schedule kind
+		"for schedule(static,0)",                     // chunk must be positive
+		"for schedule(static,-4)",                    // negative chunk
+		"for schedule(static,1x)",                    // trailing junk in chunk
+		"parallel reduction(?:x)",                    // bad operator
+		"parallel reduction(+x)",                     // missing colon
+		"parallel default(dynamic)",                  // bad default
+		"for collapse(0)",                            // collapse must be positive
+		"parallel if()",                              // empty expression
+		"parallel num_threads((n)",                   // unbalanced parens
+		"flush",                                      // unsupported directive
+		"parallel nowait",                            // clause not allowed on directive
+		"barrier private(x)",                         // clause on bare directive
+		"for num_threads(4)",                         // parallel-only clause on for
+		"parallel schedule(static)",                  // loop-only clause on parallel
+		"for schedule(nonmonotonic:static)",          // nonmonotonic needs dynamic-family
+		"for schedule(nonmonotonic:dynamic) ordered", // modifier conflicts with ordered
+		"for schedule(monotonic dynamic)",            // missing ':' after modifier
+		"for schedule(monotonic:runtime)",            // modifier belongs in OMP_SCHEDULE
+		"parallel ordered",                           // loop-only clause on parallel
+		"ordered nowait",                             // ordered block takes no clauses
+		"for collapse(16)",                           // exceeds 4-bit packing
+		"parallel private(x) shared(x)",              // duplicate data-sharing
+		"parallel reduction(+:x) private(x)",         // reduction vs private
+		"sections reduction(+:x)",                    // not lowered on sections
+		"sections lastprivate(x)",                    // not lowered on sections
+		"threadprivate",                              // missing list
+		"taskwait if(x)",                             // taskwait takes no clauses
+		"taskgroup private(x)",                       // taskgroup takes no clauses
+		"task schedule(static)",                      // loop-only clause on task
+		"task grainsize(4)",                          // taskloop-only clause on task
+		"task nowait",                                // no nowait on task
+		"taskloop grainsize(4) num_tasks(2)",         // mutually exclusive
+		"taskloop grainsize(0)",                      // must be positive
+		"taskloop num_tasks(-1)",                     // must be positive
+		"taskloop nowait",                            // taskloop has nogroup, not nowait
+		"for untied",                                 // task-only clause on for
+		"parallel final(x)",                          // task-only clause on parallel
+		"cancel",                                     // cancel requires a construct kind
+		"cancel single",                              // not a cancellable construct
+		"cancel sections",                            // cancellable in OpenMP, not lowered here
+		"cancel banana",                              // unknown construct kind
+		"cancel parallel nowait",                     // cancel takes only the if clause
+		"cancel for schedule(static)",                // loop clause on cancel
+		"cancel taskgroup private(x)",                // data clause on cancel
+		"cancellation",                               // bare cancellation: missing point
+		"cancellation parallel",                      // missing point before the kind
+		"cancellation point",                         // missing construct kind
+		"cancellation point critical",                // not a cancellable construct
+		"cancellation point for if(x)",               // cancellation point takes no clauses
 	}
 	for _, text := range cases {
 		if _, err := ParseDirective(text); err == nil {
@@ -371,5 +376,42 @@ func TestValidateCancelKindProgrammatically(t *testing.T) {
 	}
 	if err := Validate(&Directive{Kind: DirBarrier, Clauses: Clauses{Cancel: CancelFor}}); err == nil {
 		t.Error("construct kind on a non-cancel directive validated")
+	}
+}
+
+func TestParseScheduleModifiers(t *testing.T) {
+	cases := map[string]SchedModEnum{
+		"for schedule(monotonic:dynamic,4)":    SchedModMonotonic,
+		"for schedule(nonmonotonic:dynamic,4)": SchedModNonmonotonic,
+		"for schedule(nonmonotonic : guided)":  SchedModNonmonotonic,
+		"for schedule(monotonic:static)":       SchedModMonotonic,
+		"for schedule(dynamic,4)":              SchedModNone,
+	}
+	for text, want := range cases {
+		d := mustParse(t, text)
+		if d.Clauses.SchedMod != want {
+			t.Errorf("%q → SchedMod %v, want %v", text, d.Clauses.SchedMod, want)
+		}
+	}
+}
+
+func TestParseOrderedDirectiveAndClause(t *testing.T) {
+	if d := mustParse(t, "ordered"); d.Kind != DirOrdered {
+		t.Errorf("ordered parsed as %v", d.Kind)
+	}
+	d := mustParse(t, "for ordered schedule(static,4)")
+	if d.Kind != DirFor || !d.Clauses.Ordered {
+		t.Errorf("for ordered → %v ordered=%v", d.Kind, d.Clauses.Ordered)
+	}
+	// The fused form must carry ordered to the loop half when distributed.
+	pf := mustParse(t, "parallel for ordered schedule(monotonic:dynamic)")
+	_, loop := DistributeParallelFor(pf)
+	if !loop.Clauses.Ordered || loop.Clauses.SchedMod != SchedModMonotonic {
+		t.Errorf("distributed loop lost ordered/modifier: %+v", loop.Clauses)
+	}
+	// And the surface rendering must round-trip through the parser (the
+	// parallel-for lowering re-parses loop.String()).
+	if _, err := ParseDirective(loop.String()); err != nil {
+		t.Errorf("re-parse of %q: %v", loop.String(), err)
 	}
 }

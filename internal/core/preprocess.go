@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
 	"go/format"
@@ -66,6 +67,16 @@ func stepOf(k DirKind) passStep {
 // is gofmt-formatted. Source without pragmas is returned unchanged.
 func Preprocess(src []byte, opts Options) ([]byte, error) {
 	opts.defaults()
+	// Whole-file validations that need every pragma still in place run
+	// before the first rewrite consumes any of them. The byte scan keeps
+	// ordered-free files (the common case) from paying an extra AST parse.
+	if bytes.Contains(src, []byte("ordered")) {
+		if px := (&pctx{opts: opts}); px.parse(src) == nil {
+			if err := px.checkOrderedBindings(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	changed := false
 	for step := stepParallel; step != stepDone; {
 		out, applied, err := applyOne(src, opts, step)
@@ -104,6 +115,11 @@ type pctx struct {
 
 	// cancelUse memoizes usesCancellation (gen.go) for this parse.
 	cancelUse *bool
+	// pragmaList memoizes pragmas() for this parse: the source is immutable
+	// within one pctx, and several generators consult the full list.
+	pragmaList []pragma
+	pragmaErr  error
+	pragmaSet  bool
 }
 
 // pragma is the paper's "payload … contain[ing] the information required to
@@ -134,6 +150,10 @@ func (px *pctx) text(from, to token.Pos) string {
 
 // pragmas returns every pragma in the file, in source order.
 func (px *pctx) pragmas() ([]pragma, error) {
+	if px.pragmaSet {
+		return px.pragmaList, px.pragmaErr
+	}
+	px.pragmaSet = true
 	var out []pragma
 	for _, cg := range px.file.Comments {
 		for _, c := range cg.List {
@@ -144,7 +164,8 @@ func (px *pctx) pragmas() ([]pragma, error) {
 			pos := px.fset.Position(c.Pos())
 			d, err := ParseDirective(text)
 			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %v", px.opts.Filename, pos.Line, err)
+				px.pragmaErr = fmt.Errorf("%s:%d: %v", px.opts.Filename, pos.Line, err)
+				return nil, px.pragmaErr
 			}
 			out = append(out, pragma{
 				d:     d,
@@ -154,6 +175,7 @@ func (px *pctx) pragmas() ([]pragma, error) {
 			})
 		}
 	}
+	px.pragmaList = out
 	return out, nil
 }
 
@@ -265,6 +287,8 @@ func (px *pctx) gen(p *pragma) ([]edit, error) {
 		return px.genCancel(p, p.d)
 	case DirCancellationPoint:
 		return px.genCancellationPoint(p, p.d)
+	case DirOrdered:
+		return px.genOrdered(p)
 	}
 	return nil, px.errf(p, "no generator for directive")
 }

@@ -764,3 +764,116 @@ func sum(a []float64) float64 {
 		t.Fatalf("CancellationPoint appears %d times, want 1 (no orphan guards):\n%s", got, out)
 	}
 }
+
+func TestPreprocessScheduleModifier(t *testing.T) {
+	out := pp(t, `package p
+
+func f(a []float64) {
+	//omp parallel
+	{
+		//omp for schedule(nonmonotonic:dynamic,8) nowait
+		for i := 0; i < len(a); i++ {
+			a[i] = 1
+		}
+		//omp for schedule(monotonic:guided) nowait
+		for i := 0; i < len(a); i++ {
+			a[i] += 1
+		}
+	}
+}
+`)
+	wantContains(t, out,
+		"omp.Schedule(omp.Dynamic, 8, omp.Nonmonotonic)",
+		"omp.Schedule(omp.Guided, 0, omp.Monotonic)",
+	)
+}
+
+func TestPreprocessOrderedLoop(t *testing.T) {
+	out := pp(t, `package p
+
+import "fmt"
+
+func f(n int) {
+	//omp parallel for ordered schedule(dynamic,2)
+	for i := 0; i < n; i++ {
+		v := i * i
+		//omp ordered
+		{
+			fmt.Println(v)
+		}
+	}
+}
+`)
+	wantContains(t, out,
+		"omp.OrderedClause()",
+		"omp.Schedule(omp.Dynamic, 2)",
+		"omp.Ordered(__omp_t, func() {",
+	)
+}
+
+func TestPreprocessOrderedWithoutClauseRejected(t *testing.T) {
+	_, err := Preprocess([]byte(`package p
+
+func f(n int) {
+	//omp parallel for schedule(dynamic)
+	for i := 0; i < n; i++ {
+		//omp ordered
+		{
+			_ = i
+		}
+	}
+}
+`), Options{Filename: "x.go"})
+	if err == nil || !strings.Contains(err.Error(), "lacks the ordered clause") {
+		t.Fatalf("ordered without clause: err = %v, want binding diagnostic", err)
+	}
+}
+
+func TestPreprocessOrderedBehindSiblingInnerLoopStillRejected(t *testing.T) {
+	// A nested ordered loop that merely precedes the ordered block (a
+	// sibling, not an ancestor) must not satisfy the binding check: the
+	// block binds to the clause-less outer loop.
+	_, err := Preprocess([]byte(`package p
+
+func f(n int) {
+	//omp for schedule(dynamic)
+	for i := 0; i < n; i++ {
+		//omp parallel for ordered schedule(dynamic)
+		for j := 0; j < n; j++ {
+			//omp ordered
+			{
+				_ = j
+			}
+		}
+		//omp ordered
+		{
+			_ = i
+		}
+	}
+}
+`), Options{Filename: "x.go"})
+	if err == nil || !strings.Contains(err.Error(), "lacks the ordered clause") {
+		t.Fatalf("sibling-shadowed ordered: err = %v, want binding diagnostic", err)
+	}
+}
+
+func TestPreprocessOrderedInsideNestedOrderedLoopAccepted(t *testing.T) {
+	// The same nesting with the ordered block inside the inner ordered
+	// loop is conforming and must preprocess.
+	out := pp(t, `package p
+
+func f(n int) {
+	//omp for schedule(dynamic)
+	for i := 0; i < n; i++ {
+		//omp parallel for ordered schedule(dynamic)
+		for j := 0; j < n; j++ {
+			//omp ordered
+			{
+				_ = j
+			}
+		}
+	}
+}
+`)
+	wantContains(t, out, "omp.Ordered(")
+}

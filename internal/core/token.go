@@ -69,6 +69,8 @@ const (
 	TokRuntime
 	TokAuto
 	TokTrapezoidal
+	TokMonotonic
+	TokNonmonotonic
 	TokMin
 	TokMax
 	TokTask
@@ -123,6 +125,8 @@ var keywordTags = map[string]TokenTag{
 	"runtime":       TokRuntime,
 	"auto":          TokAuto,
 	"trapezoidal":   TokTrapezoidal,
+	"monotonic":     TokMonotonic,
+	"nonmonotonic":  TokNonmonotonic,
 	"min":           TokMin,
 	"max":           TokMax,
 	"task":          TokTask,

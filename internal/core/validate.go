@@ -67,6 +67,9 @@ var allowedClauses = map[DirKind]clauseSet{
 	// §11.5.
 	DirCancel:            allowIf,
 	DirCancellationPoint: 0,
+	// The block form of ordered takes no clauses in this implementation
+	// (the doacross depend/threads/simd arguments are not lowered).
+	DirOrdered: 0,
 }
 
 // Validate checks directive/clause compatibility and clause-level
@@ -115,11 +118,28 @@ func Validate(d *Directive) error {
 	if c.Collapse > MaxCollapse {
 		return fmt.Errorf("pragma: collapse %d exceeds the encodable maximum %d", c.Collapse, MaxCollapse)
 	}
-	if c.Ordered {
-		return fmt.Errorf("pragma: the ordered clause is not supported by this implementation")
-	}
 	if c.Chunk > 0 && !c.HasSchedule {
 		return fmt.Errorf("pragma: chunk without schedule clause")
+	}
+	if c.SchedMod != SchedModNone && !c.HasSchedule {
+		return fmt.Errorf("pragma: schedule modifier %s without schedule clause", c.SchedMod)
+	}
+	// The nonmonotonic modifier licenses out-of-order (stealing) chunk
+	// delivery, which both the ordered clause and static partitioning
+	// exclude (OpenMP 5.2 §11.5.3). monotonic is universally valid: it
+	// simply keeps the legacy shared-counter dispatch.
+	if c.SchedMod == SchedModNonmonotonic {
+		if c.Ordered {
+			return fmt.Errorf("pragma: the nonmonotonic schedule modifier cannot be combined with the ordered clause")
+		}
+		if c.Sched == SchedStatic {
+			return fmt.Errorf("pragma: the nonmonotonic schedule modifier requires a dynamic-family schedule kind")
+		}
+	}
+	if c.SchedMod != SchedModNone && c.Sched == SchedRuntime {
+		// Matches kmp.ParseSchedule: the modifier belongs to the deferred
+		// schedule, so it is written in OMP_SCHEDULE, not on the clause.
+		return fmt.Errorf("pragma: schedule modifiers cannot be applied to runtime (set them in OMP_SCHEDULE instead)")
 	}
 	if c.Grainsize > 0 && c.NumTasks > 0 {
 		return fmt.Errorf("pragma: grainsize and num_tasks are mutually exclusive (OpenMP 5.2 §12.6)")
@@ -206,7 +226,9 @@ func DistributeParallelFor(d *Directive) (par, loop *Directive) {
 		Sched:       c.Sched,
 		Chunk:       c.Chunk,
 		HasSchedule: c.HasSchedule,
+		SchedMod:    c.SchedMod,
 		Collapse:    c.Collapse,
+		Ordered:     c.Ordered,
 		// No nowait: the fused construct's single implicit barrier is
 		// the parallel join; the inner loop barrier is redundant but
 		// harmless, so we keep OpenMP's semantics and elide it.
@@ -241,10 +263,14 @@ func (d *Directive) String() string {
 		fmt.Fprintf(&b, " reduction(%s:%s)", r.Op, strings.Join(r.Vars, ","))
 	}
 	if c.HasSchedule {
+		mod := ""
+		if c.SchedMod != SchedModNone {
+			mod = c.SchedMod.String() + ":"
+		}
 		if c.Chunk > 0 {
-			fmt.Fprintf(&b, " schedule(%s,%d)", c.Sched, c.Chunk)
+			fmt.Fprintf(&b, " schedule(%s%s,%d)", mod, c.Sched, c.Chunk)
 		} else {
-			fmt.Fprintf(&b, " schedule(%s)", c.Sched)
+			fmt.Fprintf(&b, " schedule(%s%s)", mod, c.Sched)
 		}
 	}
 	switch c.Default {
@@ -255,6 +281,9 @@ func (d *Directive) String() string {
 	}
 	if c.Collapse > 0 {
 		fmt.Fprintf(&b, " collapse(%d)", c.Collapse)
+	}
+	if c.Ordered {
+		b.WriteString(" ordered")
 	}
 	if c.NumThreads != "" {
 		fmt.Fprintf(&b, " num_threads(%s)", c.NumThreads)

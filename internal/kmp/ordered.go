@@ -1,0 +1,81 @@
+package kmp
+
+// The ordered construct (OpenMP 5.2 §10.4.2): inside a worksharing loop
+// carrying the ordered clause, the ordered region of each iteration executes
+// in sequential iteration order. The implementation mirrors libomp's
+// __kmpc_ordered / __kmpc_end_ordered ticket protocol: the loop descriptor
+// keeps orderedIter, the index of the next iteration whose ordered region
+// may run; a thread executing chunk [lo, hi) expects ticket lo for its first
+// ordered region, lo+1 for the second, and so on, and each completed region
+// advances the ticket by one.
+//
+// The ordered clause forces monotonic dispatch (DispatchInit), because the
+// protocol relies on chunks being issued in increasing iteration order —
+// the thread holding the lowest outstanding chunk is never waiting on a
+// higher one, so the ticket chain cannot deadlock. This is exactly why the
+// OpenMP spec forbids combining ordered with the nonmonotonic modifier.
+
+// Ordered executes body as the ordered region of the current iteration of
+// the innermost enclosing worksharing loop. The loop must carry the ordered
+// clause and the body must be encountered once per iteration, in iteration
+// order within the chunk — which the canonical lowering (a sequential scan
+// of the chunk) guarantees. Outside an ordered-clause loop the body runs
+// immediately: a serialised region, an orphaned construct, or a plain
+// unordered loop all degenerate to direct execution.
+func (t *Thread) Ordered(body func()) {
+	if t == nil {
+		body()
+		return
+	}
+	b := t.curLoop
+	if b == nil || !b.ordered || t.curChunkHi <= t.curChunkLo {
+		body()
+		return
+	}
+	expect := t.curChunkLo + t.orderedSeen
+	var idle taskIdle
+	for b.orderedIter.Load() < expect {
+		// The wait is a cancellation point: predecessors of a cancelled
+		// loop may never run their ordered regions, so waiting on would
+		// deadlock.
+		if t.loopCancelled() {
+			return
+		}
+		idle.wait()
+	}
+	body()
+	t.orderedSeen++
+	b.orderedIter.Add(1)
+}
+
+// orderedFinishChunk retires the thread's previous chunk from the ordered
+// ticket chain before it claims the next one — libomp's __kmp_dispatch_finish.
+// It waits for its own turn (ticket == first unexecuted iteration of the
+// chunk) and then skips the ticket straight past the chunk's upper bound,
+// so iterations that did not encounter an ordered region cannot stall the
+// threads holding later chunks.
+func (t *Thread) orderedFinishChunk(b *dispatchBuf) {
+	if t.curChunkHi <= t.curChunkLo {
+		return // no chunk outstanding
+	}
+	target := t.curChunkLo + t.orderedSeen
+	var idle taskIdle
+	for b.orderedIter.Load() < target {
+		if t.loopCancelled() {
+			t.curChunkLo, t.curChunkHi, t.orderedSeen = 0, 0, 0
+			return
+		}
+		idle.wait()
+	}
+	// Skip the unexecuted tickets [target, curChunkHi). The ticket may
+	// already have moved past the chunk: when this thread consumed every
+	// ticket of its chunk, successors are free to advance before this
+	// finish runs — advance monotonically (CAS-max), never rewind.
+	for {
+		cur := b.orderedIter.Load()
+		if cur >= t.curChunkHi || b.orderedIter.CompareAndSwap(cur, t.curChunkHi) {
+			break
+		}
+	}
+	t.curChunkLo, t.curChunkHi, t.orderedSeen = 0, 0, 0
+}

@@ -1,9 +1,12 @@
 package kmp
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // Concurrent ICV reads and writes must never tear or deadlock
@@ -271,6 +274,114 @@ func TestTaskTreeStress(t *testing.T) {
 		})
 		if got := count.Load(); got != 1<<11-1 {
 			t.Fatalf("round %d: tree ran %d nodes, want %d", round, got, 1<<11-1)
+		}
+	}
+}
+
+// Steals racing `cancel for`: a cancellable team runs nonmonotonic loops in
+// which one thread cancels the loop instance partway while the others are
+// popping and stealing ranges. Every iteration must run at most once, the
+// loop must terminate, and the team must stay usable for a follow-up loop.
+// Run under -race this exercises the packed-range CAS against the
+// cancellation flags.
+func TestStealRacesCancelFor(t *testing.T) {
+	ResetICV()
+	UpdateICV(func(v *ICV) { v.Cancellation = true })
+	defer ResetICV()
+	const nth, trip, rounds = 8, 4096, 20
+	for round := 0; round < rounds; round++ {
+		counts := make([]atomic.Int32, trip)
+		var after atomic.Int64
+		ForkCall(Ident{}, nth, func(th *Thread) {
+			ForDynamic(th, Ident{}, Sched{Kind: SchedDynamicChunked, Chunk: 1, Mod: SchedModNonmonotonic}, trip, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					counts[i].Add(1)
+				}
+				if th.Tid == round%nth && lo > int64(round) {
+					if th.Cancel(CancelLoop) {
+						return
+					}
+				}
+			})
+			th.Barrier()
+			// The cancelled-loop slot must have been retired at the
+			// barrier: a follow-up stealing loop covers fully.
+			ForDynamic(th, Ident{}, Sched{Kind: SchedGuidedChunked, Chunk: 2}, 512, func(lo, hi int64) {
+				after.Add(hi - lo)
+			})
+			th.Barrier()
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c > 1 {
+				t.Fatalf("round %d: iteration %d ran %d times", round, i, c)
+			}
+		}
+		if after.Load() != 512 {
+			t.Fatalf("round %d: post-cancel loop covered %d of 512", round, after.Load())
+		}
+	}
+}
+
+// Steals racing region teardown: a context deadline cancels the region while
+// threads are mid-steal. The loop must stop dispatching at the next grab,
+// the fork must report the context error, and no iteration may run twice.
+func TestStealRacesRegionTeardown(t *testing.T) {
+	const nth, trip = 8, 1 << 20
+	for round := 0; round < 10; round++ {
+		ctx, stop := context.WithCancel(context.Background())
+		counts := make([]atomic.Int32, trip)
+		var started atomic.Bool
+		go func() {
+			for !started.Load() {
+				runtime.Gosched()
+			}
+			time.Sleep(time.Duration(round) * 100 * time.Microsecond)
+			stop()
+		}()
+		err := ForkCallErr(Ident{}, nth, ctx, func(th *Thread) error {
+			started.Store(true)
+			ForDynamic(th, Ident{}, Sched{Kind: SchedDynamicChunked, Chunk: 4, Mod: SchedModNonmonotonic}, trip, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					counts[i].Add(1)
+				}
+				time.Sleep(time.Microsecond)
+			})
+			th.Barrier()
+			return nil
+		})
+		stop()
+		if err != nil && err != context.Canceled {
+			t.Fatalf("round %d: ForkCallErr = %v", round, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c > 1 {
+				t.Fatalf("round %d: iteration %d ran %d times", round, i, c)
+			}
+		}
+	}
+}
+
+// Back-to-back nowait stealing loops drive the dispatch ring with live
+// thieves: a fast thread may be several loop instances ahead while slow
+// threads still steal from earlier ones. Descriptor recycling must never let
+// a thief touch a stale range.
+func TestStealingRingNoWaitLoops(t *testing.T) {
+	const nth = 6
+	const loops = dispatchRing * 4
+	var sums [loops]atomic.Int64
+	ForkCall(Ident{}, nth, func(th *Thread) {
+		for l := 0; l < loops; l++ {
+			trip := int64(64 + 13*l)
+			ForDynamic(th, Ident{}, Sched{Kind: SchedDynamicChunked, Chunk: 1}, trip, func(lo, hi int64) {
+				sums[l].Add(hi - lo)
+			})
+			// no barrier: nowait
+		}
+		th.Barrier()
+	})
+	for l := 0; l < loops; l++ {
+		if got, want := sums[l].Load(), int64(64+13*l); got != want {
+			t.Fatalf("nowait stealing loop %d covered %d iterations, want %d", l, got, want)
 		}
 	}
 }

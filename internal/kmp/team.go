@@ -150,6 +150,8 @@ func (tm *Team) reset() {
 		th.wsSeq = 0
 		th.curWsSeq = 0
 		th.curLoop = nil
+		th.chunkIdx = 0
+		th.curChunkLo, th.curChunkHi, th.orderedSeen = 0, 0, 0
 		th.curTask = nil
 		th.curGroup = nil
 		// Deques are empty between regions (the implicit barrier drained

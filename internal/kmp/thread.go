@@ -51,6 +51,16 @@ type Thread struct {
 	wsSeq    uint64
 	curWsSeq uint64
 
+	// Per-loop owner-only dispatch state (dispatch.go, ordered.go):
+	// chunkIdx counts the chunks this thread has claimed from the current
+	// stealing loop (the trapezoidal taper index); curChunkLo/curChunkHi
+	// bound the chunk an ordered loop is executing, and orderedSeen counts
+	// the ordered regions completed within it.
+	chunkIdx    int64
+	curChunkLo  int64
+	curChunkHi  int64
+	orderedSeen int64
+
 	// Explicit tasking (task.go): the thread's work-stealing deque, the
 	// task it is currently executing (nil = implicit task not yet
 	// materialised) and the innermost taskgroup open at this point.

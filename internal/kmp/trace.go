@@ -16,6 +16,9 @@ const (
 	TraceLoopInit
 	// TraceLoopFini fires when a thread finishes a dynamic loop.
 	TraceLoopFini
+	// TraceLoopSteal fires when a dry thread splits off half of a
+	// teammate's iteration range (nonmonotonic stealing dispatch).
+	TraceLoopSteal
 	// TraceTaskSpawn fires when a thread defers an explicit task.
 	TraceTaskSpawn
 	// TraceTaskSteal fires when a thread steals a task from a teammate.

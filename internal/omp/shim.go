@@ -20,6 +20,8 @@ type (
 	Sched = omp.Sched
 	// SchedKind identifies a worksharing-loop schedule.
 	SchedKind = omp.SchedKind
+	// SchedModifier is the monotonic/nonmonotonic schedule modifier.
+	SchedModifier = omp.SchedModifier
 	// Lock is omp_lock_t; NestLock is omp_nest_lock_t.
 	Lock = omp.Lock
 	// NestLock is the nestable lock.
@@ -64,6 +66,13 @@ const (
 	Runtime     = omp.Runtime
 	Auto        = omp.Auto
 	Trapezoidal = omp.Trapezoidal
+)
+
+// Schedule modifiers (OpenMP 4.5/5.0): nonmonotonic licenses the stealing
+// engine, monotonic the shared-counter dispatch path.
+const (
+	Monotonic    = omp.Monotonic
+	Nonmonotonic = omp.Nonmonotonic
 )
 
 // Reduction operators.
@@ -163,8 +172,14 @@ func Current() *Thread { return omp.Current() }
 // NumThreads is the num_threads clause.
 func NumThreads(n int) Option { return omp.NumThreads(n) }
 
-// Schedule is the schedule clause.
-func Schedule(kind SchedKind, chunk int64) Option { return omp.Schedule(kind, chunk) }
+// Schedule is the schedule clause; mods carries the optional
+// monotonic/nonmonotonic modifier.
+func Schedule(kind SchedKind, chunk int64, mods ...SchedModifier) Option {
+	return omp.Schedule(kind, chunk, mods...)
+}
+
+// OrderedClause is the ordered clause of a worksharing loop.
+func OrderedClause() Option { return omp.OrderedClause() }
 
 // NoWait is the nowait clause.
 func NoWait() Option { return omp.NoWait() }
@@ -217,6 +232,9 @@ func ParallelForRange(trip int64, body func(t *Thread, lo, hi int64), opts ...Op
 
 // Barrier is the barrier directive.
 func Barrier(t *Thread) { omp.Barrier(t) }
+
+// Ordered executes body as the ordered region of the current iteration.
+func Ordered(t *Thread, body func()) { omp.Ordered(t, body) }
 
 // Critical runs body in the named critical section.
 func Critical(name string, body func()) { omp.Critical(name, body) }

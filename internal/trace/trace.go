@@ -29,6 +29,7 @@ type regionStats struct {
 	maxTeam  int
 	barriers int64
 	loops    int64
+	steals   int64
 	// open fork timestamps, keyed by nothing: parallel regions at the
 	// same location do not nest onto themselves per thread, and forks
 	// from distinct roots are rare enough to serialise under the mutex.
@@ -98,6 +99,8 @@ func (p *Profiler) consume(ev kmp.TraceEvent) {
 		st.barriers++
 	case kmp.TraceLoopInit:
 		st.loops++
+	case kmp.TraceLoopSteal:
+		st.steals++
 	}
 }
 
@@ -129,6 +132,7 @@ type RegionSummary struct {
 	MaxTeam  int
 	Barriers int64
 	Loops    int64
+	Steals   int64
 }
 
 // Summaries returns per-region rows sorted by descending total time.
@@ -145,6 +149,7 @@ func (p *Profiler) Summaries() []RegionSummary {
 				MaxTeam:  st.maxTeam,
 				Barriers: st.barriers,
 				Loops:    st.loops,
+				Steals:   st.steals,
 			}
 			if st.calls > 0 {
 				s.Mean = st.total / time.Duration(st.calls)
@@ -166,14 +171,14 @@ func (p *Profiler) Report() string {
 		total += s.Total
 	}
 	var b strings.Builder
-	b.WriteString("  %time     total      calls      mean  team  barriers  loops  region\n")
+	b.WriteString("  %time     total      calls      mean  team  barriers  loops  steals  region\n")
 	for _, s := range sums {
 		pct := 0.0
 		if total > 0 {
 			pct = 100 * float64(s.Total) / float64(total)
 		}
-		fmt.Fprintf(&b, "  %5.1f  %8.3fms  %8d  %8.3fms  %4d  %8d  %5d  %s\n",
-			pct, ms(s.Total), s.Calls, ms(s.Mean), s.MaxTeam, s.Barriers, s.Loops, s.Name)
+		fmt.Fprintf(&b, "  %5.1f  %8.3fms  %8d  %8.3fms  %4d  %8d  %5d  %6d  %s\n",
+			pct, ms(s.Total), s.Calls, ms(s.Mean), s.MaxTeam, s.Barriers, s.Loops, s.Steals, s.Name)
 	}
 	return b.String()
 }

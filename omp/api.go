@@ -11,10 +11,12 @@ import (
 // runtime so user code needs only this package.
 type Thread = kmp.Thread
 
-// Sched and SchedKind describe loop schedules (see Schedule option).
+// Sched, SchedKind and SchedModifier describe loop schedules (see the
+// Schedule option).
 type (
-	Sched     = kmp.Sched
-	SchedKind = kmp.SchedKind
+	Sched         = kmp.Sched
+	SchedKind     = kmp.SchedKind
+	SchedModifier = kmp.SchedModifier
 )
 
 // Schedule kinds, re-exported with their OpenMP surface names.
@@ -26,6 +28,19 @@ const (
 	Auto        = kmp.SchedAuto
 	Trapezoidal = kmp.SchedTrapezoidal
 )
+
+// Schedule modifiers: Nonmonotonic licenses the work-stealing engine (the
+// OpenMP 5.0 default for dynamic-family kinds), Monotonic forces the
+// shared-counter dispatch path (implied by the ordered clause).
+const (
+	Monotonic    = kmp.SchedModMonotonic
+	Nonmonotonic = kmp.SchedModNonmonotonic
+)
+
+// ParseSchedule parses OMP_SCHEDULE surface syntax — including the
+// monotonic:/nonmonotonic: modifier prefix — into a Sched; Sched.String
+// renders the round trip ("nonmonotonic:dynamic,4").
+func ParseSchedule(s string) (Sched, error) { return kmp.ParseSchedule(s) }
 
 // Lock is omp_lock_t; NestLock is omp_nest_lock_t.
 type (

@@ -28,6 +28,49 @@
 //     collection constructs (ForEach over any slice type, ReduceInto over
 //     any Numeric type, the generic Reduction cell).
 //
+// # Loop scheduling
+//
+// Worksharing loops (For, ForRange, ParallelFor) take a Schedule option
+// mirroring the schedule clause. Two execution engines back it:
+//
+//   - Stealing (nonmonotonic). Each team thread is seeded with its
+//     contiguous static block of the iteration space as a splittable range.
+//     It pops schedule-sized chunks from the front of its own range — the
+//     hot path touches only thread-local state — and when dry steals the
+//     upper half of a teammate's range. Dynamic, guided, trapezoidal and
+//     auto schedules run here by default, as OpenMP 5.0's
+//     nonmonotonic-by-default rule licenses.
+//
+//   - Shared counter (monotonic). The classic __kmpc_dispatch_next
+//     protocol: one team-wide atomic iteration counter hands out chunks in
+//     increasing order. Selected by the Monotonic modifier —
+//     Schedule(Dynamic, 4, Monotonic) — and forced for loops carrying the
+//     ordered clause, whose ticket protocol needs in-order chunks, and for
+//     iteration spaces beyond 2³¹.
+//
+// Chunk sizing is a per-schedule policy over the remaining iterations:
+// dynamic issues fixed chunks, guided a shrinking fraction of the
+// remainder, trapezoidal a linear taper. schedule(auto) — formerly an alias
+// of static — now means static seeding plus stealing: static's locality
+// when the load is balanced, dynamic's rebalancing when it is not. Code
+// that relied on auto's exact static block boundaries should say
+// Schedule(Static, 0) explicitly.
+//
+// The OMP_SCHEDULE environment variable (and ParseSchedule) accepts the
+// modifier prefix: "nonmonotonic:dynamic,4", "monotonic:guided".
+//
+// The ordered construct pairs with the ordered clause:
+//
+//	omp.ParallelFor(n, func(t *omp.Thread, i int64) {
+//		v := compute(i)
+//		omp.Ordered(t, func() { emit(v) }) // runs in iteration order
+//	}, omp.OrderedClause(), omp.Schedule(omp.Dynamic, 4))
+//
+// Steal points remain cancellation points: a cancelled loop stops handing
+// out chunks on both engines, and threads parked in an ordered ticket chain
+// are released. Steals emit TraceLoopSteal events, observable through
+// internal/trace's profiler (a "steals" column in the flat profile).
+//
 // # Migrating from the v1 internal API
 //
 // The old import path gomp/internal/omp remains a forwarding shim, so v1

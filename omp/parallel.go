@@ -16,6 +16,7 @@ type config struct {
 	sched      Sched
 	hasSched   bool
 	nowait     bool
+	ordered    bool
 	ifClause   bool
 	hasIf      bool
 	loc        kmp.Ident
@@ -40,13 +41,25 @@ func (c *config) apply(opts []Option) {
 func NumThreads(n int) Option { return func(c *config) { c.numThreads = n } }
 
 // Schedule is the schedule clause. chunk 0 means unspecified, as in the
-// packed encoding of Section III-A2.
-func Schedule(kind SchedKind, chunk int64) Option {
+// packed encoding of Section III-A2. mods carries the optional
+// monotonic/nonmonotonic schedule modifier: Nonmonotonic (the OpenMP 5.0
+// default for dynamic-family kinds) runs the loop on the work-stealing
+// engine, Monotonic pins it to the legacy shared-counter dispatch.
+func Schedule(kind SchedKind, chunk int64, mods ...SchedModifier) Option {
 	return func(c *config) {
 		c.sched = Sched{Kind: kind, Chunk: chunk}
 		c.hasSched = true
 		if kind == Static && chunk > 0 {
 			c.sched.Kind = kmp.SchedStaticChunked
+		}
+		for _, m := range mods {
+			if c.sched.Mod != 0 && c.sched.Mod != m {
+				// monotonic and nonmonotonic are mutually exclusive
+				// (OpenMP 5.2 §11.5.3); silently picking one would hide a
+				// correctness assumption at the call site.
+				panic("omp: Schedule given both Monotonic and Nonmonotonic modifiers")
+			}
+			c.sched.Mod = m
 		}
 	}
 }
@@ -54,6 +67,12 @@ func Schedule(kind SchedKind, chunk int64) Option {
 // NoWait is the nowait clause: skip the implicit barrier at the end of a
 // worksharing construct.
 func NoWait() Option { return func(c *config) { c.nowait = true } }
+
+// OrderedClause is the ordered clause of a worksharing loop: the loop's
+// chunks dispatch monotonically (the compliance path stealing must not
+// reorder) and its body may contain Ordered regions, which then execute in
+// sequential iteration order.
+func OrderedClause() Option { return func(c *config) { c.ordered = true } }
 
 // If is the if clause: when cond is false the parallel region executes on a
 // team of one.
@@ -133,15 +152,36 @@ func ForRange(t *Thread, trip int64, body func(lo, hi int64), opts ...Option) {
 	if !c.hasSched {
 		sched = Sched{Kind: Static}
 	}
-	switch sched.Kind {
-	case Static, kmp.SchedStaticChunked:
-		kmp.ForStatic(t, trip, sched.Chunk, body)
-	default:
+	if c.ordered {
+		// The ordered clause needs dispatch's chunk tickets even for
+		// static kinds, so every ordered loop routes through the
+		// (monotonic) dispatch engine.
+		sched.Ordered = true
 		kmp.ForDynamic(t, c.loc, sched, trip, body)
+	} else {
+		switch sched.Kind {
+		case Static, kmp.SchedStaticChunked:
+			kmp.ForStatic(t, trip, sched.Chunk, body)
+		default:
+			kmp.ForDynamic(t, c.loc, sched, trip, body)
+		}
 	}
 	if !c.nowait {
 		t.Barrier()
 	}
+}
+
+// Ordered executes body as the ordered region of the current iteration: the
+// lowering of `//omp ordered` inside a loop carrying the ordered clause.
+// Iterations' ordered regions run in sequential iteration order; the body
+// must be encountered at most once per iteration. Outside an ordered-clause
+// loop (including orphaned and serialised constructs) body runs immediately.
+func Ordered(t *Thread, body func()) {
+	if t == nil {
+		body()
+		return
+	}
+	t.Ordered(body)
 }
 
 // ParallelFor fuses Parallel and For: the lowering of
