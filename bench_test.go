@@ -480,3 +480,46 @@ func BenchmarkTaskloopVsFor(b *testing.B) {
 	})
 	_ = sink.Value()
 }
+
+// ---------------------------------------------------------------------
+// Task dependences — the headline number of the dependence subsystem: a
+// blocked LU factorisation (LUN×LUN, LUBlock×LUBlock blocks) expressed as
+// a dependence DAG (depend(in/out/inout) on the block anchors, the whole
+// factorisation spawned up front) against the taskwait-per-level
+// formulation (a full child-barrier after every fwd/bdiv wave and every
+// bmod wave) and the serial blocked sweep. The DAG overlaps elimination
+// steps — lu0(k+1) starts while step k's trailing bmods are in flight —
+// which the taskwait version structurally cannot. All three factor
+// bitwise identically (asserted per iteration).
+func BenchmarkBlockedLU(b *testing.B) {
+	ref := bench.NewLUMatrix()
+	bench.LUSerial(ref)
+	threads := runtime.GOMAXPROCS(0)
+	check := func(b *testing.B, a []float64) {
+		b.Helper()
+		if bench.LUMaxDiff(a, ref) != 0 {
+			b.Fatal("LU result diverged from serial")
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := bench.NewLUMatrix()
+			bench.LUSerial(a)
+			check(b, a)
+		}
+	})
+	b.Run(fmt.Sprintf("taskwait/threads=%d", threads), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := bench.NewLUMatrix()
+			bench.LUTaskwait(a, threads)
+			check(b, a)
+		}
+	})
+	b.Run(fmt.Sprintf("dag/threads=%d", threads), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := bench.NewLUMatrix()
+			bench.LUDAG(a, threads)
+			check(b, a)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden-file coverage of the CLI's three modes: single-file output,
+// -stdout (both produce processFile's bytes), and -dir batch processing.
+// Regenerate with:
+//
+//	go test ./cmd/gompcc -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func compareGolden(t *testing.T, goldenPath string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// Single-file and -stdout modes both emit processFile's result; the golden
+// pins the full preprocessed output, including the task-dependence
+// lowering (DependIn/DependOut options, Priority, Mergeable, Taskyield).
+func TestGoldenSingleFile(t *testing.T) {
+	got, err := processFile(filepath.Join("testdata", "single.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "single.golden"), got)
+}
+
+// -dir mode: files are processed in sorted filename order, every
+// non-test, non-generated file gets an output (pragma-free files pass
+// through), and each output matches its golden.
+func TestGoldenDir(t *testing.T) {
+	srcDir := filepath.Join("testdata", "dir")
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := t.TempDir()
+	var inputs []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(work, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, e.Name())
+	}
+	var log bytes.Buffer
+	if err := processDir(work, "_omp", &log); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted processing order: the log mentions inputs alphabetically.
+	var logged []string
+	for _, line := range strings.Split(strings.TrimSpace(log.String()), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			logged = append(logged, filepath.Base(fields[1]))
+		}
+	}
+	wantOrder := []string{"alpha.go", "beta.go", "gamma.go"}
+	if strings.Join(logged, ",") != strings.Join(wantOrder, ",") {
+		t.Errorf("-dir processing order = %v, want %v", logged, wantOrder)
+	}
+	for _, name := range inputs {
+		outName := strings.TrimSuffix(name, ".go") + "_omp.go"
+		got, err := os.ReadFile(filepath.Join(work, outName))
+		if err != nil {
+			t.Fatalf("missing -dir output %s: %v", outName, err)
+		}
+		// Goldens carry a .golden suffix (not .go) so they are never
+		// mistaken for -dir inputs.
+		compareGolden(t, filepath.Join(srcDir, strings.TrimSuffix(name, ".go")+"_omp.golden"), got)
+	}
+}

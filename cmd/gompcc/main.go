@@ -16,8 +16,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"gomp/internal/core"
@@ -33,7 +35,7 @@ func main() {
 	flag.Parse()
 
 	if *dir != "" {
-		if err := processDir(*dir, *suffix); err != nil {
+		if err := processDir(*dir, *suffix, os.Stderr); err != nil {
 			fail(err)
 		}
 		return
@@ -69,17 +71,26 @@ func processFile(path string) ([]byte, error) {
 	return core.Preprocess(src, core.Options{Filename: filepath.Base(path)})
 }
 
-func processDir(dir, suffix string) error {
+// processDir transforms every eligible .go file of dir in sorted filename
+// order — explicitly sorted rather than relying on the directory listing,
+// so diagnostics and log output are deterministic across platforms and
+// filesystems. log receives one progress line per file.
+func processDir(dir, suffix string, log io.Writer) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
 	}
+	var names []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasSuffix(name, suffix+".go") {
 			continue
 		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		in := filepath.Join(dir, name)
 		res, err := processFile(in)
 		if err != nil {
@@ -89,7 +100,7 @@ func processDir(dir, suffix string) error {
 		if err := os.WriteFile(dst, res, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "gompcc: %s -> %s\n", in, dst)
+		fmt.Fprintf(log, "gompcc: %s -> %s\n", in, dst)
 	}
 	return nil
 }

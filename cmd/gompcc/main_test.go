@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,7 +85,7 @@ func TestProcessDir(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := processDir(dir, "_omp"); err != nil {
+	if err := processDir(dir, "_omp", io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	outA, err := os.ReadFile(filepath.Join(dir, "a_omp.go"))

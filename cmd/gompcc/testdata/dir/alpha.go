@@ -1,0 +1,8 @@
+package p
+
+func fill(v []int) {
+	//omp parallel for
+	for i := 0; i < len(v); i++ {
+		v[i] = i
+	}
+}

@@ -1,0 +1,8 @@
+package p
+
+func scale(v []float64, f float64) {
+	//omp parallel for schedule(static)
+	for i := 0; i < len(v); i++ {
+		v[i] *= f
+	}
+}

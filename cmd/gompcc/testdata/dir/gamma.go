@@ -1,0 +1,3 @@
+package p
+
+func plain() int { return 42 }

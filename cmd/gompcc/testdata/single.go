@@ -1,0 +1,24 @@
+package p
+
+import "gomp/omp"
+
+func pipeline(t *omp.Thread, n int) int {
+	var a, b, c int
+	omp.Single(t, func() {
+		//omp task depend(out:a) priority(2)
+		{
+			a = n
+		}
+		//omp task depend(in:a) depend(out:b) mergeable
+		{
+			b = a * 2
+		}
+		//omp taskyield
+		//omp task depend(in:a,b) depend(inout:c)
+		{
+			c = a + b
+		}
+		//omp taskwait
+	})
+	return c
+}

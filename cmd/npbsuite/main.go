@@ -3,7 +3,10 @@
 // the goroutine baseline, printed as the analogues of the paper's
 // Tables I–III and Figures 3–5, plus a tasking section measuring the
 // explicit-task subsystem (recursive fib through task/taskwait, taskloop
-// against dynamic worksharing on the same kernel); -tasks=false omits it.
+// against dynamic worksharing on the same kernel; -tasks=false omits it)
+// and a blocked-LU section measuring the task-dependence subsystem
+// (dependence-DAG factorisation against taskwait-per-level; -lu=false
+// omits it).
 //
 // Usage:
 //
@@ -42,6 +45,7 @@ type jsonReport struct {
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Kernels    []*bench.Sweep   `json:"kernels"`
 	Tasks      *bench.TaskSweep `json:"tasks,omitempty"`
+	LU         *bench.LUSweep   `json:"lu,omitempty"`
 }
 
 func main() {
@@ -52,6 +56,7 @@ func main() {
 		paperTh  = flag.Bool("paper-threads", false, "use the paper's thread counts {1,2,16,32,64,96,128}")
 		runs     = flag.Int("runs", 1, "repetitions per configuration (paper uses 5)")
 		tasks    = flag.Bool("tasks", true, "append the tasking section (explicit-task fib, taskloop vs for)")
+		lu       = flag.Bool("lu", true, "append the blocked-LU section (dependence DAG vs taskwait-per-level)")
 		jsonOut  = flag.Bool("json", false, "also write machine-readable results to BENCH_<class>.json")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
@@ -117,6 +122,19 @@ func main() {
 		}
 		fmt.Println(tsw.Table())
 		report.Tasks = tsw
+	}
+	if *lu {
+		lsw := bench.RunLUSweep(threads, *runs, progress)
+		if !*quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		fmt.Println(lsw.Table())
+		report.LU = lsw
+		for _, p := range lsw.Points {
+			if !p.Verified {
+				exit = 1
+			}
+		}
 	}
 	if *jsonOut {
 		path := fmt.Sprintf("BENCH_%s.json", class)

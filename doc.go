@@ -21,9 +21,13 @@
 //     construct's ticket chain, criticals, locks, single/master,
 //     threadprivate, OpenMP cancellation flags observed at every scheduling
 //     point — chunk grabs and steals included — and the explicit-tasking
-//     layer (task/taskwait/taskgroup/taskloop) over per-thread Chase–Lev
-//     work-stealing deques, with barriers doubling as task scheduling
-//     points.
+//     layer (task/taskwait/taskgroup/taskloop/taskyield) over per-thread
+//     Chase–Lev work-stealing deques, with barriers doubling as task
+//     scheduling points, plus the task-dependence subsystem: depend
+//     (in/out/inout) clauses resolved by a per-region last-writer/
+//     reader-set dependence table, tasks withheld from the deques on
+//     atomic predecessor counters and released at predecessor completion,
+//     and a team-wide priority queue for the priority clause.
 //   - omp — the public, importable user-facing API (omp_* routines with
 //     the prefix dropped), the structured constructs generated code
 //     targets, and the v2 surface: context-aware error-returning region
@@ -42,8 +46,11 @@
 // and figures (BenchmarkTable1CG … BenchmarkFig5IS) plus the ablations
 // catalogued in DESIGN.md (BenchmarkAblation*), the tasking pair
 // (BenchmarkTaskFib, BenchmarkTaskloopVsFor) comparing the explicit-task
-// subsystem against serial recursion and the loop-directive lowerings, and
-// BenchmarkImbalancedFor, the worksharing engine's headline number:
-// monotonic (shared-counter) versus nonmonotonic (stealing) dispatch of a
-// triangular workload.
+// subsystem against serial recursion and the loop-directive lowerings,
+// BenchmarkImbalancedFor, the worksharing engine's headline number
+// (monotonic shared-counter versus nonmonotonic stealing dispatch of a
+// triangular workload), and BenchmarkBlockedLU, the dependence
+// subsystem's: a blocked LU factorisation as a dependence DAG versus the
+// taskwait-per-level formulation (examples/wavefront is the corresponding
+// stencil workload).
 package gomp

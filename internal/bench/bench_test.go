@@ -115,3 +115,38 @@ func TestPaperThreadsMatchPaper(t *testing.T) {
 		}
 	}
 }
+
+// The blocked-LU acceptance bar: every parallel formulation factors the
+// matrix bitwise identically to the serial blocked sweep (the dataflow is
+// identical; dependences only reorder independent block operations).
+func TestBlockedLUMatchesSerial(t *testing.T) {
+	ref := NewLUMatrix()
+	LUSerial(ref)
+	for _, th := range []int{1, 2, 4} {
+		a := NewLUMatrix()
+		LUTaskwait(a, th)
+		if d := LUMaxDiff(a, ref); d != 0 {
+			t.Fatalf("taskwait LU at %d threads diverged: max diff %g", th, d)
+		}
+		a = NewLUMatrix()
+		LUDAG(a, th)
+		if d := LUMaxDiff(a, ref); d != 0 {
+			t.Fatalf("dependence-DAG LU at %d threads diverged: max diff %g", th, d)
+		}
+	}
+}
+
+func TestLUSweepRendering(t *testing.T) {
+	sw := RunLUSweep([]int{1, 2}, 1, nil)
+	tbl := sw.Table()
+	for _, want := range []string{"Blocked LU", "dep DAG", "| 1", "| 2"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("LU table missing %q:\n%s", want, tbl)
+		}
+	}
+	for _, p := range sw.Points {
+		if !p.Verified {
+			t.Errorf("LU sweep point threads=%d failed verification", p.Threads)
+		}
+	}
+}

@@ -48,6 +48,9 @@ const (
 	// DirOrdered runs the following block in sequential iteration order
 	// inside a worksharing loop carrying the ordered clause.
 	DirOrdered
+	// DirTaskyield is the standalone taskyield directive: a task
+	// scheduling point at which the thread may run other ready tasks.
+	DirTaskyield
 )
 
 // String returns the OpenMP surface spelling.
@@ -89,6 +92,8 @@ func (k DirKind) String() string {
 		return "cancellation point"
 	case DirOrdered:
 		return "ordered"
+	case DirTaskyield:
+		return "taskyield"
 	}
 	return fmt.Sprintf("DirKind(%d)", int(k))
 }
@@ -223,6 +228,50 @@ func (ti TaskIterEnum) String() string {
 	return "none"
 }
 
+// DependMode is the 2-bit dependence-type of one depend clause item in the
+// packed clause encoding. The numeric values match the runtime's
+// kmp.DepMode so codegen and the dependence engine agree by construction.
+type DependMode uint8
+
+const (
+	DependNone DependMode = iota
+	DependIn
+	DependOut
+	DependInOut
+)
+
+// String returns the modifier spelling inside the depend clause.
+func (m DependMode) String() string {
+	switch m {
+	case DependIn:
+		return "in"
+	case DependOut:
+		return "out"
+	case DependInOut:
+		return "inout"
+	}
+	return "none"
+}
+
+// RuntimeName returns the omp package option constructor codegen emits.
+func (m DependMode) RuntimeName() string {
+	switch m {
+	case DependIn:
+		return "omp.DependIn"
+	case DependOut:
+		return "omp.DependOut"
+	case DependInOut:
+		return "omp.DependInOut"
+	}
+	return ""
+}
+
+// DependClause is one depend(mode: var,…) clause.
+type DependClause struct {
+	Mode DependMode
+	Vars []string
+}
+
 // DefaultKind is the 2-bit default clause encoding.
 type DefaultKind uint8
 
@@ -322,8 +371,13 @@ type Clauses struct {
 	Final     string // raw host expression, empty = absent
 	Untied    bool
 	NoGroup   bool
-	Grainsize int64 // 0 = absent; mutually exclusive with NumTasks
-	NumTasks  int64 // 0 = absent; mutually exclusive with Grainsize
+	Mergeable bool
+	Grainsize int64  // 0 = absent; mutually exclusive with NumTasks
+	NumTasks  int64  // 0 = absent; mutually exclusive with Grainsize
+	Priority  string // raw host expression, empty = absent
+	// Depends are the depend(in/out/inout: …) clauses of a task directive;
+	// each listed variable becomes a dependence address (&var) at codegen.
+	Depends []DependClause
 
 	// Cancel is the construct-kind argument of cancel/cancellation point
 	// (CancelNone on every other directive).

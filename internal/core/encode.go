@@ -14,7 +14,8 @@ import "fmt"
 //	word 1  flags: default (2 bits) | nowait (1) | collapse (4) |
 //	        ordered (1) | hasSchedule (1) | untied (1) | nogroup (1) |
 //	        cancel kind (2 bits: none/parallel/for/taskgroup) |
-//	        schedule modifier (2 bits: none/monotonic/nonmonotonic)
+//	        schedule modifier (2 bits: none/monotonic/nonmonotonic) |
+//	        mergeable (1)
 //	word 2  num_threads expression: string-table index + 1, 0 = absent
 //	word 3  if expression: string-table index + 1, 0 = absent
 //	word 4  critical name: string-table index + 1, 0 = absent/unnamed
@@ -23,13 +24,14 @@ import "fmt"
 //	        (30 bits; 0 = absent, since a legal value is > 0 — the same
 //	        trick as the schedule chunk)
 //	word 6  final expression: string-table index + 1, 0 = absent
-//	words 7..20  seven (begin,end) list slices into ExtraData:
+//	word 7  priority expression: string-table index + 1, 0 = absent
+//	words 8..23  eight (begin,end) list slices into ExtraData:
 //	        private, firstprivate, lastprivate, shared, copyprivate,
-//	        threadprivate, reduction
+//	        threadprivate, reduction, depend
 //
 // List payloads follow the record: identifier lists are string-table
 // indices stored contiguously (Figure 2 of the paper); the reduction list
-// stores (op, var-index) pairs.
+// stores (op, var-index) pairs and the depend list (mode, var-index) pairs.
 
 // Packing geometry of word 0 — the constants the paper quotes: 3-bit
 // schedule enumeration, 29-bit chunk, maximum chunk 2^29 iterations.
@@ -43,15 +45,16 @@ const (
 
 // Flag bit positions in word 1.
 const (
-	flagDefaultShift  = 0  // 2 bits
-	flagNoWaitShift   = 2  // 1 bit
-	flagCollapseShift = 3  // 4 bits
-	flagOrderedShift  = 7  // 1 bit
-	flagHasSchedShift = 8  // 1 bit
-	flagUntiedShift   = 9  // 1 bit
-	flagNoGroupShift  = 10 // 1 bit
-	flagCancelShift   = 11 // 2 bits
-	flagSchedModShift = 13 // 2 bits
+	flagDefaultShift   = 0  // 2 bits
+	flagNoWaitShift    = 2  // 1 bit
+	flagCollapseShift  = 3  // 4 bits
+	flagOrderedShift   = 7  // 1 bit
+	flagHasSchedShift  = 8  // 1 bit
+	flagUntiedShift    = 9  // 1 bit
+	flagNoGroupShift   = 10 // 1 bit
+	flagCancelShift    = 11 // 2 bits
+	flagSchedModShift  = 13 // 2 bits
+	flagMergeableShift = 15 // 1 bit
 
 	// MaxCollapse is the largest encodable collapse depth: 4 bits, "as
 	// it is unlikely that a user would wish to collapse more than 16
@@ -59,7 +62,7 @@ const (
 	MaxCollapse = 1<<4 - 1
 )
 
-const recordWords = 7 + 2*7 // fixed prefix + seven (begin,end) slices
+const recordWords = 8 + 2*8 // fixed prefix + eight (begin,end) slices
 
 // Node is one directive in encoded form.
 type Node struct {
@@ -197,6 +200,9 @@ func packFlags(c *Clauses) (uint32, error) {
 		return 0, fmt.Errorf("core: schedule modifier %d does not fit 2 bits", c.SchedMod)
 	}
 	w |= uint32(c.SchedMod) << flagSchedModShift
+	if c.Mergeable {
+		w |= 1 << flagMergeableShift
+	}
 	return w, nil
 }
 
@@ -210,6 +216,7 @@ func unpackFlags(w uint32, c *Clauses) {
 	c.NoGroup = w>>flagNoGroupShift&1 != 0
 	c.Cancel = CancelEnum(w >> flagCancelShift & 0b11)
 	c.SchedMod = SchedModEnum(w >> flagSchedModShift & 0b11)
+	c.Mergeable = w>>flagMergeableShift&1 != 0
 }
 
 // Encode appends d to the tree and returns its node index. Clause data is
@@ -240,11 +247,12 @@ func (t *Tree) Encode(d *Directive) (int, error) {
 		t.optStr(c.Name),
 		taskIter,
 		t.optStr(c.Final),
+		t.optStr(c.Priority),
 	)
-	// Reserve the seven (begin,end) slice headers; payload offsets are
+	// Reserve the eight (begin,end) slice headers; payload offsets are
 	// known only after the record.
 	sliceHdr := len(t.ExtraData)
-	t.ExtraData = append(t.ExtraData, make([]uint32, 2*7)...)
+	t.ExtraData = append(t.ExtraData, make([]uint32, 2*8)...)
 
 	writeList := func(slot int, vars []string) {
 		begin := uint32(len(t.ExtraData))
@@ -270,6 +278,16 @@ func (t *Tree) Encode(d *Directive) (int, error) {
 	}
 	t.ExtraData[sliceHdr+12] = begin
 	t.ExtraData[sliceHdr+13] = uint32(len(t.ExtraData))
+
+	// Depend slice: (mode, var) pairs, the same shape as reductions.
+	begin = uint32(len(t.ExtraData))
+	for _, dc := range c.Depends {
+		for _, v := range dc.Vars {
+			t.ExtraData = append(t.ExtraData, uint32(dc.Mode), t.intern(v))
+		}
+	}
+	t.ExtraData[sliceHdr+14] = begin
+	t.ExtraData[sliceHdr+15] = uint32(len(t.ExtraData))
 
 	t.Nodes = append(t.Nodes, Node{Kind: d.Kind, ClauseIdx: recIdx})
 	return len(t.Nodes) - 1, nil
@@ -300,9 +318,10 @@ func (t *Tree) Decode(i int) (*Directive, error) {
 	c.Name = str(rec[4])
 	c.Grainsize, c.NumTasks = UnpackTaskIter(rec[5])
 	c.Final = str(rec[6])
+	c.Priority = str(rec[7])
 
 	readList := func(slot int) []string {
-		begin, end := rec[7+2*slot], rec[7+2*slot+1]
+		begin, end := rec[8+2*slot], rec[8+2*slot+1]
 		if begin == end {
 			return nil
 		}
@@ -319,10 +338,17 @@ func (t *Tree) Decode(i int) (*Directive, error) {
 	c.CopyPrivate = readList(4)
 	c.ThreadPrivateVars = readList(5)
 
-	begin, end := rec[7+12], rec[7+13]
+	begin, end := rec[8+12], rec[8+13]
 	for w := begin; w < end; w += 2 {
 		c.Reductions = append(c.Reductions, ReductionClause{
 			Op:   ReduceOp(t.ExtraData[w]),
+			Vars: []string{t.Strings[t.ExtraData[w+1]]},
+		})
+	}
+	begin, end = rec[8+14], rec[8+15]
+	for w := begin; w < end; w += 2 {
+		c.Depends = append(c.Depends, DependClause{
+			Mode: DependMode(t.ExtraData[w]),
 			Vars: []string{t.Strings[t.ExtraData[w+1]]},
 		})
 	}

@@ -65,6 +65,8 @@ func TestFlagsRoundTrip(t *testing.T) {
 		{NoGroup: true},
 		{Untied: true, NoGroup: true, NoWait: true},
 		{Untied: true, NoGroup: true, Collapse: 15, Default: DefaultNone, Ordered: true, HasSchedule: true},
+		{Mergeable: true},
+		{Mergeable: true, Untied: true, NoGroup: true, Collapse: 15, Default: DefaultNone, Ordered: true, HasSchedule: true},
 	} {
 		w, err := packFlags(&c)
 		if err != nil {
@@ -75,7 +77,7 @@ func TestFlagsRoundTrip(t *testing.T) {
 		if got.Default != c.Default || got.NoWait != c.NoWait ||
 			got.Collapse != c.Collapse || got.Ordered != c.Ordered ||
 			got.HasSchedule != c.HasSchedule || got.Untied != c.Untied ||
-			got.NoGroup != c.NoGroup {
+			got.NoGroup != c.NoGroup || got.Mergeable != c.Mergeable {
 			t.Fatalf("flags round trip %+v → %#x → %+v", c, w, got)
 		}
 	}
@@ -175,6 +177,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		"taskgroup",
 		"taskloop grainsize(64) firstprivate(x)",
 		"taskloop num_tasks(8) nogroup if(n > 100)",
+		"task depend(in:a,b) depend(out:c)",
+		"task depend(inout:x) priority(3) mergeable",
+		"task depend(out:left) depend(in:up,diag) firstprivate(k) if(n > 2)",
+		"taskloop priority(n + 1) mergeable grainsize(32)",
+		"taskyield",
 	}
 	tree := NewTree()
 	var want []*Directive
@@ -190,10 +197,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Decode(%d): %v", i, err)
 		}
-		// Normalise reduction grouping: decode splits multi-var
-		// clauses into one clause per variable.
+		// Normalise reduction and depend grouping: decode splits
+		// multi-var clauses into one clause per variable.
 		wantNorm := *w
 		wantNorm.Clauses.Reductions = splitReductions(w.Clauses.Reductions)
+		wantNorm.Clauses.Depends = splitDepends(w.Clauses.Depends)
 		if got.Kind != wantNorm.Kind {
 			t.Errorf("node %d kind = %v, want %v", i, got.Kind, wantNorm.Kind)
 		}
@@ -213,6 +221,16 @@ func splitReductions(rs []ReductionClause) []ReductionClause {
 	return out
 }
 
+func splitDepends(ds []DependClause) []DependClause {
+	var out []DependClause
+	for _, d := range ds {
+		for _, v := range d.Vars {
+			out = append(out, DependClause{Mode: d.Mode, Vars: []string{v}})
+		}
+	}
+	return out
+}
+
 // Figure 2 of the paper: list-clause identifiers are stored contiguously in
 // extra_data, with begin/end indices in the clause record.
 func TestListClauseLayout(t *testing.T) {
@@ -223,7 +241,7 @@ func TestListClauseLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := tree.ExtraData[tree.Nodes[idx].ClauseIdx:]
-	begin, end := rec[7], rec[8] // private slice header
+	begin, end := rec[8], rec[9] // private slice header
 	if end-begin != 3 {
 		t.Fatalf("private slice length %d, want 3", end-begin)
 	}

@@ -681,6 +681,8 @@ func (px *pctx) genAtomic(p *pragma) ([]edit, error) {
 // ---------------------------------------------------------------- tasking
 
 // taskOptionArgs renders the clause options shared by task and taskloop.
+// Depend items lower to omp.DependIn("v", &v)-style options: the variable's
+// address is the dependence address, its spelling the diagnostic name.
 func taskOptionArgs(c *Clauses) []string {
 	var args []string
 	if c.If != "" {
@@ -692,6 +694,9 @@ func taskOptionArgs(c *Clauses) []string {
 	if c.Untied {
 		args = append(args, "omp.Untied()")
 	}
+	if c.Mergeable {
+		args = append(args, "omp.Mergeable()")
+	}
 	if c.Grainsize > 0 {
 		args = append(args, fmt.Sprintf("omp.Grainsize(%d)", c.Grainsize))
 	}
@@ -700,6 +705,14 @@ func taskOptionArgs(c *Clauses) []string {
 	}
 	if c.NoGroup {
 		args = append(args, "omp.NoGroup()")
+	}
+	if c.Priority != "" {
+		args = append(args, fmt.Sprintf("omp.Priority(%s)", c.Priority))
+	}
+	for _, dc := range c.Depends {
+		for _, v := range dc.Vars {
+			args = append(args, fmt.Sprintf("%s(%q, &%s)", dc.Mode.RuntimeName(), v, v))
+		}
 	}
 	return args
 }
@@ -759,6 +772,17 @@ func (px *pctx) genTaskwait(p *pragma) ([]edit, error) {
 		tvar = "omp.Current()"
 	}
 	return []edit{{start: p.start, end: p.end, text: fmt.Sprintf("omp.Taskwait(%s)", tvar)}}, nil
+}
+
+// genTaskyield lowers the standalone `//omp taskyield` directive: a task
+// scheduling point at which the executing thread may pick up another ready
+// task before resuming.
+func (px *pctx) genTaskyield(p *pragma) ([]edit, error) {
+	tvar := px.threadVar(p.start)
+	if tvar == "" {
+		tvar = "omp.Current()"
+	}
+	return []edit{{start: p.start, end: p.end, text: fmt.Sprintf("omp.Taskyield(%s)", tvar)}}, nil
 }
 
 // genTaskgroup lowers `//omp taskgroup`: the block runs on the encountering

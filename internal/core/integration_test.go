@@ -434,3 +434,61 @@ func main() {
 		t.Fatalf("output = %q, want \"true true true true\"", got)
 	}
 }
+
+// Task dependences end to end: annotate, preprocess, run. A three-stage
+// dependence chain over shared cells must observe each predecessor's value
+// (the chain serialises the tasks regardless of which thread runs them),
+// and a trailing depend(in) fan checks the reader set against the last
+// writer. taskyield inside the generator is a scheduling point only — it
+// must not perturb the result.
+func TestEndToEndTaskDependChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import (
+	"fmt"
+
+	"gomp/omp"
+)
+
+func main() {
+	ok := true
+	for round := 0; round < 50; round++ {
+		var a, b, c int
+		sum := 0
+		omp.Parallel(func(t *omp.Thread) {
+			omp.Single(t, func() {
+				//omp task depend(out:a)
+				{
+					a = 1
+				}
+				//omp taskyield
+				//omp task depend(in:a) depend(out:b) priority(1)
+				{
+					b = a + 1
+				}
+				//omp task depend(in:a,b) depend(out:c) mergeable
+				{
+					c = a + b
+				}
+				//omp task depend(in:c) firstprivate(round)
+				{
+					_ = round
+					sum = c
+				}
+				//omp taskwait
+			})
+		})
+		if a != 1 || b != 2 || c != 3 || sum != 3 {
+			ok = false
+		}
+	}
+	fmt.Println(ok)
+}
+`)
+	if strings.TrimSpace(got) != "true" {
+		t.Fatalf("output = %q, want true", got)
+	}
+}

@@ -90,6 +90,8 @@ func ParseDirective(text string) (*Directive, error) {
 		d.Kind = DirAtomic
 	case p.eatToken(TokTaskwait) != nil:
 		d.Kind = DirTaskwait
+	case p.eatToken(TokTaskyield) != nil:
+		d.Kind = DirTaskyield
 	case p.eatToken(TokTaskgroup) != nil:
 		d.Kind = DirTaskgroup
 	case p.eatToken(TokTaskloop) != nil:
@@ -233,6 +235,18 @@ func (p *dirParser) parseClauses(d *Directive) error {
 				return err
 			}
 			c.NumTasks = n
+		case p.eatToken(TokDepend) != nil:
+			if err := p.parseDepend(c); err != nil {
+				return err
+			}
+		case p.eatToken(TokPriority) != nil:
+			expr, err := p.parseRawExpr("priority")
+			if err != nil {
+				return err
+			}
+			c.Priority = expr
+		case p.eatToken(TokMergeable) != nil:
+			c.Mergeable = true
 		default:
 			return fmt.Errorf("pragma: unknown clause at %s", p.peek())
 		}
@@ -378,6 +392,46 @@ func (p *dirParser) parseSchedule(c *Clauses) error {
 	}
 	_, err := p.expect(TokRParen, "')'")
 	return err
+}
+
+// parseDepend parses "( in|out|inout : ident {, ident} )" — OpenMP 5.2
+// §15.9.5's task-dependence subset. The dependence-type modifiers the
+// implementation does not lower (mutexinoutset, depobj, the doacross
+// sink/source forms) are rejected by the mode switch with a pointed error.
+func (p *dirParser) parseDepend(c *Clauses) error {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return err
+	}
+	var mode DependMode
+	switch {
+	case p.eatToken(TokInOut) != nil:
+		mode = DependInOut
+	case p.eatToken(TokIn) != nil:
+		mode = DependIn
+	case p.eatToken(TokOut) != nil:
+		mode = DependOut
+	default:
+		return fmt.Errorf("pragma: depend requires a dependence type (in, out, or inout), found %s", p.peek())
+	}
+	if _, err := p.expect(TokColon, "':' after dependence type"); err != nil {
+		return err
+	}
+	var vars []string
+	for {
+		id, err := p.expect(TokIdent, "dependence variable")
+		if err != nil {
+			return err
+		}
+		vars = append(vars, id.Text)
+		if p.eatToken(TokComma) == nil {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return err
+	}
+	c.Depends = append(c.Depends, DependClause{Mode: mode, Vars: vars})
+	return nil
 }
 
 // parseDefault parses "( shared | none )".

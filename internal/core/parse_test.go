@@ -415,3 +415,72 @@ func TestParseOrderedDirectiveAndClause(t *testing.T) {
 		t.Errorf("re-parse of %q: %v", loop.String(), err)
 	}
 }
+
+func TestParseDependClauses(t *testing.T) {
+	d := mustParse(t, "task depend(in: a, b) depend(out: c) depend(inout: d)")
+	want := []DependClause{
+		{Mode: DependIn, Vars: []string{"a", "b"}},
+		{Mode: DependOut, Vars: []string{"c"}},
+		{Mode: DependInOut, Vars: []string{"d"}},
+	}
+	if !reflect.DeepEqual(d.Clauses.Depends, want) {
+		t.Errorf("Depends = %+v, want %+v", d.Clauses.Depends, want)
+	}
+	// in/out/inout stay usable as ordinary identifiers elsewhere — the
+	// keyword-as-identifier rule the paper requires.
+	d = mustParse(t, "task depend(in: in, out) private(inout)")
+	if !reflect.DeepEqual(d.Clauses.Depends, []DependClause{{Mode: DependIn, Vars: []string{"in", "out"}}}) {
+		t.Errorf("Depends with keyword names = %+v", d.Clauses.Depends)
+	}
+}
+
+func TestParseTaskPriorityMergeableTaskyield(t *testing.T) {
+	d := mustParse(t, "task priority(2*k + 1) mergeable")
+	if d.Clauses.Priority != "2*k + 1" || !d.Clauses.Mergeable {
+		t.Errorf("task clauses = %+v", d.Clauses)
+	}
+	d = mustParse(t, "taskloop priority(1) mergeable grainsize(8)")
+	if d.Clauses.Priority != "1" || !d.Clauses.Mergeable || d.Clauses.Grainsize != 8 {
+		t.Errorf("taskloop clauses = %+v", d.Clauses)
+	}
+	d = mustParse(t, "taskyield")
+	if d.Kind != DirTaskyield {
+		t.Errorf("taskyield parsed as %v", d.Kind)
+	}
+}
+
+func TestParseDependErrors(t *testing.T) {
+	for _, text := range []string{
+		"task depend(a)",                  // missing mode
+		"task depend(in a)",               // missing colon
+		"task depend(in:)",                // empty list
+		"task depend(sink: a)",            // unlowered doacross form
+		"for depend(in: a)",               // wrong directive
+		"taskloop depend(in: a)",          // depend not on taskloop (spec)
+		"taskyield depend(in: a)",         // standalone takes no clauses
+		"taskwait priority(1)",            // priority not on taskwait
+		"barrier mergeable",               // mergeable not on barrier
+		"task depend(in:a) depend(out:a)", // conflicting modes on one var
+		"task depend(in:a) depend(in:a)",  // duplicate item
+		"task priority()",                 // empty expression
+	} {
+		if _, err := ParseDirective(text); err == nil {
+			t.Errorf("%q accepted", text)
+		}
+	}
+}
+
+func TestDependDirectiveString(t *testing.T) {
+	for _, text := range []string{
+		"task depend(in:a,b) depend(out:c)",
+		"task depend(inout:x) priority(p) mergeable",
+		"taskloop priority(3) mergeable num_tasks(4)",
+		"taskyield",
+	} {
+		d := mustParse(t, text)
+		d2 := mustParse(t, d.String())
+		if !reflect.DeepEqual(d, d2) {
+			t.Errorf("String round trip %q → %q → %+v", text, d.String(), d2)
+		}
+	}
+}

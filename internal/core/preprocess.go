@@ -279,6 +279,8 @@ func (px *pctx) gen(p *pragma) ([]edit, error) {
 		return px.genTask(p, p.d)
 	case DirTaskwait:
 		return px.genTaskwait(p)
+	case DirTaskyield:
+		return px.genTaskyield(p)
 	case DirTaskgroup:
 		return px.genTaskgroup(p, p.d)
 	case DirTaskloop:

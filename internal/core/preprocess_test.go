@@ -877,3 +877,78 @@ func f(n int) {
 `)
 	wantContains(t, out, "omp.Ordered(")
 }
+
+func TestPreprocessTaskDepend(t *testing.T) {
+	out := pp(t, `package p
+
+import "gomp/omp"
+
+func f() {
+	var a, b, c int
+	omp.Parallel(func(t *omp.Thread) {
+		omp.Single(t, func() {
+			//omp task depend(out:a)
+			{
+				a = 1
+			}
+			//omp task depend(in:a) depend(out:b) priority(2)
+			{
+				b = a + 1
+			}
+			//omp task depend(in:a,b) depend(inout:c) mergeable
+			{
+				c += a + b
+			}
+			//omp taskwait
+		})
+	})
+	_ = c
+}
+`)
+	wantContains(t, out,
+		`omp.DependOut("a", &a)`,
+		`omp.DependIn("a", &a)`,
+		`omp.DependOut("b", &b)`,
+		`omp.Priority(2)`,
+		`omp.DependIn("b", &b)`,
+		`omp.DependInOut("c", &c)`,
+		`omp.Mergeable()`,
+		`omp.Taskwait(t)`,
+	)
+}
+
+func TestPreprocessTaskyield(t *testing.T) {
+	out := pp(t, `package p
+
+import "gomp/omp"
+
+func f() {
+	omp.Parallel(func(t *omp.Thread) {
+		//omp taskyield
+		_ = t
+	})
+}
+`)
+	wantContains(t, out, "omp.Taskyield(t)")
+	// Orphaned form binds through the registry.
+	out = pp(t, `package p
+
+func g() {
+	//omp taskyield
+}
+`)
+	wantContains(t, out, "omp.Taskyield(omp.Current())")
+}
+
+func TestPreprocessTaskloopPriority(t *testing.T) {
+	out := pp(t, `package p
+
+func f(n int) {
+	//omp taskloop grainsize(16) priority(n) mergeable
+	for i := 0; i < 1000; i++ {
+		_ = i
+	}
+}
+`)
+	wantContains(t, out, "omp.Grainsize(16)", "omp.Priority(n)", "omp.Mergeable()")
+}

@@ -85,6 +85,13 @@ const (
 	TokCancel
 	TokCancellation
 	TokPoint
+	TokTaskyield
+	TokDepend
+	TokIn
+	TokOut
+	TokInOut
+	TokPriority
+	TokMergeable
 )
 
 // keywordTags is the hash map of strings to keyword tokens used "to identify
@@ -141,6 +148,13 @@ var keywordTags = map[string]TokenTag{
 	"cancel":        TokCancel,
 	"cancellation":  TokCancellation,
 	"point":         TokPoint,
+	"taskyield":     TokTaskyield,
+	"depend":        TokDepend,
+	"in":            TokIn,
+	"out":           TokOut,
+	"inout":         TokInOut,
+	"priority":      TokPriority,
+	"mergeable":     TokMergeable,
 }
 
 // KeywordTag returns the keyword tag for an identifier spelling, or

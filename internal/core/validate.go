@@ -27,6 +27,9 @@ const (
 	allowGrainsize
 	allowNumTasks
 	allowNoGroup
+	allowDepend
+	allowPriority
+	allowMergeable
 )
 
 // allowedClauses is the directive/clause compatibility matrix, the OpenMP
@@ -53,15 +56,18 @@ var allowedClauses = map[DirKind]clauseSet{
 	DirAtomic:        0,
 	DirThreadPrivate: 0,
 	DirTask: allowPrivate | allowFirstPrivate | allowShared | allowDefault |
-		allowIf | allowFinal | allowUntied,
+		allowIf | allowFinal | allowUntied | allowDepend | allowPriority |
+		allowMergeable,
 	DirTaskwait:  0,
 	DirTaskgroup: 0,
+	DirTaskyield: 0,
 	// OpenMP also allows collapse/reduction/lastprivate on taskloop; this
 	// implementation does not lower them there, so they are rejected
-	// rather than silently ignored.
+	// rather than silently ignored. depend is not permitted on taskloop by
+	// the standard itself (OpenMP 5.2 §12.6).
 	DirTaskloop: allowPrivate | allowFirstPrivate | allowShared | allowDefault |
 		allowIf | allowFinal | allowUntied | allowGrainsize | allowNumTasks |
-		allowNoGroup,
+		allowNoGroup | allowPriority | allowMergeable,
 	// cancel takes the if clause (cancellation activates only when the
 	// expression holds); cancellation point takes none, per OpenMP 5.2
 	// §11.5.
@@ -106,6 +112,9 @@ func Validate(d *Directive) error {
 		{c.Grainsize > 0, allowGrainsize, "grainsize"},
 		{c.NumTasks > 0, allowNumTasks, "num_tasks"},
 		{c.NoGroup, allowNoGroup, "nogroup"},
+		{len(c.Depends) > 0, allowDepend, "depend"},
+		{c.Priority != "", allowPriority, "priority"},
+		{c.Mergeable, allowMergeable, "mergeable"},
 	} {
 		if ch.present && allowed&ch.set == 0 {
 			return fmt.Errorf("pragma: clause %s is not permitted on the %s directive", ch.name, d.Kind)
@@ -146,6 +155,26 @@ func Validate(d *Directive) error {
 	}
 	if c.Grainsize >= MaxTaskIter || c.NumTasks >= MaxTaskIter {
 		return fmt.Errorf("pragma: task granularity exceeds the encodable maximum %d", int64(MaxTaskIter)-1)
+	}
+
+	// Depend items: a storage location may appear in at most one depend
+	// clause item per task (OpenMP 5.2 §15.9.5 forbids conflicting
+	// dependence types on one list item; merging identical ones would be
+	// legal but is rejected too — a duplicate is a pragma typo).
+	depSeen := map[string]DependMode{}
+	for _, dc := range c.Depends {
+		if dc.Mode < DependIn || dc.Mode > DependInOut {
+			return fmt.Errorf("pragma: invalid dependence type %d in depend clause", dc.Mode)
+		}
+		if len(dc.Vars) == 0 {
+			return fmt.Errorf("pragma: depend(%s:) requires a variable list", dc.Mode)
+		}
+		for _, v := range dc.Vars {
+			if prev, dup := depSeen[v]; dup {
+				return fmt.Errorf("pragma: variable %s appears in both depend(%s) and depend(%s)", v, prev, dc.Mode)
+			}
+			depSeen[v] = dc.Mode
+		}
 	}
 
 	// A variable may appear in at most one data-sharing clause
@@ -262,6 +291,9 @@ func (d *Directive) String() string {
 	for _, r := range c.Reductions {
 		fmt.Fprintf(&b, " reduction(%s:%s)", r.Op, strings.Join(r.Vars, ","))
 	}
+	for _, dc := range c.Depends {
+		fmt.Fprintf(&b, " depend(%s:%s)", dc.Mode, strings.Join(dc.Vars, ","))
+	}
 	if c.HasSchedule {
 		mod := ""
 		if c.SchedMod != SchedModNone {
@@ -300,8 +332,14 @@ func (d *Directive) String() string {
 	if c.NumTasks > 0 {
 		fmt.Fprintf(&b, " num_tasks(%d)", c.NumTasks)
 	}
+	if c.Priority != "" {
+		fmt.Fprintf(&b, " priority(%s)", c.Priority)
+	}
 	if c.Untied {
 		b.WriteString(" untied")
+	}
+	if c.Mergeable {
+		b.WriteString(" mergeable")
 	}
 	if c.NoGroup {
 		b.WriteString(" nogroup")

@@ -10,7 +10,9 @@
 //   - critical           → __kmpc_critical           → Critical
 //   - single / master    → __kmpc_single/master      → (*Thread).Single / Master
 //   - explicit tasks     → __kmpc_omp_task           → (*Thread).TaskSpawn
+//   - tasks with depend  → __kmpc_omp_task_with_deps → (*Thread).SpawnTask
 //   - taskwait           → __kmpc_omp_taskwait       → (*Thread).Taskwait
+//   - taskyield          → __kmpc_omp_taskyield      → (*Thread).Taskyield
 //   - taskgroup          → __kmpc_taskgroup/end      → (*Thread).TaskgroupRun
 //   - taskloop           → __kmpc_taskloop           → (*Thread).Taskloop
 //
@@ -39,13 +41,31 @@
 //     count against it too.
 //
 // Both waits, and every team barrier, are task scheduling points: a waiting
-// thread executes ready tasks (its own deque first, then steals round-robin
-// from teammates) instead of spinning, so one producer thread plus an idle
-// team drains any task tree. The implicit barrier at region end completes
-// all outstanding tasks before ForkCall returns. if(false) and final tasks
-// — and every descendant of a final task — execute undeferred on the
-// spawning thread's stack; untied is accepted but executes tied, the
-// conforming fallback (untied permits migration, it does not require it).
+// thread executes ready tasks (the team's priority queue first, then its
+// own deque, then steals round-robin from teammates) instead of spinning,
+// so one producer thread plus an idle team drains any task tree. The
+// implicit barrier at region end completes all outstanding tasks before
+// ForkCall returns. if(false) and final tasks — and every descendant of a
+// final task — execute undeferred on the spawning thread's stack; untied
+// is accepted but executes tied, the conforming fallback (untied permits
+// migration, it does not require it); mergeable is accepted but executes
+// unmerged, the symmetric fallback.
+//
+// # Task dependences
+//
+// Tasks spawned with depend items (SpawnTask with TaskOpts.Deps) form a
+// dataflow DAG resolved at runtime (taskdep.go): each task-generating
+// region keeps a hash table from dependence address to last-writer and
+// reader-set, a new task registers edges against those predecessors and
+// holds an atomic unresolved-predecessor counter, and the task is withheld
+// from the deques until the counter drains — predecessor completion walks
+// the successor list and enqueues newly ready tasks from whichever thread
+// finished last. Ready tasks carrying a priority clause route through a
+// team-wide max-heap consulted before any deque. Discarded (cancelled)
+// tasks still release their successors, so dependence DAGs compose with
+// taskwait, taskgroup, cancellation, and region teardown. taskyield is one
+// more task scheduling point: the thread may run a ready task before
+// resuming.
 //
 // Because the evaluation machines for the original paper expose more
 // hardware threads than typical CI hosts, teams may be larger than

@@ -394,3 +394,127 @@ func TestStaticChunkedZeroAndNegativeChunk(t *testing.T) {
 		t.Fatalf("chunk=0 covered %d of 5", count)
 	}
 }
+
+// Dependence release racing cancel-taskgroup: one thread spawns dependence
+// chains inside a taskgroup while another thread cancels the group partway.
+// Discarded tasks must still run the release protocol — successors must not
+// be stranded withheld — so the group drains, the region terminates, and
+// any task that did execute saw every predecessor complete. Run under -race
+// this exercises the depState mutex against the cancellation flags.
+func TestDepReleaseRacesCancelTaskgroup(t *testing.T) {
+	ResetICV()
+	UpdateICV(func(v *ICV) { v.Cancellation = true })
+	defer ResetICV()
+	const nth, chains, depth, rounds = 8, 16, 32, 10
+	for round := 0; round < rounds; round++ {
+		cells := make([]int, chains)
+		ran := make([][]atomic.Bool, chains)
+		for c := range ran {
+			ran[c] = make([]atomic.Bool, depth)
+		}
+		var release atomic.Bool
+		ForkCall(Ident{}, nth, func(th *Thread) {
+			if th.Single() {
+				th.TaskgroupRun(Ident{}, func() {
+					for c := 0; c < chains; c++ {
+						for d := 0; d < depth; d++ {
+							c, d := c, d
+							th.SpawnTask(Ident{}, func(*Thread) {
+								for !release.Load() {
+									runtime.Gosched()
+								}
+								if d > 0 && !ran[c][d-1].Load() {
+									t.Errorf("round %d: chain %d task %d ran before predecessor", round, c, d)
+								}
+								ran[c][d].Store(true)
+							}, TaskOpts{Deps: []DepSpec{{Name: "cell", Addr: &cells[c], Mode: DepInOut}}})
+						}
+					}
+					release.Store(true)
+					// Cancel from inside the group while chains resolve.
+					th.Cancel(CancelTaskgroup)
+				})
+			}
+			th.Barrier()
+		})
+		// Every chain must be prefix-executed: a task ran only if all its
+		// predecessors did (checked inside); nothing may run after a gap.
+		for c := range ran {
+			gap := false
+			for d := range ran[c] {
+				if !ran[c][d].Load() {
+					gap = true
+				} else if gap {
+					t.Fatalf("round %d: chain %d task %d ran after a discarded predecessor", round, c, d)
+				}
+			}
+		}
+	}
+}
+
+// Dependence release racing region teardown: a context cancel tears the
+// region down while dependence chains are mid-release. The fork must
+// return (no withheld task may strand the implicit barrier), and executed
+// tasks must still respect their ordering.
+func TestDepReleaseRacesRegionTeardown(t *testing.T) {
+	const nth, chains, depth = 8, 8, 64
+	for round := 0; round < 10; round++ {
+		ctx, stop := context.WithCancel(context.Background())
+		cells := make([]int, chains)
+		var started atomic.Bool
+		go func() {
+			for !started.Load() {
+				runtime.Gosched()
+			}
+			time.Sleep(time.Duration(round) * 50 * time.Microsecond)
+			stop()
+		}()
+		err := ForkCallErr(Ident{}, nth, ctx, func(th *Thread) error {
+			started.Store(true)
+			if th.Single() {
+				for c := 0; c < chains; c++ {
+					for d := 0; d < depth; d++ {
+						c := c
+						th.SpawnTask(Ident{}, func(*Thread) {
+							time.Sleep(time.Microsecond)
+						}, TaskOpts{Deps: []DepSpec{{Name: "cell", Addr: &cells[c], Mode: DepInOut}}})
+					}
+				}
+			}
+			th.Barrier()
+			return nil
+		})
+		stop()
+		if err != nil && err != context.Canceled {
+			t.Fatalf("round %d: ForkCallErr = %v", round, err)
+		}
+	}
+}
+
+// Withheld prioritised tasks released from many completing threads at once:
+// a fan-out of dependent tasks with mixed priorities behind one gate task,
+// drained by the whole team. Exercises the priority queue's push/pop under
+// contention together with the release protocol.
+func TestDepPriorityReleaseContention(t *testing.T) {
+	const nth, fan = 8, 512
+	var gate int
+	var sum atomic.Int64
+	ForkCall(Ident{}, nth, func(th *Thread) {
+		if th.Single() {
+			th.SpawnTask(Ident{}, func(*Thread) {},
+				TaskOpts{Deps: []DepSpec{{Name: "gate", Addr: &gate, Mode: DepOut}}})
+			for i := 0; i < fan; i++ {
+				v := int64(i)
+				th.SpawnTask(Ident{}, func(*Thread) { sum.Add(v) },
+					TaskOpts{
+						Priority: int32(i % 5),
+						Deps:     []DepSpec{{Name: "gate", Addr: &gate, Mode: DepIn}},
+					})
+			}
+		}
+		th.Barrier()
+	})
+	if got, want := sum.Load(), int64(fan)*(fan-1)/2; got != want {
+		t.Fatalf("prioritised fan-out sum = %d, want %d", got, want)
+	}
+}

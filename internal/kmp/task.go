@@ -44,12 +44,29 @@ type taskNode struct {
 	team   *Team
 	final  bool // final clause: all descendants execute undeferred
 
+	// priority is the priority clause value (0 = unprioritised): ready
+	// tasks with priority > 0 route through the team's priority queue and
+	// are dequeued before any deque task (taskdep.go).
+	priority int32
+
+	// Dependence machinery (taskdep.go): dep is non-nil iff this task
+	// carries depend items; deps is the dependence hash table of the
+	// task-generating region this task parents, keyed on dependence
+	// addresses (lazily created, owner-only).
+	dep  *depState
+	deps map[any]*depEntry
+
 	// children counts spawned-but-incomplete deferred child tasks.
 	children atomic.Int32
 }
 
-// finish runs the completion protocol after fn returns.
-func (n *taskNode) finish() {
+// finish runs the completion protocol after fn returns (or the task is
+// discarded). t is the thread running the completion: dependence release
+// must come first — successors the release makes ready are enqueued through
+// t — and before the counters drop, so a construct released by the counters
+// can never observe a completed task with unreleased successors.
+func (n *taskNode) finish(t *Thread) {
+	n.depComplete(t)
 	if n.group != nil {
 		n.group.pending.Add(-1)
 	}
@@ -81,6 +98,31 @@ func (t *Thread) currentTask() *taskNode {
 	return t.curTask
 }
 
+// TaskOpts carries the clause set of one task construct down to the
+// runtime — the analog of the kmp_tasking_flags_t + dependence-array
+// arguments of __kmpc_omp_task_with_deps.
+type TaskOpts struct {
+	// Undeferred is the if(false) clause: execute now, on the
+	// encountering thread, after any dependences resolve.
+	Undeferred bool
+	// Final is the final clause: this task and all descendants execute
+	// undeferred.
+	Final bool
+	// Untied is accepted and executed tied (see package comment).
+	Untied bool
+	// Mergeable is accepted as a no-op: merged tasks are a permission to
+	// reuse the generating task's data environment, which closure capture
+	// already shares; executing every mergeable task unmerged is the
+	// conforming fallback.
+	Mergeable bool
+	// Priority is the priority clause value; > 0 routes the ready task
+	// through the team's priority queue (higher dequeues first).
+	Priority int32
+	// Deps are the depend clause items; a task with any is withheld from
+	// the deques until every predecessor completes (taskdep.go).
+	Deps []DepSpec
+}
+
 // TaskSpawn creates an explicit task executing fn — __kmpc_omp_task. The
 // task is deferred onto the calling thread's deque unless it must execute
 // undeferred: if(false) tasks, final tasks and all descendants of final
@@ -92,7 +134,15 @@ func (t *Thread) currentTask() *taskNode {
 // tasks differs from t. loc is the construct's source position, attributed
 // to the spawn trace event.
 func (t *Thread) TaskSpawn(loc Ident, fn func(*Thread), undeferred, final, untied bool) {
-	_ = untied // accepted, executed tied (see package comment)
+	t.SpawnTask(loc, fn, TaskOpts{Undeferred: undeferred, Final: final, Untied: untied})
+}
+
+// SpawnTask is TaskSpawn with the full clause set — the entry point behind
+// omp.Task once any of depend/priority/mergeable is present
+// (__kmpc_omp_task_with_deps).
+func (t *Thread) SpawnTask(loc Ident, fn func(*Thread), o TaskOpts) {
+	_ = o.Untied    // accepted, executed tied (see package comment)
+	_ = o.Mergeable // accepted, executed unmerged (see TaskOpts)
 	parent := t.currentTask()
 	// Task creation is a task scheduling point, hence a cancellation
 	// point: once the region or an enclosing taskgroup is cancelled, new
@@ -101,15 +151,31 @@ func (t *Thread) TaskSpawn(loc Ident, fn func(*Thread), undeferred, final, untie
 		return
 	}
 	inherit := parent.final
-	if undeferred || final || inherit || t.team == nil || t.team.n == 1 {
+	if o.Undeferred || o.Final || inherit || t.team == nil || t.team.n == 1 {
 		// Undeferred/included path: execute now, on this thread, with the
 		// task still visible as the current task so that taskwait and
-		// data-environment nesting behave as if it had been deferred.
-		node := &taskNode{parent: parent, group: t.curGroup, team: t.team, final: final || inherit}
+		// data-environment nesting behave as if it had been deferred. A
+		// depend clause still orders the task after its predecessors: the
+		// encountering thread waits — executing other ready tasks — until
+		// they complete (OpenMP 5.2 §12.5), and the task must register as
+		// a predecessor for later siblings, so the release protocol runs
+		// after the body. On a serial team every sibling ran to completion
+		// at its own spawn, so program order already satisfies any
+		// dependence DAG and the bookkeeping is skipped entirely.
+		node := &taskNode{parent: parent, group: t.curGroup, team: t.team, final: o.Final || inherit}
+		serial := t.team == nil || t.team.n == 1
+		if len(o.Deps) > 0 && !serial {
+			node.dep = &depState{undeferred: true}
+			node.dep.npred.Store(1)
+			registerDeps(parent, node, o.Deps)
+			node.releaseCreationRef()
+			t.waitDeps(node)
+		}
 		t.runTask(node, fn)
+		node.depComplete(t)
 		return
 	}
-	node := &taskNode{fn: fn, parent: parent, group: t.curGroup, team: t.team}
+	node := &taskNode{fn: fn, parent: parent, group: t.curGroup, team: t.team, priority: o.Priority}
 	parent.children.Add(1)
 	if node.group != nil {
 		node.group.pending.Add(1)
@@ -118,7 +184,19 @@ func (t *Thread) TaskSpawn(loc Ident, fn func(*Thread), undeferred, final, untie
 	if tr := traceHook(); tr != nil {
 		tr(TraceEvent{Kind: TraceTaskSpawn, Loc: loc, Tid: t.Tid})
 	}
-	t.deque.push(node)
+	if len(o.Deps) == 0 {
+		t.enqueueReady(node)
+		return
+	}
+	// Dependent task: withhold from the queues until the predecessor count
+	// drains. The creation reference keeps concurrent predecessor
+	// completions from enqueueing the task before registration finishes.
+	node.dep = &depState{}
+	node.dep.npred.Store(1)
+	registerDeps(parent, node, o.Deps)
+	if node.releaseCreationRef() {
+		t.enqueueReady(node)
+	}
 }
 
 // runTask executes a task body on this thread with the task-environment
@@ -154,9 +232,17 @@ func (t *Thread) runTaskRecover(node *taskNode, eb *errBox) {
 }
 
 // runOneTask pops or steals one ready task and executes it to completion.
+// Prioritised tasks — the team-wide priority queue — are taken before any
+// deque task, giving the priority clause its dequeue-ordering meaning.
 // Returns false when no task was found anywhere in the team.
 func (t *Thread) runOneTask() bool {
-	node := t.deque.pop()
+	var node *taskNode
+	if t.team != nil {
+		node = t.team.prioQ.pop()
+	}
+	if node == nil {
+		node = t.deque.pop()
+	}
 	if node == nil && t.team != nil {
 		tm := t.team
 		for i := 1; i < tm.n; i++ {
@@ -174,10 +260,10 @@ func (t *Thread) runOneTask() bool {
 	}
 	// Dequeue is a task scheduling point: tasks whose region or taskgroup
 	// has been cancelled are discarded — completion bookkeeping runs so
-	// the counters taskwait/taskgroup/barriers watch still drain, but the
-	// body does not.
+	// the counters taskwait/taskgroup/barriers watch still drain (and
+	// dependent successors are still released), but the body does not.
 	if node.discarded() {
-		node.finish()
+		node.finish(t)
 		return true
 	}
 	if t.team != nil && t.team.eb != nil {
@@ -185,7 +271,7 @@ func (t *Thread) runOneTask() bool {
 	} else {
 		t.runTask(node, node.fn)
 	}
-	node.finish()
+	node.finish(t)
 	return true
 }
 
@@ -256,8 +342,9 @@ func (t *Thread) TaskgroupRun(loc Ident, body func()) {
 // balanced tasks; with neither, two tasks per team thread (libomp's
 // KMP_TASKLOOP num_tasks default). Unless nogroup is set the call waits for
 // all chunks under an implicit taskgroup. undeferred (the if(false) clause)
-// executes the whole loop immediately on the calling thread.
-func (t *Thread) Taskloop(loc Ident, trip, grainsize, numTasks int64, nogroup, undeferred bool, body func(t *Thread, lo, hi int64)) {
+// executes the whole loop immediately on the calling thread. priority is
+// the priority clause, applied to every chunk task.
+func (t *Thread) Taskloop(loc Ident, trip, grainsize, numTasks int64, nogroup, undeferred bool, priority int32, body func(t *Thread, lo, hi int64)) {
 	if trip <= 0 {
 		return
 	}
@@ -292,7 +379,7 @@ func (t *Thread) Taskloop(loc Ident, trip, grainsize, numTasks int64, nogroup, u
 				hi++
 			}
 			clo, chi := lo, hi
-			t.TaskSpawn(loc, func(ex *Thread) { body(ex, clo, chi) }, false, false, false)
+			t.SpawnTask(loc, func(ex *Thread) { body(ex, clo, chi) }, TaskOpts{Priority: priority})
 			lo = hi
 		}
 	}

@@ -201,7 +201,7 @@ func TestTaskloopCoverage(t *testing.T) {
 		hits := make([]atomic.Int32, trip)
 		ForkCall(Ident{}, 4, func(th *Thread) {
 			if th.Single() {
-				th.Taskloop(Ident{}, trip, tc.grainsize, tc.numTasks, tc.nogroup, false,
+				th.Taskloop(Ident{}, trip, tc.grainsize, tc.numTasks, tc.nogroup, false, 0,
 					func(_ *Thread, lo, hi int64) {
 						for i := lo; i < hi; i++ {
 							hits[i].Add(1)
@@ -223,7 +223,7 @@ func TestTaskloopGroupWait(t *testing.T) {
 	var sum atomic.Int64
 	ForkCall(Ident{}, 4, func(th *Thread) {
 		if th.Single() {
-			th.Taskloop(Ident{}, 100, 9, 0, false, false, func(_ *Thread, lo, hi int64) {
+			th.Taskloop(Ident{}, 100, 9, 0, false, false, 0, func(_ *Thread, lo, hi int64) {
 				for i := lo; i < hi; i++ {
 					sum.Add(i)
 				}
@@ -248,7 +248,7 @@ func TestTaskSerialContexts(t *testing.T) {
 	}
 	var viaLoop int64
 	ForkCall(Ident{}, 1, func(th *Thread) {
-		th.Taskloop(Ident{}, 10, 0, 0, false, false, func(_ *Thread, lo, hi int64) {
+		th.Taskloop(Ident{}, 10, 0, 0, false, false, 0, func(_ *Thread, lo, hi int64) {
 			viaLoop += hi - lo
 		})
 	})

@@ -50,6 +50,10 @@ type Team struct {
 	// the team (task.go); barriers drain it to zero before releasing.
 	taskCount atomic.Int64
 
+	// prioQ holds ready tasks carrying a priority clause; every dequeue
+	// drains it before the work-stealing deques (taskdep.go).
+	prioQ taskPrioQ
+
 	// Cancellation state (cancel.go). cancellable is decided at fork: the
 	// cancel-var ICV is set, or the region was launched through the
 	// error/context entry point. cancelCh is closed exactly once when
@@ -137,6 +141,7 @@ func (tm *Team) reset() {
 	}
 	tm.copyPB.reset()
 	tm.taskCount.Store(0)
+	tm.prioQ.reset()
 	tm.cancellable = false
 	tm.cancelRegion.Store(false)
 	tm.cancelledLoop.Store(0)

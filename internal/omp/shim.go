@@ -205,6 +205,21 @@ func NumTasks(n int64) Option { return omp.NumTasks(n) }
 // NoGroup is the taskloop nogroup clause.
 func NoGroup() Option { return omp.NoGroup() }
 
+// Mergeable is the mergeable clause (accepted, executed unmerged).
+func Mergeable() Option { return omp.Mergeable() }
+
+// Priority is the task priority clause.
+func Priority(n int) Option { return omp.Priority(n) }
+
+// DependIn is the depend(in: addr) clause.
+func DependIn(name string, addr any) Option { return omp.DependIn(name, addr) }
+
+// DependOut is the depend(out: addr) clause.
+func DependOut(name string, addr any) Option { return omp.DependOut(name, addr) }
+
+// DependInOut is the depend(inout: addr) clause.
+func DependInOut(name string, addr any) Option { return omp.DependInOut(name, addr) }
+
 // ------------------------------------------------------------ constructs
 
 // Parallel runs body as a parallel region.
@@ -253,6 +268,9 @@ func Task(t *Thread, body func(t *Thread), opts ...Option) { omp.Task(t, body, o
 
 // Taskwait waits for the current task's children.
 func Taskwait(t *Thread) { omp.Taskwait(t) }
+
+// Taskyield is a task scheduling point (the taskyield directive).
+func Taskyield(t *Thread) { omp.Taskyield(t) }
 
 // Taskgroup runs body and waits for every descendant task.
 func Taskgroup(t *Thread, body func(), opts ...Option) { omp.Taskgroup(t, body, opts...) }

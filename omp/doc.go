@@ -71,6 +71,62 @@
 // are released. Steals emit TraceLoopSteal events, observable through
 // internal/trace's profiler (a "steals" column in the flat profile).
 //
+// # Task dependences
+//
+// Tasks express dataflow DAGs through the depend clause — OpenMP 4.0's
+// mechanism for wavefronts, blocked factorisations, and every workload
+// whose ordering is a partial order taskwait/taskgroup can only
+// over-serialise. The clause surface:
+//
+//	//omp task depend(in: a, b) depend(out: c) priority(2) mergeable
+//	//omp taskyield
+//
+// and the equivalent options on omp.Task: DependIn, DependOut, DependInOut
+// (one per variable; the variable's address is the dependence identity, so
+// sibling tasks naming the same storage are ordered), Priority, Mergeable,
+// plus the standalone Taskyield. Ordering rules are the standard's: a task
+// with in on x runs after the last preceding sibling with out/inout on x;
+// a task with out/inout on x additionally runs after every in task
+// admitted since. Dependences order sibling tasks only — tasks of the same
+// generating task region.
+//
+// The runtime (internal/kmp/taskdep.go) keeps a per-region hash table of
+// last-writer/reader-set per dependence address. A dependent task holds an
+// atomic count of unresolved predecessors and is withheld from the
+// work-stealing deques until it reaches zero; completing a task releases
+// its successors from whichever thread finished, and tasks with
+// Priority(n) re-enter through a team-wide priority queue that every
+// dequeue consults first. if(false) tasks with dependences wait at the
+// spawn point (executing other ready tasks) as the standard requires, and
+// cancelled tasks still release their successors, so DAGs compose with
+// taskwait, taskgroup, cancellation, and WithContext teardown.
+//
+// The canonical wavefront — block (i,j) after blocks (i-1,j) and (i,j-1):
+//
+//	omp.Parallel(func(t *omp.Thread) {
+//		omp.Single(t, func() {
+//			for i := 0; i < nb; i++ {
+//				for j := 0; j < nb; j++ {
+//					i, j := i, j
+//					opts := []omp.Option{omp.DependOut("self", &tok[i*nb+j])}
+//					if i > 0 {
+//						opts = append(opts, omp.DependIn("north", &tok[(i-1)*nb+j]))
+//					}
+//					if j > 0 {
+//						opts = append(opts, omp.DependIn("west", &tok[i*nb+j-1]))
+//					}
+//					omp.Task(t, func(*omp.Thread) { tile(i, j) }, opts...)
+//				}
+//			}
+//			omp.Taskwait(t)
+//		})
+//	})
+//
+// Tiles release the moment their two predecessors finish — no per-diagonal
+// barrier, no idle threads at the sweep's narrow ends. See
+// examples/wavefront for the full program and internal/bench's blocked LU
+// (BenchmarkBlockedLU) for the dependence-DAG-vs-taskwait comparison.
+//
 // # Migrating from the v1 internal API
 //
 // The old import path gomp/internal/omp remains a forwarding shim, so v1
@@ -89,6 +145,8 @@
 //	omp.GetNested()                         omp.GetMaxActiveLevels() > 1
 //	unbounded region                        omp.WithContext(ctx) option + *Err entry
 //	(no equivalent)                         omp.Cancel / omp.CancellationPoint
+//	(no equivalent)                         omp.DependIn/DependOut/DependInOut,
+//	                                        omp.Priority, omp.Taskyield
 //
 // A minimal parallel dot product with a deadline:
 //

@@ -26,9 +26,12 @@ type config struct {
 	finalClause bool
 	hasFinal    bool
 	untied      bool
+	mergeable   bool
 	grainsize   int64
 	numTasks    int64
 	nogroup     bool
+	priority    int32
+	deps        []kmp.DepSpec
 }
 
 func (c *config) apply(opts []Option) {

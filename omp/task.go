@@ -1,11 +1,15 @@
 package omp
 
+import "gomp/internal/kmp"
+
 // Explicit tasking constructs: the user-facing lowering targets of
-// `//omp task`, `//omp taskwait`, `//omp taskgroup` and `//omp taskloop`.
-// The runtime behind them (internal/kmp/task.go) runs per-thread
-// work-stealing deques; team barriers double as task scheduling points, so
-// a single thread may spawn a whole task tree and the rest of the team
-// drains it.
+// `//omp task`, `//omp taskwait`, `//omp taskgroup`, `//omp taskloop` and
+// `//omp taskyield`. The runtime behind them (internal/kmp/task.go) runs
+// per-thread work-stealing deques; team barriers double as task scheduling
+// points, so a single thread may spawn a whole task tree and the rest of
+// the team drains it. Tasks carrying depend options form a dataflow DAG
+// resolved by the runtime's dependence engine (internal/kmp/taskdep.go):
+// a task is withheld from the deques until every predecessor completes.
 
 // Final is the final clause: when cond is true the task — and every task it
 // creates, transitively — executes undeferred on the spawning thread. The
@@ -32,6 +36,54 @@ func NumTasks(n int64) Option { return func(c *config) { c.numTasks = n } }
 // taskgroup end or barrier).
 func NoGroup() Option { return func(c *config) { c.nogroup = true } }
 
+// Mergeable is the mergeable clause: permission to execute the task merged
+// into the generating task's data environment. Accepted and executed
+// unmerged — closure capture already shares the environment a merged task
+// would reuse, and running every mergeable task unmerged is the conforming
+// fallback (mergeable grants a permission, not an obligation).
+func Mergeable() Option { return func(c *config) { c.mergeable = true } }
+
+// Priority is the priority clause: ready tasks with higher n are dequeued
+// before lower ones and before any unprioritised task (a scheduling hint,
+// not an ordering guarantee — dependences, not priorities, express
+// ordering). Values below 1 leave the task unprioritised.
+func Priority(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.priority = int32(n)
+		}
+	}
+}
+
+// DependIn is depend(in: addr): the task reads the object at addr and is
+// ordered after the last previously-spawned sibling task that declared
+// DependOut/DependInOut on the same address. name appears in diagnostics;
+// addr must be a pointer — pointer identity is the dependence address, so
+// every task naming the same object must pass a pointer to the same
+// storage (&x for the same x).
+func DependIn(name string, addr any) Option {
+	return func(c *config) {
+		c.deps = append(c.deps, kmp.DepSpec{Name: name, Addr: addr, Mode: kmp.DepIn})
+	}
+}
+
+// DependOut is depend(out: addr): the task writes the object at addr and is
+// ordered after the last sibling writer and after every reader admitted
+// since.
+func DependOut(name string, addr any) Option {
+	return func(c *config) {
+		c.deps = append(c.deps, kmp.DepSpec{Name: name, Addr: addr, Mode: kmp.DepOut})
+	}
+}
+
+// DependInOut is depend(inout: addr): the task both reads and writes the
+// object at addr; same ordering constraints as DependOut.
+func DependInOut(name string, addr any) Option {
+	return func(c *config) {
+		c.deps = append(c.deps, kmp.DepSpec{Name: name, Addr: addr, Mode: kmp.DepInOut})
+	}
+}
+
 // Task spawns body as an explicit task: the lowering of `//omp task`.
 // t must be the calling thread (nil outside any parallel region, where the
 // task executes immediately). body receives the thread that eventually
@@ -50,16 +102,30 @@ func Task(t *Thread, body func(t *Thread), opts ...Option) {
 	final := c.hasFinal && c.finalClause
 	if t == nil || t.Team() == nil {
 		// Outside any team: the initial thread runs the task inline.
+		// Program order is creation order, a valid topological order of
+		// any dependence DAG, so depend options are trivially satisfied.
 		body(t)
 		return
 	}
-	t.TaskSpawn(c.loc, body, undeferred, final, c.untied)
+	t.SpawnTask(c.loc, body, kmp.TaskOpts{
+		Undeferred: undeferred,
+		Final:      final,
+		Untied:     c.untied,
+		Mergeable:  c.mergeable,
+		Priority:   c.priority,
+		Deps:       c.deps,
+	})
 }
 
 // Taskwait blocks until all child tasks spawned by the current task have
 // completed: the lowering of `//omp taskwait`. While waiting, the thread
 // executes other ready tasks.
 func Taskwait(t *Thread) { t.Taskwait() }
+
+// Taskyield is the standalone `//omp taskyield` directive: a task
+// scheduling point at which the thread may execute another ready task
+// before resuming the current one. Outside any team it is a no-op.
+func Taskyield(t *Thread) { t.Taskyield() }
 
 // Taskgroup runs body and then waits for every task spawned inside it,
 // including transitively created descendants: the lowering of
@@ -92,5 +158,5 @@ func Taskloop(t *Thread, trip int64, body func(t *Thread, lo, hi int64), opts ..
 		}
 		return
 	}
-	t.Taskloop(c.loc, trip, c.grainsize, c.numTasks, c.nogroup, undeferred, body)
+	t.Taskloop(c.loc, trip, c.grainsize, c.numTasks, c.nogroup, undeferred, c.priority, body)
 }
