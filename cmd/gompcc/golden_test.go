@@ -44,6 +44,18 @@ func TestGoldenSingleFile(t *testing.T) {
 	compareGolden(t, filepath.Join("testdata", "single.golden"), got)
 }
 
+// The loop-transformation pipeline pinned end to end: tile strip-mines
+// the matmul nest, the stacked parallel for distributes the generated
+// tile-grid loops, and partial unroll emits the factor-stepped main loop
+// plus its scalar remainder.
+func TestGoldenTile(t *testing.T) {
+	got, err := processFile(filepath.Join("testdata", "tile.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "tile.golden"), got)
+}
+
 // -dir mode: files are processed in sorted filename order, every
 // non-test, non-generated file gets an output (pragma-free files pass
 // through), and each output matches its golden.

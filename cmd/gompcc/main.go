@@ -9,6 +9,7 @@
 //	gompcc [-o output.go] input.go    # write transformed source
 //	gompcc -stdout input.go           # print to stdout
 //	gompcc -dir pkgdir -suffix _omp   # transform every *.go in a package
+//	gompcc -explain input.go          # describe each directive, change nothing
 //
 // Files without pragmas pass through unchanged.
 package main
@@ -31,9 +32,24 @@ func main() {
 		toStdout = flag.Bool("stdout", false, "write the transformed source to stdout")
 		dir      = flag.String("dir", "", "transform every .go file in this directory instead of a single file")
 		suffix   = flag.String("suffix", "_omp", "filename suffix for -dir outputs")
+		explain  = flag.Bool("explain", false, "print each recognized directive with its parsed clauses and the lowering it will receive, without rewriting")
 	)
 	flag.Parse()
 
+	if *explain && *dir != "" {
+		// The dry run stays a dry run in batch mode: explain every file
+		// processDir would rewrite, write nothing.
+		names, err := eligibleFiles(*dir, *suffix)
+		if err != nil {
+			fail(err)
+		}
+		for _, name := range names {
+			if err := explainFile(filepath.Join(*dir, name), os.Stdout); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
 	if *dir != "" {
 		if err := processDir(*dir, *suffix, os.Stderr); err != nil {
 			fail(err)
@@ -41,10 +57,16 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go | -stdout] input.go")
+		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go | -stdout | -explain] input.go")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
+	if *explain {
+		if err := explainFile(in, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
 	res, err := processFile(in)
 	if err != nil {
 		fail(err)
@@ -63,6 +85,31 @@ func main() {
 	fmt.Fprintf(os.Stderr, "gompcc: %s -> %s\n", in, dst)
 }
 
+// explainFile prints every recognized directive of path — its line, its
+// parsed clause set rendered back to pragma syntax, and the lowering or
+// transformation the preprocessor would apply — without rewriting
+// anything. The directive dry run of the front end.
+func explainFile(path string, w io.Writer) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	name := filepath.Base(path)
+	infos, err := core.Inspect(src, core.Options{Filename: name})
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Fprintf(w, "%s: no omp pragmas\n", name)
+		return nil
+	}
+	for _, pi := range infos {
+		fmt.Fprintf(w, "%s:%d: //omp %s\n", name, pi.Line, pi.Dir)
+		fmt.Fprintf(w, "    %s\n", core.Explain(pi.Dir))
+	}
+	return nil
+}
+
 func processFile(path string) ([]byte, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -71,14 +118,14 @@ func processFile(path string) ([]byte, error) {
 	return core.Preprocess(src, core.Options{Filename: filepath.Base(path)})
 }
 
-// processDir transforms every eligible .go file of dir in sorted filename
-// order — explicitly sorted rather than relying on the directory listing,
-// so diagnostics and log output are deterministic across platforms and
-// filesystems. log receives one progress line per file.
-func processDir(dir, suffix string, log io.Writer) error {
+// eligibleFiles lists the .go files of dir that batch modes operate on, in
+// sorted filename order — explicitly sorted rather than relying on the
+// directory listing, so diagnostics and log output are deterministic
+// across platforms and filesystems.
+func eligibleFiles(dir, suffix string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var names []string
 	for _, e := range entries {
@@ -90,6 +137,16 @@ func processDir(dir, suffix string, log io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return names, nil
+}
+
+// processDir transforms every eligible .go file of dir; log receives one
+// progress line per file.
+func processDir(dir, suffix string, log io.Writer) error {
+	names, err := eligibleFiles(dir, suffix)
+	if err != nil {
+		return err
+	}
 	for _, name := range names {
 		in := filepath.Join(dir, name)
 		res, err := processFile(in)

@@ -105,3 +105,117 @@ func TestProcessDir(t *testing.T) {
 		t.Fatal("generated output was re-transformed")
 	}
 }
+
+// -explain is a dry run: every directive is listed with its line, its
+// re-rendered clause set, and the lowering/transformation description, and
+// the input file is never modified.
+func TestExplainFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.go")
+	src := `package p
+
+func f(m []int, ni, nj int, s *int) {
+	//omp parallel for collapse(2) reduction(+:total) schedule(dynamic,4) num_threads(8)
+	//omp tile sizes(32,32)
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			m[i*nj+j]++
+		}
+	}
+	//omp unroll partial(4)
+	for i := 0; i < ni; i++ {
+		*s += i
+	}
+}
+`
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := explainFile(in, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"in.go:4: //omp parallel for",
+		"schedule(dynamic,4)",
+		"reduction(+) over total",
+		"in.go:5: //omp tile sizes(32,32)",
+		"strip-mine the 2-deep loop nest into a 4-deep nest",
+		"in.go:11: //omp unroll partial(4)",
+		"unroll the loop body 4×",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	after, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != src {
+		t.Error("-explain modified the input file")
+	}
+}
+
+// -explain on a pragma-free file says so rather than printing nothing.
+func TestExplainFileNoPragmas(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "plain.go")
+	if err := os.WriteFile(in, []byte("package p\n\nfunc f() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := explainFile(in, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no omp pragmas") {
+		t.Errorf("output = %q, want a no-pragmas notice", b.String())
+	}
+}
+
+// -explain reports directive parse errors with position info.
+func TestExplainFileBadPragma(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.go")
+	src := "package p\n\nfunc f() {\n\t//omp tile\n\tfor i := 0; i < 4; i++ {\n\t}\n}\n"
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := explainFile(in, &b)
+	if err == nil || !strings.Contains(err.Error(), "sizes clause") {
+		t.Fatalf("error = %v, want the tile sizes diagnostic", err)
+	}
+}
+
+// -explain combined with -dir stays a dry run: every eligible file is
+// explained and nothing is written (the batch listing is shared with
+// processDir, so the coverage set matches).
+func TestExplainDirWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc f(a []int, n int) {\n\t//omp unroll partial(2)\n\tfor i := 0; i < n; i++ {\n\t\ta[i]++\n\t}\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := eligibleFiles(dir, "_omp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, name := range names {
+		if err := explainFile(filepath.Join(dir, name), &b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(b.String(), "unroll the loop body 2") {
+		t.Errorf("explain output missing the unroll description:\n%s", b.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dry run created files: %v", entries)
+	}
+}

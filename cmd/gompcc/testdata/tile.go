@@ -1,0 +1,27 @@
+package p
+
+// Cache-blocked matmul through the loop-transformation subsystem: the
+// worksharing directive stacked above tile distributes the generated
+// tile-grid loops; the unrolled accumulation loop keeps its scalar
+// remainder for trip counts the factor does not divide.
+
+func matmul(c, a, b []float64, n int) {
+	//omp parallel for collapse(2)
+	//omp tile sizes(32,32)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = sum
+		}
+	}
+}
+
+func scale(a []float64, n int) {
+	//omp unroll partial(4)
+	for i := 0; i < n; i++ {
+		a[i] *= 2
+	}
+}

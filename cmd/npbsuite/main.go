@@ -6,7 +6,9 @@
 // against dynamic worksharing on the same kernel; -tasks=false omits it)
 // and a blocked-LU section measuring the task-dependence subsystem
 // (dependence-DAG factorisation against taskwait-per-level; -lu=false
-// omits it).
+// omits it) and a tiled-matmul section measuring the loop-transformation
+// subsystem (cache-blocked C = A·B, naive vs tiled vs tiled+parallel,
+// bitwise-verified; -mm=false omits it).
 //
 // Usage:
 //
@@ -46,6 +48,7 @@ type jsonReport struct {
 	Kernels    []*bench.Sweep   `json:"kernels"`
 	Tasks      *bench.TaskSweep `json:"tasks,omitempty"`
 	LU         *bench.LUSweep   `json:"lu,omitempty"`
+	MM         *bench.MMSweep   `json:"mm,omitempty"`
 }
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 		runs     = flag.Int("runs", 1, "repetitions per configuration (paper uses 5)")
 		tasks    = flag.Bool("tasks", true, "append the tasking section (explicit-task fib, taskloop vs for)")
 		lu       = flag.Bool("lu", true, "append the blocked-LU section (dependence DAG vs taskwait-per-level)")
+		mm       = flag.Bool("mm", true, "append the tiled-matmul section (naive vs tiled vs tiled+parallel)")
 		jsonOut  = flag.Bool("json", false, "also write machine-readable results to BENCH_<class>.json")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
@@ -131,6 +135,19 @@ func main() {
 		fmt.Println(lsw.Table())
 		report.LU = lsw
 		for _, p := range lsw.Points {
+			if !p.Verified {
+				exit = 1
+			}
+		}
+	}
+	if *mm {
+		msw := bench.RunMMSweep(threads, *runs, progress)
+		if !*quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		fmt.Println(msw.Table())
+		report.MM = msw
+		for _, p := range msw.Points {
 			if !p.Verified {
 				exit = 1
 			}

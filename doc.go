@@ -11,7 +11,12 @@
 //   - internal/core — the contribution: pragma tokeniser (keywords stay
 //     identifiers), directive parser (including cancel and cancellation
 //     point), bit-packed 32-bit clause encoding (extra_data emulation),
-//     and the multi-pass source-to-source preprocessor over go/ast.
+//     the multi-pass source-to-source preprocessor over go/ast, and the
+//     loop-transformation engine (transform.go): the OpenMP 5.1 tile and
+//     unroll directives over a loop-nest IR lifted from ast.ForStmt
+//     headers, applied in a pass that runs before any outlining so
+//     worksharing directives stacked above a transformation distribute
+//     the generated loops (see "Loop transformations" below).
 //   - internal/kmp — the libomp analog: hot goroutine teams, ForkCall and
 //     its error/context-aware sibling, three barrier algorithms plus a
 //     cancellation-aware one, static partitioning, the unified worksharing
@@ -49,8 +54,50 @@
 // subsystem against serial recursion and the loop-directive lowerings,
 // BenchmarkImbalancedFor, the worksharing engine's headline number
 // (monotonic shared-counter versus nonmonotonic stealing dispatch of a
-// triangular workload), and BenchmarkBlockedLU, the dependence
-// subsystem's: a blocked LU factorisation as a dependence DAG versus the
+// triangular workload), BenchmarkBlockedLU, the dependence subsystem's: a
+// blocked LU factorisation as a dependence DAG versus the
 // taskwait-per-level formulation (examples/wavefront is the corresponding
-// stencil workload).
+// stencil workload), and BenchmarkTiledMatmul, the loop-transformation
+// subsystem's: cache-blocked matrix multiplication under the naive triple
+// loop, the tile restructuring, and the distributed tile grid, all
+// bitwise-verified (examples/tile is the corresponding walkthrough).
+//
+// # Loop transformations
+//
+// The tile and unroll directives (OpenMP 5.1, §9 of the 5.2 spec; the
+// Kruse & Finkel loop-transformation pragma papers) are the only
+// directives that do not lower to runtime calls: they rewrite the
+// annotated canonical loop nest into restructured plain-Go loops, in the
+// preprocessor pass that runs before every other step. Ordering rules for
+// stacked directives follow from that pass structure:
+//
+//   - The directive nearest the loop applies first; each directive above
+//     it applies to the loop(s) the transformation below generated. So
+//     `parallel for collapse(2)` above `tile sizes(64,64)` distributes
+//     the generated 64×64 tile grid, and `unroll` above `tile` unrolls
+//     the generated grid loop.
+//
+//   - tile sizes(t1,…,tk) consumes a k-deep perfect rectangular nest and
+//     generates a 2k-deep nest: k tile-grid loops (canonical worksharing
+//     shape, stepping by ti over the level's logical iteration space)
+//     over k point loops (tuple-init, hoisted min(origin+ti, trip)
+//     fringe bound — correct for trip counts the sizes do not divide). A
+//     collapse stacked above may name at most the k grid loops; deeper
+//     collapses are rejected as non-canonical.
+//
+//   - unroll consumes the loop structure entirely: full expands a
+//     constant-trip loop into straight-line blocks; partial(n) emits a
+//     factor-stepped main loop with n body copies plus a scalar
+//     remainder loop covering trip%n — so nothing can be stacked above
+//     an unroll except another transformation's generated loop. Bare
+//     unroll chooses heuristically: full for constant trips ≤ 16,
+//     otherwise partial(4).
+//
+//   - A directive written between a transformation and its loop would be
+//     silently swallowed by the rewrite, so it is rejected with a
+//     stack-it-above diagnostic instead.
+//
+// Branching that would change meaning under restructuring (return, break,
+// goto out of the nest; continue and labels in duplicated unroll bodies)
+// is rejected at preprocessing time.
 package gomp

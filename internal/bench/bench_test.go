@@ -150,3 +150,41 @@ func TestLUSweepRendering(t *testing.T) {
 		}
 	}
 }
+
+// The tiled-matmul verification contract: every formulation executes the
+// identical floating-point chain per output cell, so equality is exact —
+// including the fringe tiles that MMN % MMTile != 0 forces.
+func TestMatmulFormulationsBitwiseEqual(t *testing.T) {
+	if MMN%MMTile == 0 {
+		t.Fatal("MMN must not divide by MMTile, or the fringe path goes untested")
+	}
+	a, b := NewMMPair()
+	ref := make([]float64, MMN*MMN)
+	MMNaive(ref, a, b)
+	dst := make([]float64, MMN*MMN)
+	MMTiled(dst, a, b)
+	if d := MMMaxDiff(dst, ref); d != 0 {
+		t.Fatalf("tiled diverges from naive by %g", d)
+	}
+	for _, th := range []int{1, 2, 4} {
+		MMTiledParallel(dst, a, b, th)
+		if d := MMMaxDiff(dst, ref); d != 0 {
+			t.Fatalf("tiled+parallel (threads=%d) diverges from naive by %g", th, d)
+		}
+	}
+}
+
+func TestMMSweepRendering(t *testing.T) {
+	sw := RunMMSweep([]int{1, 2}, 1, nil)
+	tbl := sw.Table()
+	for _, want := range []string{"Tiled matmul", "naive (s)", "tiled+parallel", "| 1 |", "yes"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("MM table missing %q:\n%s", want, tbl)
+		}
+	}
+	for _, p := range sw.Points {
+		if !p.Verified {
+			t.Fatal("MM sweep failed verification")
+		}
+	}
+}

@@ -51,6 +51,18 @@ const (
 	// DirTaskyield is the standalone taskyield directive: a task
 	// scheduling point at which the thread may run other ready tasks.
 	DirTaskyield
+	// DirTile is the OpenMP 5.1 tile loop-transformation directive: the
+	// following k-deep canonical loop nest (k = arity of the sizes clause)
+	// is strip-mined and interchanged into a 2k-deep nest of tile-grid
+	// loops over point loops, with fringe guards for non-divisible trip
+	// counts. Unlike every other directive it lowers to restructured source
+	// loops, not runtime calls.
+	DirTile
+	// DirUnroll is the OpenMP 5.1 unroll loop-transformation directive:
+	// full expansion of a constant-trip loop, or partial unrolling by a
+	// factor with a scalar remainder loop. Bare `unroll` picks
+	// heuristically (see transform.go).
+	DirUnroll
 )
 
 // String returns the OpenMP surface spelling.
@@ -94,6 +106,10 @@ func (k DirKind) String() string {
 		return "ordered"
 	case DirTaskyield:
 		return "taskyield"
+	case DirTile:
+		return "tile"
+	case DirUnroll:
+		return "unroll"
 	}
 	return fmt.Sprintf("DirKind(%d)", int(k))
 }
@@ -272,6 +288,31 @@ type DependClause struct {
 	Vars []string
 }
 
+// UnrollEnum is the 2-bit selector of the unroll directive's expansion
+// clause in the packed clause encoding: full and partial are mutually
+// exclusive per OpenMP 5.2 §9.5, so one selector plus one value word covers
+// both, the same trick PackTaskIter uses for grainsize/num_tasks.
+// UnrollNone on an unroll directive means neither clause was written — the
+// implementation chooses the expansion heuristically.
+type UnrollEnum uint8
+
+const (
+	UnrollNone UnrollEnum = iota
+	UnrollPartial
+	UnrollFull
+)
+
+// String returns the clause spelling ("" when absent).
+func (u UnrollEnum) String() string {
+	switch u {
+	case UnrollPartial:
+		return "partial"
+	case UnrollFull:
+		return "full"
+	}
+	return ""
+}
+
 // DefaultKind is the 2-bit default clause encoding.
 type DefaultKind uint8
 
@@ -382,6 +423,11 @@ type Clauses struct {
 	// Cancel is the construct-kind argument of cancel/cancellation point
 	// (CancelNone on every other directive).
 	Cancel CancelEnum
+
+	// Loop-transformation clauses (tile, unroll).
+	Sizes        []int64    // tile sizes(t1,…,tk); arity = nest depth
+	Unroll       UnrollEnum // unroll expansion selector
+	UnrollFactor int64      // partial(n) factor; 0 = implementation choice
 }
 
 // Directive is a parsed pragma.

@@ -25,13 +25,18 @@ import "fmt"
 //	        trick as the schedule chunk)
 //	word 6  final expression: string-table index + 1, 0 = absent
 //	word 7  priority expression: string-table index + 1, 0 = absent
-//	words 8..23  eight (begin,end) list slices into ExtraData:
+//	word 8  unroll: selector in bits 0-1 (none/partial/full, mutually
+//	        exclusive per spec), factor in bits 2-31 (30 bits; 0 = no
+//	        factor, since a legal factor is > 0 — the same trick as the
+//	        schedule chunk)
+//	words 9..26  nine (begin,end) list slices into ExtraData:
 //	        private, firstprivate, lastprivate, shared, copyprivate,
-//	        threadprivate, reduction, depend
+//	        threadprivate, reduction, depend, sizes
 //
 // List payloads follow the record: identifier lists are string-table
 // indices stored contiguously (Figure 2 of the paper); the reduction list
-// stores (op, var-index) pairs and the depend list (mode, var-index) pairs.
+// stores (op, var-index) pairs, the depend list (mode, var-index) pairs,
+// and the sizes list raw tile sizes (values, not string indices).
 
 // Packing geometry of word 0 — the constants the paper quotes: 3-bit
 // schedule enumeration, 29-bit chunk, maximum chunk 2^29 iterations.
@@ -62,7 +67,7 @@ const (
 	MaxCollapse = 1<<4 - 1
 )
 
-const recordWords = 8 + 2*8 // fixed prefix + eight (begin,end) slices
+const recordWords = 9 + 2*9 // fixed prefix + nine (begin,end) slices
 
 // Node is one directive in encoded form.
 type Node struct {
@@ -157,6 +162,40 @@ func PackTaskIter(grainsize, numTasks int64) (uint32, error) {
 	return uint32(kind) | uint32(val)<<taskIterBits, nil
 }
 
+// Packing geometry of word 8: 2-bit selector, 30-bit factor. Tile sizes
+// live in the sizes list slice as raw 32-bit values; MaxTileSize mirrors
+// the chunk limit so a size always fits one word with room to spare.
+const (
+	unrollBits = 2
+	unrollMask = 1<<unrollBits - 1
+	// MaxUnrollEncode is the largest encodable partial-unroll factor
+	// (validation clamps far earlier — see MaxUnrollFactor).
+	MaxUnrollEncode = 1 << (32 - unrollBits) // 2^30
+	// MaxTileSize is the largest encodable tile size.
+	MaxTileSize = 1 << 29
+)
+
+// PackUnroll packs the unroll expansion selector and partial factor into
+// one 32-bit word. Factor 0 encodes "no factor written" (implementation
+// choice); a factor without the partial selector is rejected.
+func PackUnroll(kind UnrollEnum, factor int64) (uint32, error) {
+	if uint32(kind) > unrollMask {
+		return 0, fmt.Errorf("core: unroll selector %d does not fit %d bits", kind, unrollBits)
+	}
+	if factor > 0 && kind != UnrollPartial {
+		return 0, fmt.Errorf("core: unroll factor %d without the partial selector", factor)
+	}
+	if factor < 0 || factor >= MaxUnrollEncode {
+		return 0, fmt.Errorf("core: unroll factor %d outside [0, %d)", factor, MaxUnrollEncode)
+	}
+	return uint32(kind) | uint32(factor)<<unrollBits, nil
+}
+
+// UnpackUnroll reverses PackUnroll.
+func UnpackUnroll(w uint32) (UnrollEnum, int64) {
+	return UnrollEnum(w & unrollMask), int64(w >> unrollBits)
+}
+
 // UnpackTaskIter reverses PackTaskIter.
 func UnpackTaskIter(w uint32) (grainsize, numTasks int64) {
 	val := int64(w >> taskIterBits)
@@ -237,6 +276,15 @@ func (t *Tree) Encode(d *Directive) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	unroll, err := PackUnroll(c.Unroll, c.UnrollFactor)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range c.Sizes {
+		if s < 1 || s >= MaxTileSize {
+			return 0, fmt.Errorf("core: tile size %d outside [1, %d)", s, MaxTileSize)
+		}
+	}
 
 	recIdx := uint32(len(t.ExtraData))
 	t.ExtraData = append(t.ExtraData,
@@ -248,11 +296,12 @@ func (t *Tree) Encode(d *Directive) (int, error) {
 		taskIter,
 		t.optStr(c.Final),
 		t.optStr(c.Priority),
+		unroll,
 	)
-	// Reserve the eight (begin,end) slice headers; payload offsets are
+	// Reserve the nine (begin,end) slice headers; payload offsets are
 	// known only after the record.
 	sliceHdr := len(t.ExtraData)
-	t.ExtraData = append(t.ExtraData, make([]uint32, 2*8)...)
+	t.ExtraData = append(t.ExtraData, make([]uint32, 2*9)...)
 
 	writeList := func(slot int, vars []string) {
 		begin := uint32(len(t.ExtraData))
@@ -289,6 +338,14 @@ func (t *Tree) Encode(d *Directive) (int, error) {
 	t.ExtraData[sliceHdr+14] = begin
 	t.ExtraData[sliceHdr+15] = uint32(len(t.ExtraData))
 
+	// Sizes slice: raw tile sizes, one word each (values, not indices).
+	begin = uint32(len(t.ExtraData))
+	for _, s := range c.Sizes {
+		t.ExtraData = append(t.ExtraData, uint32(s))
+	}
+	t.ExtraData[sliceHdr+16] = begin
+	t.ExtraData[sliceHdr+17] = uint32(len(t.ExtraData))
+
 	t.Nodes = append(t.Nodes, Node{Kind: d.Kind, ClauseIdx: recIdx})
 	return len(t.Nodes) - 1, nil
 }
@@ -319,9 +376,10 @@ func (t *Tree) Decode(i int) (*Directive, error) {
 	c.Grainsize, c.NumTasks = UnpackTaskIter(rec[5])
 	c.Final = str(rec[6])
 	c.Priority = str(rec[7])
+	c.Unroll, c.UnrollFactor = UnpackUnroll(rec[8])
 
 	readList := func(slot int) []string {
-		begin, end := rec[8+2*slot], rec[8+2*slot+1]
+		begin, end := rec[9+2*slot], rec[9+2*slot+1]
 		if begin == end {
 			return nil
 		}
@@ -338,19 +396,23 @@ func (t *Tree) Decode(i int) (*Directive, error) {
 	c.CopyPrivate = readList(4)
 	c.ThreadPrivateVars = readList(5)
 
-	begin, end := rec[8+12], rec[8+13]
+	begin, end := rec[9+12], rec[9+13]
 	for w := begin; w < end; w += 2 {
 		c.Reductions = append(c.Reductions, ReductionClause{
 			Op:   ReduceOp(t.ExtraData[w]),
 			Vars: []string{t.Strings[t.ExtraData[w+1]]},
 		})
 	}
-	begin, end = rec[8+14], rec[8+15]
+	begin, end = rec[9+14], rec[9+15]
 	for w := begin; w < end; w += 2 {
 		c.Depends = append(c.Depends, DependClause{
 			Mode: DependMode(t.ExtraData[w]),
 			Vars: []string{t.Strings[t.ExtraData[w+1]]},
 		})
+	}
+	begin, end = rec[9+16], rec[9+17]
+	for w := begin; w < end; w++ {
+		c.Sizes = append(c.Sizes, int64(t.ExtraData[w]))
 	}
 	return d, nil
 }

@@ -241,7 +241,7 @@ func TestListClauseLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := tree.ExtraData[tree.Nodes[idx].ClauseIdx:]
-	begin, end := rec[8], rec[9] // private slice header
+	begin, end := rec[9], rec[10] // private slice header
 	if end-begin != 3 {
 		t.Fatalf("private slice length %d, want 3", end-begin)
 	}
@@ -381,5 +381,66 @@ func TestEncodeDecodeScheduleModifierAndOrdered(t *testing.T) {
 	}
 	if !got2.Clauses.Ordered || got2.Clauses.SchedMod != SchedModMonotonic {
 		t.Errorf("decoded %+v", got2.Clauses)
+	}
+}
+
+func TestPackUnrollRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind   UnrollEnum
+		factor int64
+	}{
+		{UnrollNone, 0}, {UnrollPartial, 0}, {UnrollPartial, 4},
+		{UnrollFull, 0}, {UnrollPartial, MaxUnrollEncode - 1},
+	}
+	for _, tc := range cases {
+		w, err := PackUnroll(tc.kind, tc.factor)
+		if err != nil {
+			t.Fatalf("PackUnroll(%v,%d): %v", tc.kind, tc.factor, err)
+		}
+		k, f := UnpackUnroll(w)
+		if k != tc.kind || f != tc.factor {
+			t.Fatalf("round trip (%v,%d) -> (%v,%d)", tc.kind, tc.factor, k, f)
+		}
+	}
+}
+
+func TestPackUnrollLimits(t *testing.T) {
+	if _, err := PackUnroll(UnrollPartial, MaxUnrollEncode); err == nil {
+		t.Fatal("factor at MaxUnrollEncode must not pack")
+	}
+	if _, err := PackUnroll(UnrollFull, 3); err == nil {
+		t.Fatal("factor without the partial selector must not pack")
+	}
+	if _, err := PackUnroll(UnrollEnum(5), 0); err == nil {
+		t.Fatal("selector beyond 2 bits must not pack")
+	}
+}
+
+// Tile sizes travel as raw values in the ninth list slice; the unroll
+// word and sizes list round-trip through the packed tree.
+func TestEncodeTransformRoundTrip(t *testing.T) {
+	tree := NewTree()
+	for _, text := range []string{
+		"tile sizes(64,8)",
+		"unroll partial(4)",
+		"unroll full",
+		"unroll",
+	} {
+		d := mustParse(t, text)
+		idx, err := tree.Encode(d)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", text, err)
+		}
+		got, err := tree.Decode(idx)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", text, err)
+		}
+		if got.Kind != d.Kind || !reflect.DeepEqual(got.Clauses.Sizes, d.Clauses.Sizes) ||
+			got.Clauses.Unroll != d.Clauses.Unroll || got.Clauses.UnrollFactor != d.Clauses.UnrollFactor {
+			t.Fatalf("round trip of %q: got %+v", text, got.Clauses)
+		}
+		if got.String() != d.String() {
+			t.Fatalf("String after round trip = %q, want %q", got.String(), d.String())
+		}
 	}
 }

@@ -492,3 +492,149 @@ func main() {
 		t.Fatalf("output = %q, want true", got)
 	}
 }
+
+// The tile composition contract at runtime: `parallel for collapse(2)`
+// stacked above `tile sizes(…)` distributes the generated tile-grid loops,
+// and every cell of a deliberately non-divisible iteration space (37 % 8,
+// 53 % 16 ≠ 0, so fringe tiles exist on both axes) is visited exactly
+// once. A second, descending stepped nest checks the logical-iteration
+// normalisation under tiling.
+func TestEndToEndTiledCollapseExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	const ni, nj = 37, 53
+	m := make([]int, ni*nj)
+	//omp parallel for collapse(2) num_threads(4)
+	//omp tile sizes(8,16)
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			m[i*nj+j]++
+		}
+	}
+	bad := 0
+	for _, v := range m {
+		if v != 1 {
+			bad++
+		}
+	}
+
+	const n = 41
+	a := make([]int, n)
+	//omp parallel for num_threads(3)
+	//omp tile sizes(7)
+	for i := n - 1; i >= 0; i-- {
+		a[i]++
+	}
+	for _, v := range a {
+		if v != 1 {
+			bad++
+		}
+	}
+	fmt.Println(bad)
+}
+`)
+	if strings.TrimSpace(got) != "0" {
+		t.Fatalf("output = %q, want 0", got)
+	}
+}
+
+// Serial tile and unroll are pure source transformations: the restructured
+// loops must compute bit-identical results, fringe iterations included
+// (100 % 7 ≠ 0 exercises the remainder loop).
+func TestEndToEndTransformsSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	const n = 100
+	sum := 0
+	//omp unroll partial(7)
+	for i := 0; i < n; i++ {
+		sum += i * i
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		want += i * i
+	}
+
+	full := 0
+	//omp unroll full
+	for k := 3; k <= 15; k += 4 {
+		full += k
+	}
+
+	const ni, nj = 10, 9
+	m := make([]int, ni*nj)
+	//omp tile sizes(4,2)
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			m[i*nj+j] = i + j
+		}
+	}
+	tiled := 0
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			tiled += m[i*nj+j]
+		}
+	}
+	wantTiled := 0
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			wantTiled += i + j
+		}
+	}
+	fmt.Println(sum == want, full == 3+7+11+15, tiled == wantTiled)
+}
+`)
+	if strings.TrimSpace(got) != "true true true" {
+		t.Fatalf("output = %q, want \"true true true\"", got)
+	}
+}
+
+// A worksharing loop inside a parallel region distributes a tiled nest the
+// same way the combined construct does, and schedule clauses apply to the
+// tile grid.
+func TestEndToEndTileInsideRegion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	got := runPreprocessed(t, `package main
+
+import "fmt"
+
+func main() {
+	const ni, nj = 23, 29
+	m := make([]int, ni*nj)
+	//omp parallel num_threads(4)
+	{
+		//omp for collapse(2) schedule(dynamic,1)
+		//omp tile sizes(10,9)
+		for i := 0; i < ni; i++ {
+			for j := 0; j < nj; j++ {
+				m[i*nj+j]++
+			}
+		}
+	}
+	bad := 0
+	for _, v := range m {
+		if v != 1 {
+			bad++
+		}
+	}
+	fmt.Println(bad)
+}
+`)
+	if strings.TrimSpace(got) != "0" {
+		t.Fatalf("output = %q, want 0", got)
+	}
+}

@@ -117,6 +117,10 @@ func ParseDirective(text string) (*Directive, error) {
 		d.Clauses.Cancel = kind
 	case p.eatToken(TokOrdered) != nil:
 		d.Kind = DirOrdered
+	case p.eatToken(TokTile) != nil:
+		d.Kind = DirTile
+	case p.eatToken(TokUnroll) != nil:
+		d.Kind = DirUnroll
 	case p.eatToken(TokThreadPrivate) != nil:
 		d.Kind = DirThreadPrivate
 		vars, err := p.parseIdentList()
@@ -247,6 +251,36 @@ func (p *dirParser) parseClauses(d *Directive) error {
 			c.Priority = expr
 		case p.eatToken(TokMergeable) != nil:
 			c.Mergeable = true
+		case p.eatToken(TokSizes) != nil:
+			// At most one sizes clause (OpenMP 5.2 §9.4): concatenating
+			// repeats would silently change the tile arity.
+			if c.Sizes != nil {
+				return fmt.Errorf("pragma: at most one sizes clause is permitted (OpenMP 5.2 §9.4)")
+			}
+			sizes, err := p.parseIntList("sizes")
+			if err != nil {
+				return err
+			}
+			c.Sizes = sizes
+		case p.eatToken(TokFull) != nil:
+			if c.Unroll != UnrollNone {
+				return fmt.Errorf("pragma: unroll accepts at most one of full and partial (OpenMP 5.2 §9.5)")
+			}
+			c.Unroll = UnrollFull
+		case p.eatToken(TokPartial) != nil:
+			if c.Unroll != UnrollNone {
+				return fmt.Errorf("pragma: unroll accepts at most one of full and partial (OpenMP 5.2 §9.5)")
+			}
+			c.Unroll = UnrollPartial
+			// The factor is optional: bare partial leaves the choice to
+			// the implementation (OpenMP 5.2 §9.5.2).
+			if p.peek().Tag == TokLParen {
+				n, err := p.parseIntArg("partial")
+				if err != nil {
+					return err
+				}
+				c.UnrollFactor = n
+			}
 		default:
 			return fmt.Errorf("pragma: unknown clause at %s", p.peek())
 		}
@@ -432,6 +466,33 @@ func (p *dirParser) parseDepend(c *Clauses) error {
 	}
 	c.Depends = append(c.Depends, DependClause{Mode: mode, Vars: vars})
 	return nil
+}
+
+// parseIntList parses "( positive-int {, positive-int} )" — the argument
+// shape of the tile directive's sizes clause.
+func (p *dirParser) parseIntList(clause string) ([]int64, error) {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var out []int64
+	for {
+		tok, err := p.expect(TokInt, clause+" value")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("pragma: %s requires positive integers, got %q", clause, tok.Text)
+		}
+		out = append(out, n)
+		if p.eatToken(TokComma) == nil {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // parseDefault parses "( shared | none )".

@@ -484,3 +484,79 @@ func TestDependDirectiveString(t *testing.T) {
 		}
 	}
 }
+
+func TestParseTileDirective(t *testing.T) {
+	d := mustParse(t, "tile sizes(64,8)")
+	if d.Kind != DirTile {
+		t.Fatalf("kind = %v, want tile", d.Kind)
+	}
+	if !reflect.DeepEqual(d.Clauses.Sizes, []int64{64, 8}) {
+		t.Fatalf("sizes = %v, want [64 8]", d.Clauses.Sizes)
+	}
+}
+
+func TestParseUnrollDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		spec   UnrollEnum
+		factor int64
+	}{
+		{"unroll", UnrollNone, 0},
+		{"unroll full", UnrollFull, 0},
+		{"unroll partial", UnrollPartial, 0},
+		{"unroll partial(4)", UnrollPartial, 4},
+	}
+	for _, tc := range cases {
+		d := mustParse(t, tc.text)
+		if d.Kind != DirUnroll {
+			t.Fatalf("%q: kind = %v, want unroll", tc.text, d.Kind)
+		}
+		if d.Clauses.Unroll != tc.spec || d.Clauses.UnrollFactor != tc.factor {
+			t.Fatalf("%q: spec=%v factor=%d, want %v/%d",
+				tc.text, d.Clauses.Unroll, d.Clauses.UnrollFactor, tc.spec, tc.factor)
+		}
+	}
+}
+
+func TestTransformDirectiveString(t *testing.T) {
+	for _, text := range []string{
+		"tile sizes(64,8)",
+		"unroll",
+		"unroll full",
+		"unroll partial",
+		"unroll partial(4)",
+	} {
+		d := mustParse(t, text)
+		if got := d.String(); got != text {
+			t.Errorf("String() = %q, want %q", got, text)
+		}
+		// Render → reparse → render is a fixed point.
+		d2 := mustParse(t, d.String())
+		if d2.String() != d.String() {
+			t.Errorf("String() not stable for %q: %q", text, d2.String())
+		}
+	}
+}
+
+func TestParseTransformErrors(t *testing.T) {
+	cases := []struct{ text, wantErr string }{
+		{"tile", "requires a sizes clause"},
+		{"tile sizes()", "sizes value"},
+		{"tile sizes(0)", "positive integers"},
+		{"tile sizes(4) private(x)", "not permitted"},
+		{"tile sizes(4) sizes(8)", "at most one sizes clause"},
+		{"for sizes(4)", "not permitted"},
+		{"unroll full partial(2)", "at most one of full and partial"},
+		{"unroll partial(2) full", "at most one of full and partial"},
+		{"unroll partial(2000)", "exceeds the maximum"},
+		{"unroll nowait", "not permitted"},
+		{"tile sizes(1,1,1,1,1,1,1,1)", "exceeds the maximum 7"},
+		{"tile sizes(536870912)", "outside [1, 536870912)"},
+	}
+	for _, tc := range cases {
+		_, err := ParseDirective(tc.text)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseDirective(%q) error = %v, want mention of %q", tc.text, err, tc.wantErr)
+		}
+	}
+}

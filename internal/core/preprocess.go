@@ -37,7 +37,8 @@ func (o *Options) defaults() {
 type passStep int
 
 const (
-	stepParallel  passStep = iota // parallel, parallel for
+	stepTransform passStep = iota // tile, unroll — pure source loop rewrites
+	stepParallel                  // parallel, parallel for
 	stepWorkshare                 // for, sections, taskloop
 	stepSync                      // single, master, critical, barrier, atomic, threadprivate, task*
 	stepCancel                    // cancel, cancellation point
@@ -46,6 +47,13 @@ const (
 
 func stepOf(k DirKind) passStep {
 	switch k {
+	case DirTile, DirUnroll:
+		// Loop transformations rewrite the nest itself, and every later
+		// pass must see the generated loops — the OpenMP 5.1 rule that a
+		// directive stacked above a transformation applies to the loop the
+		// transformation generates. Innermost-first ordering within the
+		// step makes stacked transformations compose the same way.
+		return stepTransform
 	case DirParallel, DirParallelFor:
 		return stepParallel
 	case DirFor, DirSections, DirTaskloop:
@@ -78,7 +86,7 @@ func Preprocess(src []byte, opts Options) ([]byte, error) {
 		}
 	}
 	changed := false
-	for step := stepParallel; step != stepDone; {
+	for step := stepTransform; step != stepDone; {
 		out, applied, err := applyOne(src, opts, step)
 		if err != nil {
 			return nil, err
@@ -291,6 +299,10 @@ func (px *pctx) gen(p *pragma) ([]edit, error) {
 		return px.genCancellationPoint(p, p.d)
 	case DirOrdered:
 		return px.genOrdered(p)
+	case DirTile:
+		return px.genTile(p, p.d)
+	case DirUnroll:
+		return px.genUnroll(p, p.d)
 	}
 	return nil, px.errf(p, "no generator for directive")
 }
@@ -383,11 +395,17 @@ const legacyOmpImport = "gomp/internal/omp"
 // happens to be named omp does not count — generated omp.* calls must never
 // silently bind to foreign code. Otherwise a second import declaration is
 // appended after the package clause; gofmt folds it in.
+//
+// A file whose rewritten form never references the omp qualifier — possible
+// since loop transformations lower to plain loops, not runtime calls — is
+// left alone: an injected import would be unused and fail compilation.
 func ensureImport(src []byte, opts Options) ([]byte, error) {
 	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, opts.Filename, src, parser.ImportsOnly)
+	file, err := parser.ParseFile(fset, opts.Filename, src, 0)
 	if err != nil {
-		return nil, fmt.Errorf("preprocess: %v", err)
+		// The generated code does not parse; let the caller's gofmt pass
+		// report it with its usual diagnostic.
+		return src, nil
 	}
 	for _, imp := range file.Imports {
 		path := strings.Trim(imp.Path.Value, `"`)
@@ -397,6 +415,18 @@ func ensureImport(src []byte, opts Options) ([]byte, error) {
 		if imp.Name == nil || imp.Name.Name == "omp" {
 			return src, nil
 		}
+	}
+	usesOmp := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && !usesOmp {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "omp" {
+				usesOmp = true
+			}
+		}
+		return !usesOmp
+	})
+	if !usesOmp {
+		return src, nil
 	}
 	tf := fset.File(file.Pos())
 	insertAt := tf.Offset(file.Name.End())

@@ -92,6 +92,11 @@ const (
 	TokInOut
 	TokPriority
 	TokMergeable
+	TokTile
+	TokSizes
+	TokUnroll
+	TokPartial
+	TokFull
 )
 
 // keywordTags is the hash map of strings to keyword tokens used "to identify
@@ -155,6 +160,11 @@ var keywordTags = map[string]TokenTag{
 	"inout":         TokInOut,
 	"priority":      TokPriority,
 	"mergeable":     TokMergeable,
+	"tile":          TokTile,
+	"sizes":         TokSizes,
+	"unroll":        TokUnroll,
+	"partial":       TokPartial,
+	"full":          TokFull,
 }
 
 // KeywordTag returns the keyword tag for an identifier spelling, or

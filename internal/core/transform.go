@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Loop-transformation engine: the OpenMP 5.1 tile and unroll directives
+// ("Design and Use of Loop-Transformation Pragmas" / "A Proposal for
+// Loop-Transformation Pragmas", Kruse & Finkel). Unlike every other
+// directive in this preprocessor, a transformation does not lower to
+// runtime calls — it rewrites the annotated loop nest into a restructured
+// nest of plain Go loops, in a pass that runs before any outlining
+// (stepTransform), so that a worksharing directive stacked above the
+// transformation applies to the *generated* loops, exactly the OpenMP 5.1
+// "directive applies to the generated loop" composition rule:
+//
+//	//omp parallel for collapse(2)
+//	//omp tile sizes(64,64)
+//	for i := 0; i < n; i++ {
+//		for j := 0; j < m; j++ { … }
+//
+// tiles first, then the parallel for distributes the 2-deep tile grid.
+//
+// The engine works on a loop-nest IR lifted from the ast.ForStmt headers
+// (loopNest, generalising extractCollapseNest): every level is normalised
+// to a zero-based logical iteration k ∈ [0, trip) with var = lb + k*step,
+// which makes strip-mining independent of direction, stride and
+// inclusivity, and makes the fringe handling for non-divisible trip counts
+// a single min() against the level's trip count.
+
+// Generated-loop naming. Tile-grid and point loops use fixed prefixes; the
+// grid loops are deliberately canonical worksharing shapes (simple init,
+// `<` comparison, `+=` step) so extractLoopHeader can consume them again.
+const (
+	tileGridVar  = "__omp_tile" // tile-grid (inter-tile) loop variables
+	tilePointVar = "__omp_pt"   // intra-tile point loop variables
+	tileHiVar    = "__omp_hi"   // hoisted point-loop upper bounds
+)
+
+// Unroll heuristics for the bare `unroll` directive (and bare `partial`):
+// a constant trip count up to fullUnrollTrip expands fully; everything
+// else partially unrolls by defaultUnrollFactor — enough to expose
+// instruction-level parallelism without bloating the generated source.
+const (
+	fullUnrollTrip      = 16
+	defaultUnrollFactor = 4
+	// maxFullUnrollTrip guards `unroll full` against pathological
+	// expansion: the body is duplicated once per iteration.
+	maxFullUnrollTrip = MaxUnrollFactor
+)
+
+// loopNest is the transformation IR: one header per nest level (outermost
+// first) plus the innermost body text.
+type loopNest struct {
+	hs   []*loopHeader
+	body string // innermost body, braces excluded
+}
+
+// liftNest extracts a depth-deep perfectly nested, rectangular canonical
+// nest starting at f into the IR.
+func (px *pctx) liftNest(f *ast.ForStmt, depth int) (*loopNest, error) {
+	hs, err := extractCollapseNest(px.src, 0, px.tf, f, depth)
+	if err != nil {
+		return nil, err
+	}
+	inner := hs[len(hs)-1].Body
+	return &loopNest{hs: hs, body: px.text(inner.Lbrace+1, inner.Rbrace)}, nil
+}
+
+// tripExpr renders level i's trip count as a host int expression. The
+// bounds are loop-invariant by the canonical form, so re-evaluating the
+// expression where needed is sound; generated code hoists it wherever a
+// hot path would otherwise re-evaluate per iteration.
+func (n *loopNest) tripExpr(i int) string {
+	h := n.hs[i]
+	incl := "false"
+	if h.Inclusive {
+		incl = "true"
+	}
+	return fmt.Sprintf("int(omp.TripCount(int64(%s), int64(%s), int64(%s), %s))",
+		h.LB, h.UB, h.Step, incl)
+}
+
+// pointAssign renders the reconstruction of level i's original loop
+// variable from a logical-iteration expression: var := lb + k*step. The
+// explicit discard keeps Go's unused-variable rule satisfied when the body
+// ignores the variable.
+func (n *loopNest) pointAssign(i int, kExpr string) string {
+	h := n.hs[i]
+	return fmt.Sprintf("%s := (%s) + (%s)*(%s)\n_ = %s\n", h.Var, h.LB, kExpr, h.Step, h.Var)
+}
+
+// checkTransformGap rejects another pragma sitting between a
+// transformation directive and its loop: the rewrite replaces that whole
+// span, so the intervening directive would be silently discarded. Stacked
+// directives go above the transformation, where pass ordering applies them
+// to the generated loops.
+func (px *pctx) checkTransformGap(p *pragma, loopOff int) error {
+	all, err := px.pragmas()
+	if err != nil {
+		return err
+	}
+	for i := range all {
+		q := &all[i]
+		if q.start >= p.end && q.end <= loopOff {
+			return px.errf(p, "directive %q between %s and its loop would be discarded; stack it above the transformation instead", q.d.Kind, p.d.Kind)
+		}
+	}
+	return nil
+}
+
+// checkTransformBody rejects statements that would change meaning under
+// loop restructuring. The OpenMP canonical loop form forbids exiting the
+// loop from inside (return, break, goto out); duplication (unroll)
+// additionally forbids continue — which would skip the remaining unrolled
+// copies, not the remaining loop — and labels, which Go scopes to the
+// function and so cannot be duplicated. Tiling keeps one copy of the body
+// inside a still-innermost point loop, so continue binds equivalently and
+// stays legal. Statements inside nested loops, switches and function
+// literals bind locally and are exempt.
+func checkTransformBody(body ast.Node, duplicated bool) error {
+	var err error
+	// Inspect gives pre-order calls plus a nil call after each node whose
+	// children were visited; pushing one frame per descended node keeps an
+	// ancestry summary without a second pass.
+	type frame struct{ loop, sw bool }
+	var stack []frame
+	in := func(want func(frame) bool) bool {
+		for _, f := range stack {
+			if want(f) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // its control flow is self-contained
+		case *ast.ReturnStmt:
+			err = fmt.Errorf("return inside a transformed loop is not allowed (OpenMP forbids branching out of a canonical loop)")
+			return false
+		case *ast.LabeledStmt:
+			if duplicated {
+				err = fmt.Errorf("label %s inside an unrolled loop body is not supported (Go labels are function-scoped and cannot be duplicated)", s.Label.Name)
+				return false
+			}
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if !in(func(f frame) bool { return f.loop || f.sw }) {
+					err = fmt.Errorf("break inside a transformed loop is not allowed (OpenMP forbids branching out of a canonical loop)")
+					return false
+				}
+			case token.CONTINUE:
+				if duplicated && !in(func(f frame) bool { return f.loop }) {
+					err = fmt.Errorf("continue inside an unrolled loop body is not supported (it would skip the remaining unrolled copies)")
+					return false
+				}
+			case token.GOTO:
+				err = fmt.Errorf("goto inside a transformed loop is not allowed")
+				return false
+			}
+		}
+		fr := frame{}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			fr.loop = true
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			fr.sw = true
+		}
+		stack = append(stack, fr)
+		return true
+	})
+	return err
+}
+
+// --------------------------------------------------------------------- tile
+
+// genTile lowers `//omp tile sizes(t1,…,tk)`: the k-deep nest is
+// strip-mined level by level and the strip loops interchanged outward,
+// producing a 2k-deep nest — k tile-grid loops over k point loops — in
+// which grid loop i advances by ti over level i's logical iteration space
+// and point loop i covers its tile with an upper bound of
+// min(origin+ti, tripi), the remainder ("fringe") tiles of non-divisible
+// trip counts included. The grid loops are emitted in canonical
+// worksharing shape and perfectly nested, so `parallel for collapse(k)`
+// stacked above distributes tiles exactly as OpenMP 5.1 specifies; the
+// point loops hoist their bounds into the init statement (tuple
+// assignment), which keeps the hot path free of TripCount re-evaluation
+// and — being non-rectangular by construction — makes a collapse reaching
+// past the grid loops a diagnosed error rather than a silent miscompile.
+func (px *pctx) genTile(p *pragma, d *Directive) ([]edit, error) {
+	forStmt, ok := px.stmtAfter(p.end).(*ast.ForStmt)
+	if !ok {
+		return nil, px.errf(p, "directive must immediately precede a for statement")
+	}
+	if err := px.checkTransformGap(p, px.off(forStmt.Pos())); err != nil {
+		return nil, err
+	}
+	sizes := d.Clauses.Sizes
+	k := len(sizes)
+	nest, err := px.liftNest(forStmt, k)
+	if err != nil {
+		return nil, px.errf(p, "sizes arity %d must match a perfect rectangular loop nest: %v", k, err)
+	}
+	if err := checkTransformBody(nest.hs[k-1].Body, false); err != nil {
+		return nil, px.errf(p, "%v", err)
+	}
+
+	var b strings.Builder
+	// Tile-grid loops, outermost first: canonical form, perfectly nested.
+	for i, size := range sizes {
+		fmt.Fprintf(&b, "for %s%d := 0; %s%d < %s; %s%d += %d {\n",
+			tileGridVar, i, tileGridVar, i, nest.tripExpr(i), tileGridVar, i, size)
+	}
+	// Point loops: cover one tile each, fringe-guarded by min against the
+	// level trip count, bounds hoisted into the init.
+	for i, size := range sizes {
+		fmt.Fprintf(&b, "for %s%d, %s%d := %s%d, min(%s%d+%d, %s); %s%d < %s%d; %s%d++ {\n",
+			tilePointVar, i, tileHiVar, i, tileGridVar, i, tileGridVar, i, size,
+			nest.tripExpr(i), tilePointVar, i, tileHiVar, i, tilePointVar, i)
+	}
+	for i := range sizes {
+		b.WriteString(nest.pointAssign(i, fmt.Sprintf("%s%d", tilePointVar, i)))
+	}
+	b.WriteString(nest.body)
+	b.WriteString("\n")
+	for range sizes {
+		b.WriteString("}\n}\n")
+	}
+	text := strings.TrimSuffix(b.String(), "\n")
+	return []edit{{start: p.start, end: px.off(forStmt.End()), text: text}}, nil
+}
+
+// ------------------------------------------------------------------- unroll
+
+// constInt parses a loop-header expression as a compile-time integer
+// constant: an optionally parenthesised, optionally negated decimal
+// literal — the only shapes extractLoopHeader emits for literal bounds.
+func constInt(s string) (int64, bool) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "-") {
+		v, ok := constInt(s[1:])
+		return -v, ok
+	}
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		return constInt(s[1 : len(s)-1])
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	return v, err == nil
+}
+
+// constTrip returns the nest level's compile-time trip count, if every
+// header expression is constant.
+func constTrip(h *loopHeader) (int64, bool) {
+	lb, ok1 := constInt(h.LB)
+	ub, ok2 := constInt(h.UB)
+	st, ok3 := constInt(h.Step)
+	if !ok1 || !ok2 || !ok3 || st == 0 {
+		return 0, false
+	}
+	if st > 0 {
+		if h.Inclusive {
+			ub++
+		}
+		if ub <= lb {
+			return 0, true
+		}
+		return (ub - lb + st - 1) / st, true
+	}
+	if h.Inclusive {
+		ub--
+	}
+	if ub >= lb {
+		return 0, true
+	}
+	return (lb - ub + (-st) - 1) / (-st), true
+}
+
+// genUnroll lowers `//omp unroll [full | partial[(n)]]`. Full expansion
+// requires compile-time-constant bounds and replaces the loop with one
+// copy of the body per iteration, each in its own block with the loop
+// variable bound to its literal value. Partial unrolling emits a main
+// loop advancing by the factor with the body duplicated inside, followed
+// by a scalar remainder loop covering trip%factor — correct for any trip
+// count, divisible or not. The bare directive picks heuristically (full
+// for short constant trips, otherwise partial by defaultUnrollFactor).
+// Either way the loop structure is consumed, so unlike tile the generated
+// code is a block: worksharing directives stack above tile, not unroll.
+func (px *pctx) genUnroll(p *pragma, d *Directive) ([]edit, error) {
+	forStmt, ok := px.stmtAfter(p.end).(*ast.ForStmt)
+	if !ok {
+		return nil, px.errf(p, "directive must immediately precede a for statement")
+	}
+	if err := px.checkTransformGap(p, px.off(forStmt.Pos())); err != nil {
+		return nil, err
+	}
+	nest, err := px.liftNest(forStmt, 1)
+	if err != nil {
+		return nil, px.errf(p, "%v", err)
+	}
+	h := nest.hs[0]
+	if err := checkTransformBody(h.Body, true); err != nil {
+		return nil, px.errf(p, "%v", err)
+	}
+
+	trip, tripConst := constTrip(h)
+	spec, factor := d.Clauses.Unroll, d.Clauses.UnrollFactor
+	if spec == UnrollNone { // bare unroll: the implementation chooses
+		if tripConst && trip <= fullUnrollTrip {
+			spec = UnrollFull
+		} else {
+			spec = UnrollPartial
+		}
+	}
+	end := px.off(forStmt.End())
+
+	switch spec {
+	case UnrollFull:
+		if !tripConst {
+			return nil, px.errf(p, "unroll full requires compile-time-constant loop bounds (lower bound, upper bound and step must be integer literals)")
+		}
+		if trip > maxFullUnrollTrip {
+			return nil, px.errf(p, "unroll full would expand %d iterations (maximum %d); use partial instead", trip, maxFullUnrollTrip)
+		}
+		lb, _ := constInt(h.LB)
+		st, _ := constInt(h.Step)
+		var b strings.Builder
+		b.WriteString("{\n")
+		for k := int64(0); k < trip; k++ {
+			fmt.Fprintf(&b, "{\n%s := %d\n_ = %s\n%s\n}\n", h.Var, lb+k*st, h.Var, nest.body)
+		}
+		b.WriteString("}")
+		return []edit{{start: p.start, end: end, text: b.String()}}, nil
+
+	case UnrollPartial:
+		if factor == 0 {
+			factor = defaultUnrollFactor
+		}
+		if factor == 1 {
+			// partial(1) is the identity transformation: drop the pragma.
+			return []edit{{start: p.start, end: p.end, text: ""}}, nil
+		}
+		var b strings.Builder
+		b.WriteString("{\n")
+		fmt.Fprintf(&b, "__omp_ut := %s\n", nest.tripExpr(0))
+		fmt.Fprintf(&b, "__omp_um := __omp_ut - __omp_ut%%%d\n", factor)
+		fmt.Fprintf(&b, "for __omp_uk := 0; __omp_uk < __omp_um; __omp_uk += %d {\n", factor)
+		for k := int64(0); k < factor; k++ {
+			kExpr := "__omp_uk"
+			if k > 0 {
+				kExpr = fmt.Sprintf("(__omp_uk + %d)", k)
+			}
+			fmt.Fprintf(&b, "{\n%s%s\n}\n", nest.pointAssign(0, kExpr), nest.body)
+		}
+		b.WriteString("}\n")
+		// Scalar remainder loop: the trip%factor fringe iterations.
+		b.WriteString("for __omp_uk := __omp_um; __omp_uk < __omp_ut; __omp_uk++ {\n")
+		b.WriteString(nest.pointAssign(0, "__omp_uk"))
+		b.WriteString(nest.body)
+		b.WriteString("\n}\n}")
+		return []edit{{start: p.start, end: end, text: b.String()}}, nil
+	}
+	return nil, px.errf(p, "unsupported unroll specification")
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -30,6 +31,8 @@ const (
 	allowDepend
 	allowPriority
 	allowMergeable
+	allowSizes
+	allowUnrollSpec
 )
 
 // allowedClauses is the directive/clause compatibility matrix, the OpenMP
@@ -76,7 +79,25 @@ var allowedClauses = map[DirKind]clauseSet{
 	// The block form of ordered takes no clauses in this implementation
 	// (the doacross depend/threads/simd arguments are not lowered).
 	DirOrdered: 0,
+	// Loop-transformation directives take only their own clauses: tile
+	// requires sizes, unroll takes an optional full/partial selector
+	// (OpenMP 5.2 §9.4–9.5). Data-environment clauses belong on the
+	// worksharing directive stacked above the transformation.
+	DirTile:   allowSizes,
+	DirUnroll: allowUnrollSpec,
 }
+
+// Loop-transformation limits.
+const (
+	// MaxTileDepth caps the sizes-clause arity: tiling k loops generates a
+	// 2k-deep nest, and a collapse clause stacked above must still be able
+	// to name every generated grid loop within MaxCollapse.
+	MaxTileDepth = MaxCollapse / 2
+	// MaxUnrollFactor caps partial(n): unrolling duplicates the loop body
+	// n times in the generated source, so the factor is a code-size lever,
+	// not an iteration count.
+	MaxUnrollFactor = 1024
+)
 
 // Validate checks directive/clause compatibility and clause-level
 // constraints. ParseDirective calls it on every pragma; the preprocessor
@@ -115,6 +136,8 @@ func Validate(d *Directive) error {
 		{len(c.Depends) > 0, allowDepend, "depend"},
 		{c.Priority != "", allowPriority, "priority"},
 		{c.Mergeable, allowMergeable, "mergeable"},
+		{len(c.Sizes) > 0, allowSizes, "sizes"},
+		{c.Unroll != UnrollNone, allowUnrollSpec, c.Unroll.String()},
 	} {
 		if ch.present && allowed&ch.set == 0 {
 			return fmt.Errorf("pragma: clause %s is not permitted on the %s directive", ch.name, d.Kind)
@@ -216,6 +239,26 @@ func Validate(d *Directive) error {
 
 	if d.Kind == DirThreadPrivate && len(c.ThreadPrivateVars) == 0 {
 		return fmt.Errorf("pragma: threadprivate requires a variable list")
+	}
+	// Loop-transformation constraints: tile must know the nest depth (one
+	// size per loop); unroll's factor travels with the partial selector.
+	if d.Kind == DirTile && len(c.Sizes) == 0 {
+		return fmt.Errorf("pragma: tile requires a sizes clause naming one tile size per loop of the nest")
+	}
+	if len(c.Sizes) > MaxTileDepth {
+		return fmt.Errorf("pragma: tile depth %d exceeds the maximum %d (the generated %d-deep nest would not fit a collapse clause, whose limit is %d)",
+			len(c.Sizes), MaxTileDepth, 2*len(c.Sizes), MaxCollapse)
+	}
+	for _, s := range c.Sizes {
+		if s < 1 || s >= MaxTileSize {
+			return fmt.Errorf("pragma: tile size %d outside [1, %d)", s, MaxTileSize)
+		}
+	}
+	if c.UnrollFactor > 0 && c.Unroll != UnrollPartial {
+		return fmt.Errorf("pragma: an unroll factor requires the partial clause")
+	}
+	if c.UnrollFactor > MaxUnrollFactor {
+		return fmt.Errorf("pragma: unroll factor %d exceeds the maximum %d (the factor multiplies generated code size)", c.UnrollFactor, MaxUnrollFactor)
 	}
 	// The construct-kind argument travels in the Cancel field; it is
 	// mandatory on the cancellation directives (the parser enforces the
@@ -346,6 +389,23 @@ func (d *Directive) String() string {
 	}
 	if c.NoWait {
 		b.WriteString(" nowait")
+	}
+	if len(c.Sizes) > 0 {
+		strs := make([]string, len(c.Sizes))
+		for i, s := range c.Sizes {
+			strs[i] = strconv.FormatInt(s, 10)
+		}
+		fmt.Fprintf(&b, " sizes(%s)", strings.Join(strs, ","))
+	}
+	switch c.Unroll {
+	case UnrollFull:
+		b.WriteString(" full")
+	case UnrollPartial:
+		if c.UnrollFactor > 0 {
+			fmt.Fprintf(&b, " partial(%d)", c.UnrollFactor)
+		} else {
+			b.WriteString(" partial")
+		}
 	}
 	if len(c.ThreadPrivateVars) > 0 {
 		fmt.Fprintf(&b, "(%s)", strings.Join(c.ThreadPrivateVars, ","))

@@ -127,6 +127,33 @@
 // examples/wavefront for the full program and internal/bench's blocked LU
 // (BenchmarkBlockedLU) for the dependence-DAG-vs-taskwait comparison.
 //
+// # Loop transformations
+//
+// The preprocessor's tile and unroll directives (OpenMP 5.1) never reach
+// this package at run time: they restructure the annotated loops into
+// plain Go before outlining, and only the worksharing directive stacked
+// above them lowers to runtime calls. What this package sees is the
+// generated shape — for
+//
+//	//omp parallel for collapse(2)
+//	//omp tile sizes(64,64)
+//	for i := 0; i < n; i++ {
+//		for j := 0; j < m; j++ { … }
+//
+// the ForRange iteration space is the 64×64 tile grid (one logical
+// iteration per tile, TripCount over the grid loops' origins), and each
+// chunk body runs whole tiles through the fringe-guarded point loops. A
+// tile therefore behaves like a natural chunk: schedule clauses granulate
+// in tiles, steals migrate tiles, and cancellation checks run between
+// tiles, never inside one.
+//
+// Ordering rules for stacked directives, the remainder-loop semantics of
+// partial unrolling, and the bare-unroll heuristics are documented in the
+// repository root's doc.go ("Loop transformations") — the short form: the
+// directive nearest the loop applies first, tile generates a nest a
+// collapse can consume (at most its depth), unroll consumes the loop
+// structure entirely and leaves a trip%factor scalar remainder loop.
+//
 // # Migrating from the v1 internal API
 //
 // The old import path gomp/internal/omp remains a forwarding shim, so v1
