@@ -37,7 +37,7 @@ func compareGolden(t *testing.T, goldenPath string, got []byte) {
 // pins the full preprocessed output, including the task-dependence
 // lowering (DependIn/DependOut options, Priority, Mergeable, Taskyield).
 func TestGoldenSingleFile(t *testing.T) {
-	got, err := processFile(filepath.Join("testdata", "single.go"))
+	got, err := processFile(filepath.Join("testdata", "single.go"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestGoldenSingleFile(t *testing.T) {
 // tile-grid loops, and partial unroll emits the factor-stepped main loop
 // plus its scalar remainder.
 func TestGoldenTile(t *testing.T) {
-	got, err := processFile(filepath.Join("testdata", "tile.go"))
+	got, err := processFile(filepath.Join("testdata", "tile.go"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestGoldenDir(t *testing.T) {
 		inputs = append(inputs, e.Name())
 	}
 	var log bytes.Buffer
-	if err := processDir(work, "_omp", &log); err != nil {
+	if err := processDir(work, "_omp", false, &log); err != nil {
 		t.Fatal(err)
 	}
 	// Sorted processing order: the log mentions inputs alphabetically.

@@ -10,8 +10,13 @@
 //	gompcc -stdout input.go           # print to stdout
 //	gompcc -dir pkgdir -suffix _omp   # transform every *.go in a package
 //	gompcc -explain input.go          # describe each directive, change nothing
+//	gompcc -profile input.go          # also auto-instrument for profiling
 //
-// Files without pragmas pass through unchanged.
+// Files without pragmas pass through unchanged. With -profile, every
+// function containing a pragma gets a source-located profiling span and
+// func main gains the profiler lifecycle, so the built program prints a
+// flat profile naming the user's pragma locations on exit (see the omp
+// package's Profile for the GOMP_TRACE_JSON / GOMP_METRICS switches).
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 		dir      = flag.String("dir", "", "transform every .go file in this directory instead of a single file")
 		suffix   = flag.String("suffix", "_omp", "filename suffix for -dir outputs")
 		explain  = flag.Bool("explain", false, "print each recognized directive with its parsed clauses and the lowering it will receive, without rewriting")
+		profile  = flag.Bool("profile", false, "auto-instrument the output: profiling spans in pragma-containing functions, profiler lifecycle in main")
 	)
 	flag.Parse()
 
@@ -51,7 +57,7 @@ func main() {
 		return
 	}
 	if *dir != "" {
-		if err := processDir(*dir, *suffix, os.Stderr); err != nil {
+		if err := processDir(*dir, *suffix, *profile, os.Stderr); err != nil {
 			fail(err)
 		}
 		return
@@ -67,7 +73,7 @@ func main() {
 		}
 		return
 	}
-	res, err := processFile(in)
+	res, err := processFile(in, *profile)
 	if err != nil {
 		fail(err)
 	}
@@ -110,12 +116,12 @@ func explainFile(path string, w io.Writer) error {
 	return nil
 }
 
-func processFile(path string) ([]byte, error) {
+func processFile(path string, profile bool) ([]byte, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return core.Preprocess(src, core.Options{Filename: filepath.Base(path)})
+	return core.Preprocess(src, core.Options{Filename: filepath.Base(path), Profile: profile})
 }
 
 // eligibleFiles lists the .go files of dir that batch modes operate on, in
@@ -142,14 +148,14 @@ func eligibleFiles(dir, suffix string) ([]string, error) {
 
 // processDir transforms every eligible .go file of dir; log receives one
 // progress line per file.
-func processDir(dir, suffix string, log io.Writer) error {
+func processDir(dir, suffix string, profile bool, log io.Writer) error {
 	names, err := eligibleFiles(dir, suffix)
 	if err != nil {
 		return err
 	}
 	for _, name := range names {
 		in := filepath.Join(dir, name)
-		res, err := processFile(in)
+		res, err := processFile(in, profile)
 		if err != nil {
 			return fmt.Errorf("%s: %w", in, err)
 		}

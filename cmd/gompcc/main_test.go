@@ -23,12 +23,46 @@ func f(a []int) {
 	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := processFile(in)
+	out, err := processFile(in, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(string(out), "omp.Parallel(") {
 		t.Fatalf("no lowering in output:\n%s", out)
+	}
+}
+
+// -profile injects a source-located span into pragma-containing
+// functions and the profiler lifecycle into main.
+func TestProcessFileProfileMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "app.go")
+	src := `package main
+
+func work(a []int) {
+	//omp parallel for
+	for i := 0; i < len(a); i++ {
+		a[i] = i
+	}
+}
+
+func main() {
+	work(make([]int, 100))
+}
+`
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := processFile(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	if !strings.Contains(text, `defer omp.ZoneAt("app.go", 3, "work")()`) {
+		t.Fatalf("pragma function not instrumented:\n%s", text)
+	}
+	if !strings.Contains(text, "defer omp.Profile()()") {
+		t.Fatalf("main not instrumented:\n%s", text)
 	}
 }
 
@@ -39,7 +73,7 @@ func TestProcessFilePassThrough(t *testing.T) {
 	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := processFile(in)
+	out, err := processFile(in, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +96,7 @@ func f() {
 	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := processFile(in)
+	_, err := processFile(in, false)
 	if err == nil {
 		t.Fatal("bad pragma accepted")
 	}
@@ -85,7 +119,7 @@ func TestProcessDir(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := processDir(dir, "_omp", io.Discard); err != nil {
+	if err := processDir(dir, "_omp", false, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	outA, err := os.ReadFile(filepath.Join(dir, "a_omp.go"))

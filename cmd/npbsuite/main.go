@@ -33,6 +33,7 @@ import (
 
 	"gomp/internal/bench"
 	"gomp/internal/npb"
+	"gomp/internal/trace"
 )
 
 // jsonReport is the machine-readable form of one npbsuite invocation,
@@ -49,6 +50,12 @@ type jsonReport struct {
 	Tasks      *bench.TaskSweep `json:"tasks,omitempty"`
 	LU         *bench.LUSweep   `json:"lu,omitempty"`
 	MM         *bench.MMSweep   `json:"mm,omitempty"`
+	// Metrics holds one runtime-metrics snapshot per kernel from an
+	// extra instrumented pass at the largest thread count — fork and
+	// steal counts, barrier-wait time, task statistics — kept out of
+	// the timed sweeps so the runtime columns stay comparable across
+	// revisions.
+	Metrics map[string]*trace.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -62,6 +69,7 @@ func main() {
 		lu       = flag.Bool("lu", true, "append the blocked-LU section (dependence DAG vs taskwait-per-level)")
 		mm       = flag.Bool("mm", true, "append the tiled-matmul section (naive vs tiled vs tiled+parallel)")
 		jsonOut  = flag.Bool("json", false, "also write machine-readable results to BENCH_<class>.json")
+		metricsF = flag.Bool("metrics", true, "with -json, embed a per-kernel runtime-metrics block from an extra instrumented pass")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -111,6 +119,23 @@ func main() {
 		fmt.Println(sw.RuntimeTable())
 		fmt.Println(sw.SpeedupFigure())
 		report.Kernels = append(report.Kernels, sw)
+		if *jsonOut && *metricsF && len(threads) > 0 {
+			th := threads[0]
+			for _, t := range threads {
+				if t > th {
+					th = t
+				}
+			}
+			progress(fmt.Sprintf("%s class %s: metrics pass threads=%d", strings.ToUpper(kernel), class, th))
+			snap, err := bench.MeasureMetrics(kernel, class, th)
+			if err != nil {
+				fail(err)
+			}
+			if report.Metrics == nil {
+				report.Metrics = map[string]*trace.MetricsSnapshot{}
+			}
+			report.Metrics[kernel] = snap
+		}
 		for _, pts := range sw.Points {
 			for _, p := range pts {
 				if !p.Verified {

@@ -100,4 +100,55 @@
 // Branching that would change meaning under restructuring (return, break,
 // goto out of the nest; continue and labels in duplicated unroll bodies)
 // is rejected at preprocessing time.
+//
+// # Observability
+//
+// The paper's future-work item ("add support for profiling …
+// instrument applications … functionality similar to that of gprof",
+// Section VI) is an OMPT-style tools interface on the runtime, shaped
+// like libomp's: one process-global tool pointer, event callbacks at
+// the construct boundaries, near-zero cost when no tool is attached.
+//
+// The runtime half (internal/kmp) keeps a single
+// atomic.Pointer[Collector]. Every instrumentation site — fork begin /
+// end, barrier exit, loop init / steal / fini, task spawn / steal / run,
+// dependence stall / release, taskgroup, taskloop, cancel — does one
+// atomic pointer load; when nil (the default) that load is the entire
+// cost of the instrumentation. With a collector installed, the thread
+// appends a 10-word TraceEvent to a private fixed-size ring buffer: a
+// few plain stores plus one atomic head publish, no locks, no
+// allocation, no cross-thread traffic. Rings are single-producer /
+// single-consumer — the owning thread pushes, the collector drains in
+// batches at every region join and explicit flush. A full ring drops
+// the event and counts the drop (Collector.Drops); history is bounded,
+// correctness is not. Span-shaped events (fork end, barrier, loop fini,
+// task run) carry monotonic nanosecond timestamps plus durations;
+// payloads carry chunk sizes, trip counts, the steal victim's global
+// thread id, and dependence release counts.
+//
+// The tools half (internal/trace) aggregates the stream three ways at
+// once: a gprof-style flat profile per source region (Report), a
+// metrics registry — counters, gauges and log2 histograms for forks,
+// barrier-wait time, steals, task-queue depth and dependence stalls —
+// exposed via expvar and a text snapshot (Metrics), and an optional
+// retained timeline exported as Chrome trace-event JSON (WriteTimeline)
+// loadable in Perfetto or chrome://tracing: one track per runtime
+// thread, regions / loops / tasks as complete events named by the
+// user's file:line, work steals as flow arrows from victim to thief.
+// Region and task spans can also bridge into Go's own runtime/trace as
+// user regions (WithGoTrace), so pragma-level activity lines up with
+// goroutine scheduling in `go tool trace`.
+//
+// The compiler closes the loop: `gompcc -profile` injects
+// `defer omp.ZoneAt(file, line, fn)()` into every pragma-containing
+// function and `defer omp.Profile()()` into main — without shifting any
+// line numbers, so the lowered constructs still report the user's real
+// pragma locations — and the built program prints its own flat profile
+// on exit (GOMP_TRACE_JSON=<path> adds the timeline, GOMP_METRICS=1 the
+// metrics block).
+//
+// Measured cost on NPB CG class S (BenchmarkTable1CG vs
+// BenchmarkTable1CGTraced): enabled collection stays within the
+// documented <10% budget; disabled collection is the one atomic load
+// per site and does not move the benchmark.
 package gomp

@@ -1,14 +1,25 @@
 // Profiling: the paper's future-work item made real — runtime-driven
 // instrumentation "providing functionality similar to that of gprof"
-// (Section VI). A profiler subscribes to the runtime's event hook, an NPB
-// CG run executes underneath it, and the flat profile attributes time,
-// barrier counts and loop initialisations to each parallel region.
+// (Section VI). A profiler installs the runtime's OMPT-style collector,
+// an NPB CG run executes underneath it, and three views come out:
 //
-//	go run ./examples/profile
+//   - a gprof-style flat profile attributing time, barrier waits, loop
+//     initialisations and steals to each parallel region,
+//
+//   - a runtime metrics snapshot (fork/steal/task counters, wait-time
+//     histograms),
+//
+//   - a Chrome trace-event timeline — one track per runtime thread,
+//     steals drawn as flow arrows — written to gomp-trace.json and
+//     loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+//     go run ./examples/profile
 package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"gomp/internal/npb"
 	"gomp/internal/npb/cg"
@@ -17,7 +28,17 @@ import (
 )
 
 func main() {
-	prof := trace.New()
+	if err := run(os.Stdout, "gomp-trace.json"); err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the demo workload under a profiler and writes the flat
+// profile and metrics snapshot to w and the timeline to tracePath
+// (skipped when empty).
+func run(w io.Writer, tracePath string) error {
+	prof := trace.New(trace.WithTimeline(0))
 	prof.Start()
 	defer prof.Stop()
 
@@ -25,7 +46,7 @@ func main() {
 	endSetup := prof.Zone("makea (matrix generation)")
 	m, err := cg.MakeA(npb.ClassS)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	endSetup()
 
@@ -55,12 +76,31 @@ func main() {
 	endCG := prof.Zone("cg class S (omp flavour)")
 	st, err := cg.RunParallel(npb.ClassS, 4)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	endCG()
 
 	prof.Stop()
-	fmt.Printf("CG class S on 4 threads: zeta=%.10f verified=%v\n\n", st.Zeta, cg.Verify(st))
-	fmt.Println("flat profile (gprof-style):")
-	fmt.Print(prof.Report())
+	fmt.Fprintf(w, "CG class S on 4 threads: zeta=%.10f verified=%v\n\n", st.Zeta, cg.Verify(st))
+	fmt.Fprintln(w, "flat profile (gprof-style):")
+	fmt.Fprint(w, prof.Report())
+
+	fmt.Fprintln(w)
+	fmt.Fprint(w, prof.Metrics().Text())
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		err = prof.WriteTimeline(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\ntimeline written to %s — load it at ui.perfetto.dev or chrome://tracing\n", tracePath)
+	}
+	return nil
 }

@@ -17,6 +17,13 @@ type Options struct {
 	// OmpImport is the import path of the runtime API package; generated
 	// code references it as `omp`.
 	OmpImport string
+	// Profile enables automatic instrumentation (gompcc -profile): every
+	// function containing a pragma gets a source-located profiling span,
+	// and func main gains the profiler lifecycle, so the built program
+	// self-reports a flat profile naming user pragma locations — the
+	// paper's "modifying the compiler to automatically instrument
+	// applications" (Section VI).
+	Profile bool
 }
 
 func (o *Options) defaults() {
@@ -86,6 +93,16 @@ func Preprocess(src []byte, opts Options) ([]byte, error) {
 		}
 	}
 	changed := false
+	if opts.Profile {
+		out, applied, err := instrumentProfile(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		if applied {
+			src = out
+			changed = true
+		}
+	}
 	for step := stepTransform; step != stepDone; {
 		out, applied, err := applyOne(src, opts, step)
 		if err != nil {

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Automatic profiling instrumentation (gompcc -profile): the pre-pass
+// that runs before any pragma is lowered, while every directive comment
+// is still in place to mark which functions do parallel work.
+//
+// Two injections, both plain defers at the top of a function body:
+//
+//   - every function whose body contains at least one pragma opens a
+//     profiling span attributed to the function's real file:line —
+//     `defer omp.ZoneAt(file, line, name)()` — so the flat profile and
+//     the exported timeline name spans by user source locations;
+//   - func main (in package main) gains the profiler lifecycle —
+//     `defer omp.Profile()()` — deferred first so its report runs after
+//     every zone has closed.
+//
+// The pass edits source text, not the AST, for the same reason the
+// directive lowering does: one edit batch per parse keeps offsets
+// honest, and the later passes re-parse anyway.
+
+// instrumentProfile injects profiling calls and reports whether the
+// source changed.
+func instrumentProfile(src []byte, opts Options) ([]byte, bool, error) {
+	px := &pctx{opts: opts}
+	if err := px.parse(src); err != nil {
+		return nil, false, err
+	}
+	prs, err := px.pragmas()
+	if err != nil {
+		return nil, false, err
+	}
+	var eds []edit
+	for _, decl := range px.file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		bodyStart, bodyEnd := px.off(fn.Body.Pos()), px.off(fn.Body.End())
+		hasPragma := false
+		for _, p := range prs {
+			if p.start > bodyStart && p.start < bodyEnd {
+				hasPragma = true
+				break
+			}
+		}
+		isMain := px.file.Name.Name == "main" && fn.Recv == nil && fn.Name.Name == "main"
+		if !hasPragma && !isMain {
+			continue
+		}
+		// The injection stays on the opening-brace line: adding no
+		// newline keeps every later line number intact, so the pragma
+		// lowering still stamps the user's real file:line into its
+		// omp.Loc calls. gofmt normalises the layout on output.
+		var b strings.Builder
+		if isMain {
+			b.WriteString(" defer omp.Profile()();")
+		}
+		if hasPragma {
+			line := px.fset.Position(fn.Pos()).Line
+			name := fn.Name.Name
+			if fn.Recv != nil && len(fn.Recv.List) > 0 {
+				name = recvTypeName(fn.Recv.List[0].Type) + "." + name
+			}
+			fmt.Fprintf(&b, " defer omp.ZoneAt(%q, %d, %q)();", opts.Filename, line, name)
+		}
+		eds = append(eds, edit{start: bodyStart + 1, end: bodyStart + 1, text: b.String()})
+	}
+	if len(eds) == 0 {
+		return src, false, nil
+	}
+	return applyEdits(src, eds), true, nil
+}
+
+// recvTypeName renders a method receiver's base type for span names.
+func recvTypeName(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return "?"
+}

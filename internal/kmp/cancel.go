@@ -76,8 +76,8 @@ func (t *Thread) Cancel(kind CancelKind) bool {
 		return false
 	}
 	tm := t.team
-	if tr := traceHook(); tr != nil {
-		tr(TraceEvent{Kind: TraceCancel, Loc: tm.loc, Tid: t.Tid})
+	if c := ActiveCollector(); c != nil {
+		t.emit(c, TraceEvent{Kind: TraceCancel, Loc: tm.loc, When: TraceNow(), Arg0: int64(kind)})
 	}
 	switch kind {
 	case CancelParallel:

@@ -154,8 +154,12 @@ func (t *Thread) DispatchInit(loc Ident, sched Sched, trip int64) {
 		}
 		sched = rs
 	}
-	if tr := traceHook(); tr != nil {
-		tr(TraceEvent{Kind: TraceLoopInit, Loc: loc, Tid: t.Tid})
+	if c := ActiveCollector(); c != nil {
+		t.loopNs = TraceNow()
+		t.emit(c, TraceEvent{
+			Kind: TraceLoopInit, Loc: loc, When: t.loopNs,
+			Arg0: trip, Arg1: sched.Chunk,
+		})
 	}
 	tm := t.team
 	t.wsSeq++
@@ -330,8 +334,11 @@ func (t *Thread) grabSteal(b *dispatchBuf) (int64, int64, bool) {
 		if !ok {
 			continue
 		}
-		if tr := traceHook(); tr != nil {
-			tr(TraceEvent{Kind: TraceLoopSteal, Loc: b.loc, Tid: t.Tid})
+		if c := ActiveCollector(); c != nil {
+			t.emit(c, TraceEvent{
+				Kind: TraceLoopSteal, Loc: b.loc, When: TraceNow(),
+				Arg0: int64(t.team.threads[victim].Gtid), Arg1: shi - slo,
+			})
 		}
 		size := b.pol.nextChunk(shi-slo, t.chunkIdx)
 		t.chunkIdx++
@@ -372,8 +379,14 @@ func (b *dispatchBuf) popLocal(tid int, idx *int64) (int64, int64, bool) {
 func (t *Thread) detach(buf *dispatchBuf) {
 	t.curLoop = nil
 	t.curWsSeq = 0 // the thread is no longer inside a worksharing loop
-	if tr := traceHook(); tr != nil {
-		tr(TraceEvent{Kind: TraceLoopFini, Tid: t.Tid})
+	if c := ActiveCollector(); c != nil {
+		// Attributed to the loop's own location (buf.loc) so the profiler
+		// never shows an unlocated loop-fini row; the span runs from this
+		// thread's DispatchInit to its drain.
+		t.emit(c, TraceEvent{
+			Kind: TraceLoopFini, Loc: buf.loc, When: t.loopNs,
+			Dur: TraceNow() - t.loopNs,
+		})
 	}
 	buf.mu.Lock()
 	buf.done++

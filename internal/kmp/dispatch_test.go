@@ -92,12 +92,16 @@ func TestDispatchMonotonicModifierOrder(t *testing.T) {
 func TestStealOccursAndIsTraced(t *testing.T) {
 	const nth, trip = 4, 256
 	var steals atomic.Int64
-	SetTracer(func(ev TraceEvent) {
-		if ev.Kind == TraceLoopSteal {
-			steals.Add(1)
+	col := NewCollector(0)
+	col.Sink = func(batch []TraceEvent) {
+		for _, ev := range batch {
+			if ev.Kind == TraceLoopSteal {
+				steals.Add(1)
+			}
 		}
-	})
-	defer SetTracer(nil)
+	}
+	SetCollector(col)
+	defer SetCollector(nil)
 	var covered atomic.Int64
 	ForkCall(Ident{}, nth, func(th *Thread) {
 		ForDynamic(th, Ident{}, Sched{Kind: SchedDynamicChunked, Chunk: 1}, trip, func(lo, hi int64) {
@@ -413,15 +417,19 @@ func TestStealEventCarriesLoopLoc(t *testing.T) {
 	loopLoc := Ident{File: "x.go", Line: 42, Region: "for"}
 	var wrong atomic.Int64
 	var steals atomic.Int64
-	SetTracer(func(ev TraceEvent) {
-		if ev.Kind == TraceLoopSteal {
-			steals.Add(1)
-			if ev.Loc != loopLoc {
-				wrong.Add(1)
+	col := NewCollector(0)
+	col.Sink = func(batch []TraceEvent) {
+		for _, ev := range batch {
+			if ev.Kind == TraceLoopSteal {
+				steals.Add(1)
+				if ev.Loc != loopLoc {
+					wrong.Add(1)
+				}
 			}
 		}
-	})
-	defer SetTracer(nil)
+	}
+	SetCollector(col)
+	defer SetCollector(nil)
 	ForkCall(Ident{Region: "parallel"}, 4, func(th *Thread) {
 		ForDynamic(th, loopLoc, Sched{Kind: SchedDynamicChunked, Chunk: 1}, 256, func(lo, hi int64) {
 			if lo < 64 {

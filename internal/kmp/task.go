@@ -1,8 +1,10 @@
 package kmp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	rtrace "runtime/trace"
 	"sync/atomic"
 	"time"
 )
@@ -43,6 +45,11 @@ type taskNode struct {
 	group  *taskGroup    // innermost enclosing taskgroup at creation, nil if none
 	team   *Team
 	final  bool // final clause: all descendants execute undeferred
+
+	// loc is the spawning construct's source location, recorded only
+	// while a collector is installed so task-run spans and dependence
+	// releases can be attributed; zero otherwise.
+	loc Ident
 
 	// priority is the priority clause value (0 = unprioritised): ready
 	// tasks with priority > 0 route through the team's priority queue and
@@ -163,12 +170,24 @@ func (t *Thread) SpawnTask(loc Ident, fn func(*Thread), o TaskOpts) {
 		// at its own spawn, so program order already satisfies any
 		// dependence DAG and the bookkeeping is skipped entirely.
 		node := &taskNode{parent: parent, group: t.curGroup, team: t.team, final: o.Final || inherit}
+		if c := ActiveCollector(); c != nil {
+			node.loc = loc
+		}
 		serial := t.team == nil || t.team.n == 1
 		if len(o.Deps) > 0 && !serial {
 			node.dep = &depState{undeferred: true}
 			node.dep.npred.Store(1)
 			registerDeps(parent, node, o.Deps)
-			node.releaseCreationRef()
+			if !node.releaseCreationRef() {
+				if c := ActiveCollector(); c != nil {
+					// The encountering thread itself stalls on the
+					// unresolved predecessors (OpenMP 5.2 §12.5).
+					t.emit(c, TraceEvent{
+						Kind: TraceTaskDepStall, Loc: loc, When: TraceNow(),
+						Arg0: int64(node.dep.npred.Load()),
+					})
+				}
+			}
 			t.waitDeps(node)
 		}
 		t.runTask(node, fn)
@@ -181,8 +200,13 @@ func (t *Thread) SpawnTask(loc Ident, fn func(*Thread), o TaskOpts) {
 		node.group.pending.Add(1)
 	}
 	t.team.taskCount.Add(1)
-	if tr := traceHook(); tr != nil {
-		tr(TraceEvent{Kind: TraceTaskSpawn, Loc: loc, Tid: t.Tid})
+	col := ActiveCollector()
+	if col != nil {
+		node.loc = loc
+		t.emit(col, TraceEvent{
+			Kind: TraceTaskSpawn, Loc: loc, When: TraceNow(),
+			Arg0: int64(len(o.Deps)), Arg1: int64(o.Priority),
+		})
 	}
 	if len(o.Deps) == 0 {
 		t.enqueueReady(node)
@@ -196,6 +220,13 @@ func (t *Thread) SpawnTask(loc Ident, fn func(*Thread), o TaskOpts) {
 	registerDeps(parent, node, o.Deps)
 	if node.releaseCreationRef() {
 		t.enqueueReady(node)
+	} else if col != nil {
+		// Withheld: the task stalls on unresolved predecessors — the
+		// dependence-stall signal the profiler's DAG metrics count.
+		t.emit(col, TraceEvent{
+			Kind: TraceTaskDepStall, Loc: loc, When: TraceNow(),
+			Arg0: int64(node.dep.npred.Load()),
+		})
 	}
 }
 
@@ -243,13 +274,17 @@ func (t *Thread) runOneTask() bool {
 	if node == nil {
 		node = t.deque.pop()
 	}
+	col := ActiveCollector()
 	if node == nil && t.team != nil {
 		tm := t.team
 		for i := 1; i < tm.n; i++ {
 			victim := tm.threads[(t.Tid+i)%tm.n]
 			if node = victim.deque.steal(); node != nil {
-				if tr := traceHook(); tr != nil {
-					tr(TraceEvent{Kind: TraceTaskSteal, Loc: tm.loc, Tid: t.Tid})
+				if col != nil {
+					t.emit(col, TraceEvent{
+						Kind: TraceTaskSteal, Loc: node.loc, When: TraceNow(),
+						Arg0: int64(victim.Gtid),
+					})
 				}
 				break
 			}
@@ -266,10 +301,28 @@ func (t *Thread) runOneTask() bool {
 		node.finish(t)
 		return true
 	}
+	var start int64
+	var reg *rtrace.Region
+	if col != nil {
+		start = TraceNow()
+		if col.BridgeGoTrace && rtrace.IsEnabled() {
+			reg = rtrace.StartRegion(context.Background(), "omp:task "+node.loc.String())
+		}
+	}
 	if t.team != nil && t.team.eb != nil {
 		t.runTaskRecover(node, t.team.eb)
 	} else {
 		t.runTask(node, node.fn)
+	}
+	if reg != nil {
+		reg.End()
+	}
+	if col != nil {
+		// A complete task-execution span: When is the dequeue, Dur the
+		// body time, Loc the spawning construct.
+		t.emit(col, TraceEvent{
+			Kind: TraceTaskRun, Loc: node.loc, When: start, Dur: TraceNow() - start,
+		})
 	}
 	node.finish(t)
 	return true
@@ -319,8 +372,8 @@ func (t *Thread) TaskgroupRun(loc Ident, body func()) {
 		body()
 		return
 	}
-	if tr := traceHook(); tr != nil {
-		tr(TraceEvent{Kind: TraceTaskgroup, Loc: loc, Tid: t.Tid})
+	if c := ActiveCollector(); c != nil {
+		t.emit(c, TraceEvent{Kind: TraceTaskgroup, Loc: loc, When: TraceNow()})
 	}
 	g := &taskGroup{parent: t.curGroup}
 	t.curGroup = g
@@ -352,8 +405,8 @@ func (t *Thread) Taskloop(loc Ident, trip, grainsize, numTasks int64, nogroup, u
 		body(t, 0, trip)
 		return
 	}
-	if tr := traceHook(); tr != nil {
-		tr(TraceEvent{Kind: TraceTaskloop, Loc: loc, Tid: t.Tid})
+	if c := ActiveCollector(); c != nil {
+		t.emit(c, TraceEvent{Kind: TraceTaskloop, Loc: loc, When: TraceNow(), Arg0: trip})
 	}
 	var chunks int64
 	switch {

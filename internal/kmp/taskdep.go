@@ -180,10 +180,23 @@ func (n *taskNode) depComplete(t *Thread) {
 	succ := d.successors
 	d.successors = nil
 	d.mu.Unlock()
+	released := int64(0)
 	for _, s := range succ {
-		if s.dep.npred.Add(-1) == 0 && !s.dep.undeferred {
-			t.enqueueReady(s)
+		if s.dep.npred.Add(-1) == 0 {
+			released++
+			if !s.dep.undeferred {
+				t.enqueueReady(s)
+			}
 		}
+	}
+	if c := ActiveCollector(); c != nil && len(succ) > 0 {
+		// Arg0 counts successors this completion made ready, Arg1 the
+		// dependence edges it resolved — the release half of the
+		// dependence-stall metric.
+		t.emit(c, TraceEvent{
+			Kind: TraceTaskDepRelease, Loc: n.loc, When: TraceNow(),
+			Arg0: released, Arg1: int64(len(succ)),
+		})
 	}
 }
 

@@ -3,6 +3,7 @@ package kmp
 import (
 	"context"
 	"fmt"
+	rtrace "runtime/trace"
 	"sync"
 	"sync/atomic"
 )
@@ -104,9 +105,12 @@ func (w *worker) loop(tm *Team) {
 }
 
 // newTeam allocates a team shell; threads/workers are grown on demand.
+// The master slot gets its own global thread id (rather than reusing the
+// initial thread's 0) so concurrent teams' masters stay distinguishable
+// on per-thread timeline tracks.
 func newTeam(v ICV) *Team {
 	tm := &Team{bKind: v.Barrier, policy: v.WaitPolicy}
-	master := &Thread{Gtid: 0, Tid: 0, team: tm}
+	master := &Thread{Gtid: nextGtid(), Tid: 0, team: tm}
 	tm.threads = []*Thread{master}
 	for i := range tm.disp {
 		tm.disp[i].init()
@@ -302,9 +306,15 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fn func(
 		th.ActiveLevel = curActive + 1
 	}
 
-	if tr := traceHook(); tr != nil {
-		tr(TraceEvent{Kind: TraceForkBegin, Loc: loc, NThreads: n})
-		defer tr(TraceEvent{Kind: TraceForkEnd, Loc: loc, NThreads: n})
+	master := tm.threads[0]
+	col := ActiveCollector()
+	var regionStart int64
+	if col != nil {
+		regionStart = TraceNow()
+		master.emit(col, TraceEvent{Kind: TraceForkBegin, Loc: loc, NThreads: n, When: regionStart})
+		if col.BridgeGoTrace && rtrace.IsEnabled() {
+			defer rtrace.StartRegion(context.Background(), "omp:"+loc.String()).End()
+		}
 	}
 
 	stopWatch, watchDone := watchContext(ctx, tm)
@@ -340,12 +350,22 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fn func(
 
 	// The caller runs as the master. Its goroutine may already be
 	// registered (nested enabled); stack the registration for the region.
-	master := tm.threads[0]
 	gid, prev := registerCurrent(master)
 	run(master)
 	unregister(gid, prev)
 
 	tm.join.Wait()
+	if col != nil {
+		end := TraceNow()
+		master.emit(col, TraceEvent{
+			Kind: TraceForkEnd, Loc: loc, NThreads: n,
+			When: regionStart, Dur: end - regionStart,
+		})
+		// A region join is the natural drain point: every team thread is
+		// quiesced, so the collector hands the buffered history to its
+		// sink before the rings can overflow across regions.
+		col.Flush()
+	}
 	// Quiesce the context watcher before the team returns to the pool: a
 	// late cancel() must not hit a team already running someone else's
 	// region.
@@ -417,8 +437,10 @@ func (t *Thread) Barrier() {
 	if t == nil || t.team == nil || t.team.n == 1 {
 		return
 	}
-	if tr := traceHook(); tr != nil {
-		tr(TraceEvent{Kind: TraceBarrier, Loc: t.team.loc, Tid: t.Tid})
+	col := ActiveCollector()
+	var arrive int64
+	if col != nil {
+		arrive = TraceNow()
 	}
 	// A barrier is a task scheduling point: instead of spinning, arriving
 	// threads execute outstanding explicit tasks (their own, then stolen)
@@ -433,9 +455,15 @@ func (t *Thread) Barrier() {
 	// end will never arrive, and waiting for them would deadlock.
 	if t.team.cancellable {
 		t.team.cbar.wait(t.team)
-		return
+	} else {
+		t.team.barrier.Wait(t.Tid)
 	}
-	t.team.barrier.Wait(t.Tid)
+	if col != nil {
+		// Emitted at barrier exit so Dur covers the whole wait (task
+		// drain included): the barrier-wait-time payload the profiler's
+		// imbalance metrics aggregate.
+		t.emit(col, TraceEvent{Kind: TraceBarrier, Loc: t.team.loc, When: arrive, Dur: TraceNow() - arrive})
+	}
 }
 
 // Master reports whether this thread should execute a master region

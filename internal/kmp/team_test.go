@@ -234,16 +234,20 @@ func TestIdentString(t *testing.T) {
 
 func TestTracerHook(t *testing.T) {
 	var events atomic.Int32
-	SetTracer(func(ev TraceEvent) { events.Add(1) })
-	defer SetTracer(nil)
+	col := NewCollector(0)
+	col.Sink = func(batch []TraceEvent) { events.Add(int32(len(batch))) }
+	SetCollector(col)
+	defer SetCollector(nil)
 	ForkCall(Ident{Region: "traced"}, 2, func(th *Thread) { th.Barrier() })
 	if events.Load() == 0 {
-		t.Fatal("tracer saw no events")
+		t.Fatal("collector saw no events")
 	}
-	SetTracer(nil)
+	SetCollector(nil)
+	col.Flush()
 	start := events.Load()
 	ForkCall(Ident{}, 2, func(th *Thread) {})
+	col.Flush()
 	if events.Load() != start {
-		t.Fatal("tracer fired after being disabled")
+		t.Fatal("collector received events after being uninstalled")
 	}
 }

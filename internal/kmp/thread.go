@@ -68,7 +68,15 @@ type Thread struct {
 	curTask  *taskNode
 	curGroup *taskGroup
 
-	_ pad
+	// Tracing (trace.go): this thread's event ring in the installed
+	// collector, plus the collector it belongs to (a cache key — a newly
+	// installed collector gets a fresh ring), and the entry timestamp of
+	// the dynamic loop the thread is in (for the loop-fini span). All
+	// owner-only.
+	trcRing  *traceRing
+	trcOwner *Collector
+	loopNs   int64
+	_        pad
 }
 
 // Team returns the team this thread belongs to.

@@ -1,0 +1,47 @@
+package trace
+
+import "sync/atomic"
+
+// The package default profiler: the instance compiler-instrumented
+// programs talk to. Generated code cannot import an internal package
+// directly — the public omp package forwards omp.Profile/omp.ZoneAt
+// here — and a process-wide default keeps the injected calls to a
+// single expression with no plumbing through user code.
+
+var defaultProf atomic.Pointer[Profiler]
+
+func nopClose() {}
+
+// Enable constructs a profiler, starts it, and installs it as the
+// package default. It returns the profiler for report/export calls.
+func Enable(opts ...Option) *Profiler {
+	p := New(opts...)
+	p.Start()
+	defaultProf.Store(p)
+	return p
+}
+
+// Default returns the current default profiler, or nil when disabled.
+func Default() *Profiler { return defaultProf.Load() }
+
+// Disable stops and uninstalls the default profiler, returning it (with
+// its final aggregates) or nil if none was active.
+func Disable() *Profiler {
+	p := defaultProf.Swap(nil)
+	if p != nil {
+		p.Stop()
+	}
+	return p
+}
+
+// ZoneAt opens a source-located span on the default profiler; the
+// returned function closes it. When no default profiler is active both
+// open and close are no-ops, so instrumented binaries pay two pointer
+// loads per zone when profiling is off.
+func ZoneAt(file string, line int, name string) func() {
+	p := defaultProf.Load()
+	if p == nil {
+		return nopClose
+	}
+	return p.ZoneAt(file, line, name)
+}

@@ -1,14 +1,24 @@
-// Package trace is the profiling layer the paper names as its next step:
+// Package trace is the tools layer the paper names as its next step:
 // "add support for profiling … Modifying the compiler to automatically
 // instrument applications with the calls to [the Tracy] library, providing
 // functionality similar to that of gprof" (Section VI).
 //
-// A Profiler subscribes to the runtime's instrumentation hook
-// (kmp.SetTracer) and aggregates fork/join and worksharing events into
-// per-region statistics — region call counts, total/mean wall time, team
-// sizes, barrier counts — and renders a gprof-style flat profile. Zones can
-// also be opened explicitly (Zone/End) for application-level spans, the
-// Tracy usage pattern.
+// A Profiler installs an OMPT-style collector on the runtime
+// (kmp.SetCollector): every team thread records events into a private
+// lock-free ring, and the collector drains them in batches at region
+// joins and explicit flushes. The profiler aggregates the stream three
+// ways at once:
+//
+//   - a gprof-style flat profile per source region (Report/Summaries),
+//   - a runtime metrics registry — counters, gauges, histograms — with
+//     an expvar surface and a text snapshot (Metrics),
+//   - optionally a retained raw timeline exported as Chrome
+//     trace-event JSON loadable in Perfetto (WithTimeline +
+//     WriteTimeline), with work steals drawn as flow arrows.
+//
+// Zones can also be opened explicitly (Zone/ZoneAt) for
+// application-level spans, the Tracy usage pattern; the compiler's
+// -profile mode injects them automatically with real file:line.
 package trace
 
 import (
@@ -23,94 +33,236 @@ import (
 
 // regionStats accumulates one source region's activity.
 type regionStats struct {
-	name     string
-	calls    int64
-	total    time.Duration
-	maxTeam  int
-	barriers int64
-	loops    int64
-	steals   int64
-	// open fork timestamps, keyed by nothing: parallel regions at the
-	// same location do not nest onto themselves per thread, and forks
-	// from distinct roots are rare enough to serialise under the mutex.
-	openSince []time.Time
+	name        string
+	calls       int64
+	total       time.Duration // summed region (or zone/task/loop) span time
+	maxTeam     int
+	barriers    int64
+	barrierWait time.Duration
+	loops       int64
+	loopTime    time.Duration
+	steals      int64 // loop-range + task steals attributed to this location
+	tasks       int64 // completed task bodies spawned at this location
+	taskTime    time.Duration
+	depStalls   int64
+	depReleases int64
 }
 
-// Profiler aggregates runtime events. Install with Start, detach with Stop.
+// zoneSpan is one closed explicit zone retained for the timeline.
+type zoneSpan struct {
+	name       string
+	start, dur int64 // ns on the runtime's trace clock
+	gtid       int
+}
+
+// Option configures a Profiler at construction.
+type Option func(*Profiler)
+
+// WithRingSize sets the per-thread event ring capacity (rounded up to a
+// power of two). Larger rings tolerate longer gaps between drains
+// before events are dropped.
+func WithRingSize(n int) Option { return func(p *Profiler) { p.ringSize = n } }
+
+// WithTimeline retains up to capacity raw events (and closed zones) for
+// export via WriteTimeline. capacity <= 0 selects a default of 1<<20
+// events. Without this option the profiler aggregates only, keeping
+// memory constant.
+func WithTimeline(capacity int) Option {
+	return func(p *Profiler) {
+		if capacity <= 0 {
+			capacity = 1 << 20
+		}
+		p.timelineCap = capacity
+	}
+}
+
+// WithGoTrace bridges parallel-region and task spans into Go's
+// runtime/trace as user regions, so gomp activity lines up with
+// goroutine scheduling in `go tool trace`.
+func WithGoTrace() Option { return func(p *Profiler) { p.goTrace = true } }
+
+// Profiler aggregates runtime events. Install with Start, detach with
+// Stop. Only one profiler is active at a time (the collector pointer is
+// global, as an OMPT tool is); starting a second one supersedes the
+// first.
 type Profiler struct {
-	mu      sync.Mutex
-	regions map[string]*regionStats
-	zones   map[string]*regionStats
-	started time.Time
-	active  bool
+	ringSize    int
+	timelineCap int
+	goTrace     bool
+
+	col *kmp.Collector
+	met Metrics
+
+	mu           sync.Mutex
+	regions      map[string]*regionStats
+	zones        map[string]*regionStats
+	events       []kmp.TraceEvent // retained timeline (nil unless WithTimeline)
+	zoneSpans    []zoneSpan
+	timelineDrop int64 // events past timelineCap
+	lastDrops    uint64
+	started      time.Time
+	startNs      int64
 }
 
 // New returns an idle profiler.
-func New() *Profiler {
-	return &Profiler{
+func New(opts ...Option) *Profiler {
+	p := &Profiler{
 		regions: make(map[string]*regionStats),
 		zones:   make(map[string]*regionStats),
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.col = kmp.NewCollector(p.ringSize)
+	p.col.Sink = p.consume
+	p.col.BridgeGoTrace = p.goTrace
+	return p
 }
 
-// Start subscribes the profiler to the runtime hook. Only one profiler can
-// be active at a time (the hook is global, as Tracy's collector is).
+// Start installs the profiler's collector as the runtime's active tool.
 func (p *Profiler) Start() {
 	p.mu.Lock()
 	p.started = time.Now()
-	p.active = true
+	p.startNs = kmp.TraceNow()
 	p.mu.Unlock()
-	kmp.SetTracer(p.consume)
+	kmp.SetCollector(p.col)
 }
 
-// Stop unsubscribes.
+// Stop detaches the profiler (if it is still the active tool) and
+// drains any buffered events.
 func (p *Profiler) Stop() {
-	kmp.SetTracer(nil)
-	p.mu.Lock()
-	p.active = false
-	p.mu.Unlock()
+	if kmp.ActiveCollector() == p.col {
+		kmp.SetCollector(nil)
+	}
+	p.Flush()
 }
 
-func (p *Profiler) consume(ev kmp.TraceEvent) {
-	key := ev.Loc.String()
+// Flush drains every per-thread ring into the aggregates and returns
+// the number of events folded in. The runtime also drains implicitly at
+// every region join.
+func (p *Profiler) Flush() int {
+	n := p.col.Flush()
+	p.mu.Lock()
+	if d := p.col.Drops(); d > p.lastDrops {
+		p.met.RingDrops.Add(int64(d - p.lastDrops))
+		p.lastDrops = d
+	}
+	p.mu.Unlock()
+	return n
+}
+
+// Metrics returns the profiler's live metrics registry.
+func (p *Profiler) Metrics() *Metrics { return &p.met }
+
+func (p *Profiler) region(key string) *regionStats {
 	if key == "" {
 		key = "(unlocated)"
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	st := p.regions[key]
 	if st == nil {
 		st = &regionStats{name: key}
 		p.regions[key] = st
 	}
-	switch ev.Kind {
-	case kmp.TraceForkBegin:
-		st.openSince = append(st.openSince, time.Now())
-		if ev.NThreads > st.maxTeam {
-			st.maxTeam = ev.NThreads
+	return st
+}
+
+// consume folds one drained batch into the flat profile, the metrics
+// registry and (when enabled) the retained timeline. Batches arrive
+// under the collector's drain lock, one ring at a time.
+func (p *Profiler) consume(batch []kmp.TraceEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ev := range batch {
+		st := p.region(ev.Loc.String())
+		switch ev.Kind {
+		case kmp.TraceForkBegin:
+			if ev.NThreads > st.maxTeam {
+				st.maxTeam = ev.NThreads
+			}
+		case kmp.TraceForkEnd:
+			st.calls++
+			st.total += time.Duration(ev.Dur)
+			if ev.NThreads > st.maxTeam {
+				st.maxTeam = ev.NThreads
+			}
+			p.met.Forks.Add(1)
+			p.met.RegionNs.Add(ev.Dur)
+		case kmp.TraceBarrier:
+			st.barriers++
+			st.barrierWait += time.Duration(ev.Dur)
+			p.met.Barriers.Add(1)
+			p.met.BarrierWaitNs.Add(ev.Dur)
+			p.met.BarrierWait.Observe(ev.Dur)
+		case kmp.TraceLoopInit:
+			st.loops++
+			p.met.LoopInits.Add(1)
+		case kmp.TraceLoopFini:
+			st.loopTime += time.Duration(ev.Dur)
+			p.met.LoopNs.Add(ev.Dur)
+		case kmp.TraceLoopSteal:
+			st.steals++
+			p.met.LoopSteals.Add(1)
+			p.met.StolenIters.Add(ev.Arg1)
+		case kmp.TraceTaskSpawn:
+			p.met.TaskSpawns.Add(1)
+			p.met.TaskQueue.Add(1)
+		case kmp.TraceTaskRun:
+			st.tasks++
+			st.taskTime += time.Duration(ev.Dur)
+			p.met.TaskRuns.Add(1)
+			p.met.TaskNs.Add(ev.Dur)
+			p.met.TaskRun.Observe(ev.Dur)
+			p.met.TaskQueue.Add(-1)
+		case kmp.TraceTaskSteal:
+			st.steals++
+			p.met.TaskSteals.Add(1)
+		case kmp.TraceTaskgroup:
+			p.met.Taskgroups.Add(1)
+		case kmp.TraceTaskloop:
+			p.met.Taskloops.Add(1)
+		case kmp.TraceTaskDepStall:
+			st.depStalls++
+			p.met.DepStalls.Add(1)
+		case kmp.TraceTaskDepRelease:
+			st.depReleases += ev.Arg0
+			p.met.DepReleases.Add(ev.Arg0)
+		case kmp.TraceCancel:
+			p.met.Cancels.Add(1)
 		}
-	case kmp.TraceForkEnd:
-		st.calls++
-		if n := len(st.openSince); n > 0 {
-			st.total += time.Since(st.openSince[n-1])
-			st.openSince = st.openSince[:n-1]
+	}
+	if p.timelineCap > 0 {
+		room := p.timelineCap - len(p.events)
+		if room > len(batch) {
+			room = len(batch)
 		}
-	case kmp.TraceBarrier:
-		st.barriers++
-	case kmp.TraceLoopInit:
-		st.loops++
-	case kmp.TraceLoopSteal:
-		st.steals++
+		if room > 0 {
+			p.events = append(p.events, batch[:room]...)
+		}
+		p.timelineDrop += int64(len(batch) - room)
 	}
 }
 
-// Zone opens an explicit application span named name; the returned function
-// closes it. Usable with defer:
+// Zone opens an explicit application span named name; the returned
+// function closes it. Usable with defer:
 //
 //	defer prof.Zone("assembly")()
-func (p *Profiler) Zone(name string) func() {
-	start := time.Now()
+func (p *Profiler) Zone(name string) func() { return p.span(name) }
+
+// ZoneAt opens an explicit span attributed to a source location — the
+// form the compiler's -profile mode injects, so the flat profile and
+// timeline name spans by the user's file:line.
+func (p *Profiler) ZoneAt(file string, line int, name string) func() {
+	return p.span(fmt.Sprintf("%s:%d %s", file, line, name))
+}
+
+func (p *Profiler) span(name string) func() {
+	start := kmp.TraceNow()
 	return func() {
+		end := kmp.TraceNow()
+		gtid := 0
+		if th := kmp.Current(); th != nil {
+			gtid = th.Gtid
+		}
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		z := p.zones[name]
@@ -119,40 +271,62 @@ func (p *Profiler) Zone(name string) func() {
 			p.zones[name] = z
 		}
 		z.calls++
-		z.total += time.Since(start)
+		z.total += time.Duration(end - start)
+		if p.timelineCap > 0 && len(p.zoneSpans) < p.timelineCap {
+			p.zoneSpans = append(p.zoneSpans, zoneSpan{name: name, start: start, dur: end - start, gtid: gtid})
+		}
 	}
 }
 
 // RegionSummary is one row of the flat profile.
 type RegionSummary struct {
-	Name     string
-	Calls    int64
-	Total    time.Duration
-	Mean     time.Duration
-	MaxTeam  int
-	Barriers int64
-	Loops    int64
-	Steals   int64
+	Name        string
+	Calls       int64
+	Total       time.Duration
+	Mean        time.Duration
+	MaxTeam     int
+	Barriers    int64
+	BarrierWait time.Duration
+	Loops       int64
+	LoopTime    time.Duration
+	Steals      int64
+	Tasks       int64
+	TaskTime    time.Duration
+	DepStalls   int64
+	DepReleases int64
 }
 
-// Summaries returns per-region rows sorted by descending total time.
+// Summaries drains pending events and returns per-region rows sorted by
+// descending total time.
 func (p *Profiler) Summaries() []RegionSummary {
+	p.Flush()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var out []RegionSummary
 	collect := func(m map[string]*regionStats) {
 		for _, st := range m {
 			s := RegionSummary{
-				Name:     st.name,
-				Calls:    st.calls,
-				Total:    st.total,
-				MaxTeam:  st.maxTeam,
-				Barriers: st.barriers,
-				Loops:    st.loops,
-				Steals:   st.steals,
+				Name:        st.name,
+				Calls:       st.calls,
+				Total:       st.total,
+				MaxTeam:     st.maxTeam,
+				Barriers:    st.barriers,
+				BarrierWait: st.barrierWait,
+				Loops:       st.loops,
+				LoopTime:    st.loopTime,
+				Steals:      st.steals,
+				Tasks:       st.tasks,
+				TaskTime:    st.taskTime,
+				DepStalls:   st.depStalls,
+				DepReleases: st.depReleases,
 			}
 			if st.calls > 0 {
 				s.Mean = st.total / time.Duration(st.calls)
+			} else if st.tasks > 0 {
+				// Task-only rows (a `task` construct's location): mean
+				// body time is the useful granularity figure.
+				s.Total = st.taskTime
+				s.Mean = st.taskTime / time.Duration(st.tasks)
 			}
 			out = append(out, s)
 		}
@@ -171,14 +345,15 @@ func (p *Profiler) Report() string {
 		total += s.Total
 	}
 	var b strings.Builder
-	b.WriteString("  %time     total      calls      mean  team  barriers  loops  steals  region\n")
+	b.WriteString("  %time     total      calls      mean  team  barriers   bar-wait  loops  steals  tasks  region\n")
 	for _, s := range sums {
 		pct := 0.0
 		if total > 0 {
 			pct = 100 * float64(s.Total) / float64(total)
 		}
-		fmt.Fprintf(&b, "  %5.1f  %8.3fms  %8d  %8.3fms  %4d  %8d  %5d  %6d  %s\n",
-			pct, ms(s.Total), s.Calls, ms(s.Mean), s.MaxTeam, s.Barriers, s.Loops, s.Steals, s.Name)
+		fmt.Fprintf(&b, "  %5.1f  %8.3fms  %8d  %8.3fms  %4d  %8d  %7.3fms  %5d  %6d  %5d  %s\n",
+			pct, ms(s.Total), s.Calls, ms(s.Mean), s.MaxTeam, s.Barriers, ms(s.BarrierWait),
+			s.Loops, s.Steals, s.Tasks, s.Name)
 	}
 	return b.String()
 }

@@ -1,11 +1,15 @@
-package trace
+package trace_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"expvar"
 	"strings"
 	"testing"
 	"time"
 
 	"gomp/internal/kmp"
+	. "gomp/internal/trace"
 	"gomp/omp"
 )
 
@@ -96,7 +100,7 @@ func TestReportFormat(t *testing.T) {
 	omp.Parallel(func(th *omp.Thread) {}, omp.NumThreads(2), omp.Loc("r.go", 1, "parallel"))
 	p.Stop()
 	rep := p.Report()
-	for _, want := range []string{"%time", "region", "r.go:1"} {
+	for _, want := range []string{"%time", "region", "bar-wait", "r.go:1"} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}
@@ -117,6 +121,281 @@ func TestStopDetachesHook(t *testing.T) {
 // The hook must be cheap when no profiler is attached: this is a guard
 // against accidentally making tracing mandatory.
 func TestNoProfilerNoPanic(t *testing.T) {
-	kmp.SetTracer(nil)
+	kmp.SetCollector(nil)
 	omp.Parallel(func(th *omp.Thread) { omp.Barrier(th) }, omp.NumThreads(2))
+}
+
+// profiledWorkload runs an imbalanced parallel-for plus a chain of
+// dependent tasks — enough activity to exercise steals, barrier waits
+// and the dependence engine. Returns true if at least one steal event
+// was recorded (stealing is scheduling-dependent).
+func profiledWorkload(p *Profiler) bool {
+	omp.Parallel(func(th *omp.Thread) {
+		omp.For(th, 64, func(i int64) {
+			if i == 0 {
+				time.Sleep(2 * time.Millisecond) // pin one thread, invite steals
+			}
+		}, omp.Schedule(omp.Dynamic, 1), omp.Loc("work.go", 10, "for"))
+		var x int
+		if th.Tid == 0 {
+			for i := 0; i < 6; i++ {
+				omp.Task(th, func(*omp.Thread) { time.Sleep(100 * time.Microsecond) },
+					omp.DependInOut("x", &x), omp.Loc("work.go", 20, "task"))
+			}
+			omp.Taskwait(th)
+		}
+		omp.Barrier(th)
+	}, omp.NumThreads(4), omp.Loc("work.go", 5, "parallel"))
+	p.Flush()
+	return p.Metrics().LoopSteals.Value()+p.Metrics().TaskSteals.Value() > 0
+}
+
+// The acceptance-criterion test: the exported timeline must be valid
+// Chrome trace-event JSON (Perfetto-loadable) with per-thread named
+// tracks, spans named by the user's file:line, and steals as flow
+// ("s"/"f") event pairs.
+func TestTimelineExport(t *testing.T) {
+	var p *Profiler
+	stole := false
+	for attempt := 0; attempt < 10 && !stole; attempt++ {
+		p = New(WithTimeline(0))
+		p.Start()
+		stole = profiledWorkload(p)
+		p.Stop()
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteTimeline(&buf); err != nil {
+		t.Fatalf("WriteTimeline: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			ID   int            `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+
+	var threadNames, regionSpans, loopSpans, taskSpans, flowStarts, flowEnds int
+	flowIDs := map[int][2]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" && ev.Ts < 0 {
+			t.Fatalf("negative timestamp: %+v", ev)
+		}
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threadNames++
+		case ev.Ph == "X" && strings.Contains(ev.Name, "work.go:5"):
+			regionSpans++
+			if ev.Dur <= 0 {
+				t.Errorf("region span without duration: %+v", ev)
+			}
+		case ev.Ph == "X" && strings.Contains(ev.Name, "work.go:10"):
+			loopSpans++
+		case ev.Ph == "X" && strings.Contains(ev.Name, "work.go:20"):
+			taskSpans++
+		case ev.Ph == "s":
+			flowStarts++
+			f := flowIDs[ev.ID]
+			f[0]++
+			flowIDs[ev.ID] = f
+		case ev.Ph == "f":
+			flowEnds++
+			f := flowIDs[ev.ID]
+			f[1]++
+			flowIDs[ev.ID] = f
+		}
+	}
+	if threadNames < 4 {
+		t.Errorf("thread_name metadata tracks = %d, want >= 4", threadNames)
+	}
+	if regionSpans == 0 {
+		t.Error("no region span named work.go:5")
+	}
+	if loopSpans == 0 {
+		t.Error("no loop span named work.go:10")
+	}
+	if taskSpans == 0 {
+		t.Error("no task span named work.go:20")
+	}
+	if !stole {
+		t.Skip("no steal occurred in 10 attempts; flow-arrow check skipped")
+	}
+	if flowStarts == 0 || flowStarts != flowEnds {
+		t.Fatalf("steal flow events unbalanced: %d starts, %d ends", flowStarts, flowEnds)
+	}
+	for id, pair := range flowIDs {
+		if pair[0] != 1 || pair[1] != 1 {
+			t.Fatalf("flow id %d has %d starts / %d ends, want 1/1", id, pair[0], pair[1])
+		}
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	p := New()
+	p.Start()
+	profiledWorkload(p)
+	p.Stop()
+
+	s := p.Metrics().Snapshot()
+	if s.Forks < 1 {
+		t.Errorf("forks = %d, want >= 1", s.Forks)
+	}
+	if s.RegionNs <= 0 {
+		t.Errorf("region_ns = %d, want > 0", s.RegionNs)
+	}
+	if s.Barriers == 0 || s.BarrierWaitNs < 0 {
+		t.Errorf("barrier metrics: %+v", s)
+	}
+	if s.TaskSpawns < 6 || s.TaskRuns < 6 {
+		t.Errorf("task metrics: spawns=%d runs=%d, want >= 6", s.TaskSpawns, s.TaskRuns)
+	}
+	if s.TaskNs <= 0 {
+		t.Errorf("task_ns = %d, want > 0 (bodies sleep)", s.TaskNs)
+	}
+	if s.DepStalls == 0 || s.DepReleases == 0 {
+		t.Errorf("dependence metrics: stalls=%d releases=%d, want > 0", s.DepStalls, s.DepReleases)
+	}
+	if s.TaskQueuePeak < 1 {
+		t.Errorf("task_queue_peak = %d, want >= 1", s.TaskQueuePeak)
+	}
+	if s.TaskRunHist.Count != s.TaskRuns {
+		t.Errorf("task-run histogram count %d != runs %d", s.TaskRunHist.Count, s.TaskRuns)
+	}
+
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not JSON-able: %v", err)
+	}
+	text := p.Metrics().Text()
+	for _, want := range []string{"forks", "barrier-wait", "task-runs", "dep-stalls"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsExpvar(t *testing.T) {
+	p := New()
+	p.Start()
+	omp.Parallel(func(th *omp.Thread) { omp.Barrier(th) }, omp.NumThreads(2), omp.Loc("v.go", 1, "parallel"))
+	p.Stop()
+	p.Metrics().PublishExpvar()
+
+	v := expvar.Get("gomp")
+	if v == nil {
+		t.Fatal("expvar \"gomp\" not published")
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value not a JSON snapshot: %v", err)
+	}
+	if snap.Forks < 1 {
+		t.Errorf("expvar forks = %d, want >= 1", snap.Forks)
+	}
+
+	// Re-publishing (a second profiler) must not panic and must win.
+	p2 := New()
+	p2.Metrics().PublishExpvar()
+	var empty MetricsSnapshot
+	if err := json.Unmarshal([]byte(expvar.Get("gomp").String()), &empty); err != nil {
+		t.Fatalf("re-published expvar broken: %v", err)
+	}
+	if empty.Forks != 0 {
+		t.Errorf("expvar still reads old registry after re-publish")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, ns := range []int64{0, 1, 2, 3, 1000, 1 << 40} {
+		h.Observe(ns)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", total)
+	}
+}
+
+func TestDefaultProfiler(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default profiler active before Enable")
+	}
+	end := ZoneAt("off.go", 1, "zone")
+	end() // no-op path must not panic
+	p := Enable()
+	if Default() != p {
+		t.Fatal("Enable did not install the default")
+	}
+	done := ZoneAt("on.go", 3, "compute")
+	done()
+	omp.Parallel(func(th *omp.Thread) {}, omp.NumThreads(2), omp.Loc("on.go", 1, "parallel"))
+	got := Disable()
+	if got != p || Default() != nil {
+		t.Fatal("Disable did not uninstall the default")
+	}
+	foundZone := false
+	for _, s := range p.Summaries() {
+		if strings.Contains(s.Name, "on.go:3") {
+			foundZone = true
+		}
+	}
+	if !foundZone {
+		t.Fatalf("default profiler missed the zone: %+v", p.Summaries())
+	}
+}
+
+func TestTimelineCapTruncates(t *testing.T) {
+	p := New(WithTimeline(8))
+	p.Start()
+	for i := 0; i < 20; i++ {
+		omp.Parallel(func(th *omp.Thread) { omp.Barrier(th) }, omp.NumThreads(2), omp.Loc("t.go", 1, "parallel"))
+	}
+	p.Stop()
+	var buf bytes.Buffer
+	if err := p.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "timeline-truncated") {
+		t.Error("over-capacity timeline not marked truncated")
+	}
+	// The retained history is bounded by the cap: at most 8 runtime
+	// events survive in the export (plus metadata and the truncation
+	// marker, which carry no "ts" ordering significance).
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	runtimeEvents := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" && ev.Cat != "meta" && ev.Cat != "zone" {
+			runtimeEvents++
+		}
+	}
+	if runtimeEvents > 8 {
+		t.Errorf("export carries %d runtime events past cap 8", runtimeEvents)
+	}
 }

@@ -187,4 +187,30 @@
 //
 // err is context.DeadlineExceeded when the deadline tore the team down, and
 // dot is then left untouched.
+//
+// # Observability
+//
+// Profile enables the process-wide profiler — an OMPT-style collector
+// on the runtime's per-thread lock-free event rings — and returns the
+// stop function that prints a gprof-style flat profile of every
+// parallel region, worksharing loop and task construct, named by the
+// user's file:line:
+//
+//	defer omp.Profile()()
+//
+// `gompcc -profile` injects exactly that call into main, plus
+// `defer omp.ZoneAt(file, line, fn)()` into every pragma-containing
+// function, so an annotated program self-reports without source
+// changes. Two environment switches extend the report:
+// GOMP_TRACE_JSON=<path> exports the full event timeline as Chrome
+// trace-event JSON — load it at ui.perfetto.dev or chrome://tracing to
+// see one track per runtime thread with work steals drawn as flow
+// arrows — and GOMP_METRICS=1 appends the runtime metrics snapshot
+// (fork / barrier / steal / task counters and wait-time histograms).
+//
+// When no profiler is active every runtime instrumentation site costs
+// one atomic pointer load and ZoneAt is a pointer-load no-op; enabled
+// collection appends fixed-size events to per-thread ring buffers
+// drained at region joins (measured within noise, budget <10%, on NPB
+// CG class S).
 package omp

@@ -1,0 +1,73 @@
+package omp
+
+import (
+	"fmt"
+	"os"
+
+	"gomp/internal/trace"
+)
+
+// Profiling entry points for user programs and for the compiler's
+// -profile mode. The heavy machinery lives in the internal trace
+// package; these wrappers exist because preprocessed user code can only
+// import the public module surface, and `gompcc -profile` injects calls
+// to them with real source coordinates.
+
+// Profile enables the process-wide profiler and returns a stop function
+// that writes a gprof-style flat profile of every parallel region, loop,
+// task construct and instrumented function to stderr. Typical use — and
+// what `gompcc -profile` injects into main:
+//
+//	defer omp.Profile()()
+//
+// Environment switches honoured by the stop function:
+//
+//	GOMP_TRACE_JSON=<path>  also export the full event timeline as
+//	                        Chrome trace-event JSON to <path>, loadable
+//	                        in Perfetto (ui.perfetto.dev) or
+//	                        chrome://tracing, with one track per runtime
+//	                        thread and work steals drawn as flow arrows.
+//	GOMP_METRICS=1          also print the runtime metrics snapshot
+//	                        (fork/barrier/steal/task counters, wait-time
+//	                        histograms).
+func Profile() func() {
+	jsonPath := os.Getenv("GOMP_TRACE_JSON")
+	var opts []trace.Option
+	if jsonPath != "" {
+		opts = append(opts, trace.WithTimeline(0))
+	}
+	p := trace.Enable(opts...)
+	return func() {
+		if trace.Default() == p {
+			trace.Disable()
+		} else {
+			p.Stop()
+		}
+		fmt.Fprintf(os.Stderr, "gomp profile:\n%s", p.Report())
+		if os.Getenv("GOMP_METRICS") != "" {
+			fmt.Fprint(os.Stderr, p.Metrics().Text())
+		}
+		if jsonPath != "" {
+			f, err := os.Create(jsonPath)
+			if err == nil {
+				err = p.WriteTimeline(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gomp: timeline export failed: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "gomp: timeline written to %s\n", jsonPath)
+			}
+		}
+	}
+}
+
+// ZoneAt opens a profiling span attributed to a source location and
+// returns its closer; `gompcc -profile` injects
+// `defer omp.ZoneAt(file, line, funcName)()` into functions containing
+// pragmas. When no profiler is active both calls are no-ops.
+func ZoneAt(file string, line int, name string) func() {
+	return trace.ZoneAt(file, line, name)
+}
