@@ -16,12 +16,14 @@ package gomp
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"gomp/internal/atomicx"
 	"gomp/internal/bench"
 	"gomp/internal/core"
+	"gomp/internal/driver"
 	"gomp/internal/kmp"
 	"gomp/internal/npb"
 	"gomp/internal/trace"
@@ -431,6 +433,75 @@ func BenchmarkPreprocess(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDriverColdVsWarm measures the module build driver
+// (internal/driver, `gompcc -module`) over a synthetic pragma-annotated
+// module: cold is the full crawl + parallel transform fan-out of every
+// file (cache disabled), warm is the same pass against a primed
+// content-hash manifest, where every file is a hash comparison and a
+// stat. The files/s gap is the cache's reason to exist; the fan-out
+// itself runs on this repo's own omp runtime.
+func BenchmarkDriverColdVsWarm(b *testing.B) {
+	const nfiles = 24
+	mkmodule := func(b *testing.B) string {
+		b.Helper()
+		root := b.TempDir()
+		for i := 0; i < nfiles; i++ {
+			src := fmt.Sprintf(`package p
+
+func kernel%d(a, b []float64, n int) float64 {
+	s := 0.0
+	//omp parallel for reduction(+:s) schedule(dynamic,%d)
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+`, i, i+1)
+			name := filepath.Join(root, fmt.Sprintf("k%02d.go", i))
+			if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return root
+	}
+	jobs := runtime.GOMAXPROCS(0)
+	filesPerSec := func(b *testing.B) {
+		b.Helper()
+		b.ReportMetric(float64(nfiles)*float64(b.N)/b.Elapsed().Seconds(), "files/s")
+	}
+	b.Run(fmt.Sprintf("cold/jobs=%d", jobs), func(b *testing.B) {
+		d, err := driver.New(driver.Config{Module: mkmodule(b), Jobs: jobs, CacheDir: driver.CacheOff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := d.Run()
+			if err != nil || rep.Transformed != nfiles {
+				b.Fatalf("cold pass: %v, %s", err, rep.Summary())
+			}
+		}
+		filesPerSec(b)
+	})
+	b.Run(fmt.Sprintf("warm/jobs=%d", jobs), func(b *testing.B) {
+		d, err := driver.New(driver.Config{Module: mkmodule(b), Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep, err := d.Run(); err != nil || rep.Transformed != nfiles {
+			b.Fatalf("priming pass: %v", err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := d.Run()
+			if err != nil || rep.Cached != nfiles {
+				b.Fatalf("warm pass: %v, %s", err, rep.Summary())
+			}
+		}
+		filesPerSec(b)
+	})
 }
 
 // BenchmarkClausePack measures the Section III-A2 packed encoding: a full

@@ -11,37 +11,76 @@
 //	gompcc -dir pkgdir -suffix _omp   # transform every *.go in a package
 //	gompcc -explain input.go          # describe each directive, change nothing
 //	gompcc -profile input.go          # also auto-instrument for profiling
+//	gompcc -module root [-jobs N]     # module-scale parallel build driver
+//	gompcc -module root -watch        # …re-running as sources change
+//	go build -toolexec="gompcc -toolexec" ./…   # inside a plain go build
 //
 // Files without pragmas pass through unchanged. With -profile, every
 // function containing a pragma gets a source-located profiling span and
 // func main gains the profiler lifecycle, so the built program prints a
 // flat profile naming the user's pragma locations on exit (see the omp
 // package's Profile for the GOMP_TRACE_JSON / GOMP_METRICS switches).
+//
+// -module hands the whole tree to the build driver (internal/driver): a
+// crawl that respects build tags and skips vendor/testdata/generated
+// trees, a transform fan-out across -jobs workers running on the repo's
+// own omp runtime, a content-hash cache under .gompcc-cache/ so warm
+// runs skip unchanged files entirely, and atomic output writes. -outdir
+// mirrors the transformed module into a separate buildable tree instead
+// of writing _omp.go siblings. All output writes — single-file and -dir
+// modes included — go through temp-file + rename, so an interrupted run
+// never truncates an existing output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"gomp/internal/core"
+	"gomp/internal/driver"
+	"gomp/omp"
 )
 
 func main() {
+	// -toolexec dispatches before flag parsing: everything after it is
+	// the tool's own command line (full of flags gompcc must not eat).
+	if len(os.Args) > 1 && os.Args[1] == "-toolexec" {
+		code, err := driver.Toolexec(os.Args[2:], core.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gompcc:", err)
+		}
+		os.Exit(code)
+	}
 	var (
 		out      = flag.String("o", "", "output file (default: <input>_omp.go)")
 		toStdout = flag.Bool("stdout", false, "write the transformed source to stdout")
 		dir      = flag.String("dir", "", "transform every .go file in this directory instead of a single file")
-		suffix   = flag.String("suffix", "_omp", "filename suffix for -dir outputs")
+		suffix   = flag.String("suffix", "_omp", "filename suffix for -dir and -module outputs")
 		explain  = flag.Bool("explain", false, "print each recognized directive with its parsed clauses and the lowering it will receive, without rewriting")
 		profile  = flag.Bool("profile", false, "auto-instrument the output: profiling spans in pragma-containing functions, profiler lifecycle in main")
+		module   = flag.String("module", "", "module-scale build driver: crawl this tree and transform every pragma-bearing file")
+		outdir   = flag.String("outdir", "", "with -module: mirror the transformed tree under this root instead of writing _omp.go siblings")
+		jobs     = flag.Int("jobs", 0, "with -module: transform worker count (default GOMAXPROCS; 1 = serial)")
+		cache    = flag.String("cache", "", "with -module: cache directory (default <module>/.gompcc-cache; 'off' disables)")
+		watch    = flag.Bool("watch", false, "with -module: keep running, re-transforming as sources change")
+		interval = flag.Duration("interval", 500*time.Millisecond, "with -watch: source poll interval")
 	)
 	flag.Parse()
 
+	if *module != "" {
+		if err := runModule(*module, *outdir, *suffix, *cache, *jobs, *profile, *watch, *interval, os.Stderr); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *explain && *dir != "" {
 		// The dry run stays a dry run in batch mode: explain every file
 		// processDir would rewrite, write nothing.
@@ -63,7 +102,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go | -stdout | -explain] input.go")
+		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go | -stdout | -explain | -module root] input.go")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
@@ -85,10 +124,58 @@ func main() {
 	if dst == "" {
 		dst = strings.TrimSuffix(in, ".go") + "_omp.go"
 	}
-	if err := os.WriteFile(dst, res, 0o644); err != nil {
+	if err := driver.WriteFileAtomic(dst, res, 0o644); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "gompcc: %s -> %s\n", in, dst)
+}
+
+// runModule wires the -module flag set to the build driver. Under
+// GOMP_METRICS the pass itself is profiled — the driver's fan-out runs
+// on the omp runtime, so the flat profile and the driver-cold/warm
+// counters report the build like any other workload.
+func runModule(module, outdir, suffix, cache string, jobs int, profile, watch bool, interval time.Duration, log io.Writer) error {
+	d, err := driver.New(driver.Config{
+		Module:   module,
+		OutDir:   outdir,
+		Suffix:   suffix,
+		Jobs:     jobs,
+		CacheDir: cache,
+		Profile:  profile,
+	})
+	if err != nil {
+		return err
+	}
+	if os.Getenv("GOMP_METRICS") != "" {
+		defer omp.Profile()()
+	}
+	report := func(rep *driver.Report, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(log, "gompcc: module %s: %s\n", module, rep.Summary())
+		for _, dg := range rep.Diags {
+			fmt.Fprintf(log, "gompcc: %v\n", dg.Err)
+		}
+		return rep.Err()
+	}
+	if !watch {
+		return report(d.Run())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var lastErr error
+	d.Watch(ctx, interval, func(rep *driver.Report, err error) {
+		if err := report(rep, err); err != nil {
+			// A failing pass keeps the watch alive — the next save may
+			// fix it — but leaves the exit status non-zero.
+			fmt.Fprintf(log, "gompcc: %v\n", err)
+			lastErr = err
+		} else {
+			lastErr = nil
+		}
+	})
+	return lastErr
 }
 
 // explainFile prints every recognized directive of path — its line, its
@@ -147,23 +234,34 @@ func eligibleFiles(dir, suffix string) ([]string, error) {
 }
 
 // processDir transforms every eligible .go file of dir; log receives one
-// progress line per file.
+// progress line per file. A failing file does not stop the batch: every
+// file is attempted, each failure is logged where it occurred, and the
+// returned error summarises the count — one bad file never masks the
+// rest of the package.
 func processDir(dir, suffix string, profile bool, log io.Writer) error {
 	names, err := eligibleFiles(dir, suffix)
 	if err != nil {
 		return err
 	}
+	failed := 0
 	for _, name := range names {
 		in := filepath.Join(dir, name)
 		res, err := processFile(in, profile)
+		if err == nil {
+			dst := filepath.Join(dir, strings.TrimSuffix(name, ".go")+suffix+".go")
+			if werr := driver.WriteFileAtomic(dst, res, 0o644); werr != nil {
+				err = werr
+			} else {
+				fmt.Fprintf(log, "gompcc: %s -> %s\n", in, dst)
+			}
+		}
 		if err != nil {
-			return fmt.Errorf("%s: %w", in, err)
+			failed++
+			fmt.Fprintf(log, "gompcc: %s: %v\n", in, err)
 		}
-		dst := filepath.Join(dir, strings.TrimSuffix(name, ".go")+suffix+".go")
-		if err := os.WriteFile(dst, res, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(log, "gompcc: %s -> %s\n", in, dst)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d files failed", failed, len(names))
 	}
 	return nil
 }

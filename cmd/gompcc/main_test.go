@@ -140,6 +140,74 @@ func TestProcessDir(t *testing.T) {
 	}
 }
 
+// A failing file no longer aborts the batch: every file is attempted,
+// the failure is logged in place, and the summary error counts it — so
+// one bad file cannot mask diagnostics (or outputs) for the rest.
+func TestProcessDirAggregatesFailures(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.go":   "package p\n\nfunc a(v []int) {\n\t//omp parallel for\n\tfor i := 0; i < len(v); i++ {\n\t\tv[i] = i\n\t}\n}\n",
+		"bad.go": "package p\n\nfunc f() {\n\t//omp paralel\n\t{\n\t}\n}\n",
+		"z.go":   "package p\n\nfunc z(v []int) {\n\t//omp parallel for\n\tfor i := 0; i < len(v); i++ {\n\t\tv[i] = i\n\t}\n}\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var log strings.Builder
+	err := processDir(dir, "_omp", false, &log)
+	if err == nil || !strings.Contains(err.Error(), "1 of 3 files failed") {
+		t.Fatalf("err = %v, want failure summary", err)
+	}
+	if !strings.Contains(log.String(), "bad.go:4") {
+		t.Fatalf("log lacks the positioned diagnostic:\n%s", log.String())
+	}
+	// Both good files — including z.go, sorted after the failure —
+	// were still transformed.
+	for _, want := range []string{"a_omp.go", "z_omp.go"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("%s not produced despite unrelated failure", want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad_omp.go")); err == nil {
+		t.Error("failed file produced an output")
+	}
+}
+
+// Output writes go through temp-file + rename: an overwrite is total,
+// and no temporary files survive a batch.
+func TestProcessDirWritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc a(v []int) {\n\t//omp parallel for\n\tfor i := 0; i < len(v); i++ {\n\t\tv[i] = i\n\t}\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A pre-existing stale output is replaced wholesale.
+	if err := os.WriteFile(filepath.Join(dir, "a_omp.go"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := processDir(dir, "_omp", false, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(filepath.Join(dir, "a_omp.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "omp.Parallel(") || strings.Contains(string(out), "stale") {
+		t.Fatalf("output not replaced atomically:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temporary file left behind: %s", e.Name())
+		}
+	}
+}
+
 // -explain is a dry run: every directive is listed with its line, its
 // re-rendered clause set, and the lowering/transformation description, and
 // the input file is never modified.

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestContainsPragma(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package p\n\nfunc f() {\n\t//omp parallel for\n\tfor {}\n}\n", true},
+		{"package p\n\n//$omp barrier\n", true},
+		{"package p\n\n//#pragma omp parallel\n", true},
+		{"package p\n\t//omp barrier", true}, // no trailing newline, bare directive
+		{"package p\n\nfunc f() {}\n", false},
+		{"package p\n// omp parallel (spaced sentinel is not a pragma)\n", false},
+		{"package p\n//ompx parallel\n", false},
+	}
+	for _, c := range cases {
+		if got := ContainsPragma([]byte(c.src)); got != c.want {
+			t.Errorf("ContainsPragma(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTransformMatchesPreprocess(t *testing.T) {
+	src := []byte("package p\n\nfunc f(a []int) {\n\t//omp parallel for\n\tfor i := 0; i < len(a); i++ {\n\t\ta[i] = i\n\t}\n}\n")
+	res, err := Transform(src, Options{Filename: "t.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Preprocess(src, Options{Filename: "t.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Changed || !bytes.Equal(res.Output, want) {
+		t.Fatalf("Transform diverged from Preprocess (changed=%v)", res.Changed)
+	}
+	plain := []byte("package p\n\nfunc f() {}\n")
+	res, err = Transform(plain, Options{Filename: "t.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed || !bytes.Equal(res.Output, plain) {
+		t.Fatal("pragma-free file reported as changed")
+	}
+}
+
+// The build driver fans Transform out across a worker team, so the
+// entry point must be callable concurrently with itself: every call
+// builds its own parser, AST and encoding state. Run a mixed workload
+// across goroutines and require bit-identical agreement with the
+// serial result (the race detector covers the rest when CI runs this
+// package under -race).
+func TestTransformConcurrent(t *testing.T) {
+	inputs := make([][]byte, 8)
+	wants := make([][]byte, len(inputs))
+	for i := range inputs {
+		inputs[i] = []byte(fmt.Sprintf(`package p
+
+func f%d(a []float64, n int) float64 {
+	s := 0.0
+	//omp parallel for reduction(+:s) schedule(dynamic,%d) num_threads(4)
+	for i := 0; i < n; i++ {
+		s += a[i]
+	}
+	//omp parallel
+	{
+		//omp critical
+		{
+			s *= 2
+		}
+	}
+	return s
+}
+`, i, i+1))
+		out, err := Transform(inputs[i], Options{Filename: fmt.Sprintf("f%d.go", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = out.Output
+	}
+	const workers, rounds = 16, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % len(inputs)
+				out, err := Transform(inputs[i], Options{Filename: fmt.Sprintf("f%d.go", i)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(out.Output, wants[i]) {
+					errs <- fmt.Errorf("worker %d round %d: output diverged for input %d", w, r, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory followed by a rename, so a reader — including a concurrent
+// `go build`, or the next driver run after a crash or a cancelled
+// watch pass — only ever observes the old complete content or the new
+// complete content, never a truncated file. On any failure the
+// temporary is removed and the previous content of path is untouched.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpName, perm)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return werr
+	}
+	return nil
+}

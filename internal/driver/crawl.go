@@ -1,0 +1,121 @@
+package driver
+
+import (
+	"bytes"
+	"go/build"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// The tree crawler: phase one of a driver pass. It walks the module and
+// returns every source file the preprocessor should consider, in
+// deterministic (WalkDir lexical) order. What it skips is as important
+// as what it finds — generated outputs must never be re-transformed,
+// and trees the Go toolchain itself ignores (vendor/, testdata/,
+// leading-dot and leading-underscore names) stay invisible here too.
+
+// sourceFile is one crawled candidate: its module-relative
+// slash-separated path (the manifest key) and its absolute path.
+type sourceFile struct {
+	rel  string
+	path string
+}
+
+// generatedRx matches the Go convention for generated files
+// (https://go.dev/s/generatedcode): a whole-line comment anywhere
+// before real code. Driver outputs carry exactly this marker, so a
+// mirror tree nested inside the module can never be re-consumed.
+var generatedRx = regexp.MustCompile(`(?m)^// Code generated .* DO NOT EDIT\.$`)
+
+// skipDir reports whether a directory subtree is invisible to the
+// crawl, by base name.
+func skipDir(name string) bool {
+	return name == "vendor" || name == "testdata" || name == cacheDirName ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// eligibleName reports whether a file's base name is a candidate:
+// a .go file that is not a test, not a previously generated
+// <suffix>.go output, and not toolchain-ignored.
+func eligibleName(name, suffix string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasSuffix(name, suffix+".go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// isGenerated reports whether the file head carries the generated-code
+// marker. Only the first kilobyte is read: the convention puts the
+// marker before the package clause.
+func isGenerated(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	head := make([]byte, 1024)
+	n, _ := io.ReadFull(f, head)
+	head = head[:n]
+	if i := bytes.Index(head, []byte("\npackage ")); i >= 0 {
+		head = head[:i]
+	}
+	return generatedRx.Match(head)
+}
+
+// crawl walks cfg.Module and returns the eligible file set. Build
+// constraints are honoured through go/build's MatchFile — a file
+// excluded by its //go:build line or GOOS/GOARCH suffix for the current
+// configuration is not transformed, exactly as `go build` would not
+// compile it.
+func crawl(cfg Config) ([]sourceFile, error) {
+	root, err := filepath.Abs(cfg.Module)
+	if err != nil {
+		return nil, err
+	}
+	var outAbs, cacheAbs string
+	if cfg.OutDir != "" {
+		outAbs, _ = filepath.Abs(cfg.OutDir)
+	}
+	if cfg.CacheDir != CacheOff {
+		cacheAbs, _ = filepath.Abs(cfg.CacheDir)
+	}
+	bctx := build.Default
+	var files []sourceFile
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if skipDir(d.Name()) || path == outAbs || path == cacheAbs {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !eligibleName(name, cfg.Suffix) {
+			return nil
+		}
+		if ok, merr := bctx.MatchFile(filepath.Dir(path), name); merr != nil || !ok {
+			return merr
+		}
+		if isGenerated(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		files = append(files, sourceFile{rel: filepath.ToSlash(rel), path: path})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return files, nil
+}

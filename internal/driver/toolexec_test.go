@@ -1,0 +1,82 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gomp/internal/core"
+)
+
+// rewriteCompileArgs: only pragma-bearing .go file arguments move to
+// the temp tree; flags, non-files and pragma-free sources stay put.
+func TestRewriteCompileArgs(t *testing.T) {
+	src := t.TempDir()
+	writeTree(t, src, map[string]string{
+		"hot.go":   pragmaSrc,
+		"plain.go": plainSrc,
+	})
+	tmp := t.TempDir()
+	argv := []string{
+		"/toolchain/compile", "-o", "out.a", "-p", "p", "-lang=go1.24",
+		filepath.Join(src, "hot.go"), filepath.Join(src, "plain.go"), "nonexistent.go",
+	}
+	got, n, err := rewriteCompileArgs(argv, tmp, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("rewritten = %d, want 1", n)
+	}
+	for i, want := range argv[:6] {
+		if got[i] != want {
+			t.Fatalf("arg %d changed: %q -> %q", i, want, got[i])
+		}
+	}
+	if got[7] != argv[7] || got[8] != argv[8] {
+		t.Fatalf("pragma-free args changed: %v", got)
+	}
+	if !strings.HasPrefix(got[6], tmp) || filepath.Base(got[6]) != "hot.go" {
+		t.Fatalf("pragma file not redirected: %q", got[6])
+	}
+	out, err := os.ReadFile(got[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "omp.Parallel(") {
+		t.Fatalf("redirected file not lowered:\n%s", out)
+	}
+	// Diagnostics keep the original path, not the temp one.
+	if !strings.Contains(string(out), `"`+filepath.ToSlash(filepath.Join(src, "hot.go"))+`"`) {
+		t.Errorf("generated Loc does not name the original path:\n%s", out)
+	}
+}
+
+// A directive error surfaces instead of silently compiling the
+// unprocessed original.
+func TestRewriteCompileArgsReportsErrors(t *testing.T) {
+	src := t.TempDir()
+	writeTree(t, src, map[string]string{"bad.go": "package p\n\nfunc f() {\n\t//omp paralel\n\t{\n\t}\n}\n"})
+	_, _, err := rewriteCompileArgs([]string{"compile", filepath.Join(src, "bad.go")}, t.TempDir(), core.Options{})
+	if err == nil || !strings.Contains(err.Error(), "bad.go:4") {
+		t.Fatalf("err = %v, want positioned diagnostic", err)
+	}
+}
+
+// Non-compile tools pass through argument-for-argument (exercised via
+// the classifier; Toolexec itself would exec them).
+func TestIsCompileTool(t *testing.T) {
+	for tool, want := range map[string]bool{
+		"/usr/lib/go/pkg/tool/linux_amd64/compile": true,
+		`C:\go\pkg\tool\windows_amd64\compile.exe`: false, // backslashes are not separators on this host
+		"compile":                               true,
+		"compile.exe":                           true,
+		"/usr/lib/go/pkg/tool/linux_amd64/link": false,
+		"/usr/lib/go/pkg/tool/linux_amd64/vet":  false,
+	} {
+		if got := isCompileTool(tool); got != want {
+			t.Errorf("isCompileTool(%q) = %v, want %v", tool, got, want)
+		}
+	}
+}

@@ -119,6 +119,14 @@ type Metrics struct {
 	Cancels       Counter // cancel-directive encounters
 	RingDrops     Counter // events lost to full rings (bounded history)
 
+	// Build-driver throughput (internal/driver, `gompcc -module`): the
+	// preprocessor is itself an omp workload, so its cold/warm split
+	// and transform time report through the same registry as any other
+	// runtime subsystem.
+	DriverColdFiles   Counter // files transformed (cache miss)
+	DriverWarmFiles   Counter // files skipped via manifest hash match
+	DriverTransformNs Counter // summed per-file transform time
+
 	// TaskQueue tracks spawned-but-not-yet-run deferred tasks: an
 	// approximate ready/withheld backlog with its peak.
 	TaskQueue Gauge
@@ -151,6 +159,9 @@ type MetricsSnapshot struct {
 	DepReleases   int64        `json:"dep_releases"`
 	Cancels       int64        `json:"cancels"`
 	RingDrops     int64        `json:"ring_drops"`
+	DriverCold    int64        `json:"driver_cold_files"`
+	DriverWarm    int64        `json:"driver_warm_files"`
+	DriverNs      int64        `json:"driver_transform_ns"`
 	TaskQueuePeak int64        `json:"task_queue_peak"`
 	BarrierWait   HistSnapshot `json:"barrier_wait_hist"`
 	TaskRunHist   HistSnapshot `json:"task_run_hist"`
@@ -177,6 +188,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DepReleases:   m.DepReleases.Value(),
 		Cancels:       m.Cancels.Value(),
 		RingDrops:     m.RingDrops.Value(),
+		DriverCold:    m.DriverColdFiles.Value(),
+		DriverWarm:    m.DriverWarmFiles.Value(),
+		DriverNs:      m.DriverTransformNs.Value(),
 		TaskQueuePeak: m.TaskQueue.Peak(),
 		BarrierWait:   m.BarrierWait.Snapshot(),
 		TaskRunHist:   m.TaskRun.Snapshot(),
@@ -211,6 +225,11 @@ func (m *Metrics) Text() string {
 	row("dep-releases", s.DepReleases)
 	row("cancels", s.Cancels)
 	row("ring-drops", s.RingDrops)
+	if s.DriverCold > 0 || s.DriverWarm > 0 {
+		row("driver-cold-files", s.DriverCold)
+		row("driver-warm-files", s.DriverWarm)
+		dur("driver-transform", s.DriverNs)
+	}
 	if s.BarrierWait.Count > 0 {
 		mean := time.Duration(s.BarrierWait.SumNs / s.BarrierWait.Count)
 		fmt.Fprintf(&b, "  %-18s %12s\n", "barrier-wait-mean", mean.Round(time.Microsecond))
