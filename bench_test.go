@@ -340,6 +340,66 @@ func BenchmarkAblationForkBarrier(b *testing.B) {
 	}
 }
 
+// BenchmarkForkOverhead is BenchmarkAblationFork with allocation reporting:
+// the warm fork/join path is required to stay at 0 allocs/op for every team
+// size (the hot-team fast path), which CI asserts via TestWarmRegionZeroAlloc
+// and this benchmark makes visible as a number.
+func BenchmarkForkOverhead(b *testing.B) {
+	body := func(t *omp.Thread) {}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
+			omp.Parallel(body, omp.NumThreads(n)) // warm the team
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				omp.Parallel(body, omp.NumThreads(n))
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Serving — the request-path scenario of the hot-team runtime: many
+// concurrent goroutines (requests) each repeatedly open a small parallel
+// region over its own data. ns/op is the per-region cost under concurrency;
+// allocs/op is required to be 0 on the warm path. SetParallelism scales the
+// goroutine count beyond GOMAXPROCS, exactly the oversubscribed shape a
+// server has.
+
+func BenchmarkServingRegions(b *testing.B) {
+	for _, team := range []int{1, 2} {
+		for _, conc := range bench.ServingConcurrency {
+			b.Run(fmt.Sprintf("team=%d/conc=%d", team, conc), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetParallelism(conc)
+				b.RunParallel(func(pb *testing.PB) {
+					data := make([]float64, bench.ServingSpan)
+					for i := range data {
+						data[i] = float64(i)
+					}
+					sums := make([]struct {
+						v float64
+						_ [56]byte
+					}, team)
+					body := func(t *omp.Thread) {
+						tid := t.Tid
+						omp.ForRange(t, bench.ServingSpan, func(lo, hi int64) {
+							s := 0.0
+							for i := lo; i < hi; i++ {
+								s += data[i]
+							}
+							sums[tid].v += s
+						})
+					}
+					for pb.Next() {
+						omp.Parallel(body, omp.NumThreads(team))
+					}
+				})
+			})
+		}
+	}
+}
+
 // ---------------------------------------------------------------------
 // Loop transformations — the cache-blocking headline of the tile/unroll
 // subsystem: C = A·B under the naive triple loop, the `tile

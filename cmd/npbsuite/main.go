@@ -8,7 +8,10 @@
 // (dependence-DAG factorisation against taskwait-per-level; -lu=false
 // omits it) and a tiled-matmul section measuring the loop-transformation
 // subsystem (cache-blocked C = A·B, naive vs tiled vs tiled+parallel,
-// bitwise-verified; -mm=false omits it).
+// bitwise-verified; -mm=false omits it) and a serving section measuring
+// concurrent fork/join throughput — many requester goroutines each opening
+// small private parallel regions, the workload the hot-team fast path
+// serves (-serving=false omits it).
 //
 // Usage:
 //
@@ -50,6 +53,10 @@ type jsonReport struct {
 	Tasks      *bench.TaskSweep `json:"tasks,omitempty"`
 	LU         *bench.LUSweep   `json:"lu,omitempty"`
 	MM         *bench.MMSweep   `json:"mm,omitempty"`
+	// Serving is the concurrent fork/join throughput section: many
+	// requester goroutines each opening small private regions, the
+	// workload the hot-team fast path serves.
+	Serving *bench.ServingSweep `json:"serving,omitempty"`
 	// Metrics holds one runtime-metrics snapshot per kernel from an
 	// extra instrumented pass at the largest thread count — fork and
 	// steal counts, barrier-wait time, task statistics — kept out of
@@ -68,6 +75,7 @@ func main() {
 		tasks    = flag.Bool("tasks", true, "append the tasking section (explicit-task fib, taskloop vs for)")
 		lu       = flag.Bool("lu", true, "append the blocked-LU section (dependence DAG vs taskwait-per-level)")
 		mm       = flag.Bool("mm", true, "append the tiled-matmul section (naive vs tiled vs tiled+parallel)")
+		serving  = flag.Bool("serving", true, "append the serving section (concurrent fork/join throughput)")
 		jsonOut  = flag.Bool("json", false, "also write machine-readable results to BENCH_<class>.json")
 		metricsF = flag.Bool("metrics", true, "with -json, embed a per-kernel runtime-metrics block from an extra instrumented pass")
 		quiet    = flag.Bool("q", false, "suppress progress output")
@@ -177,6 +185,14 @@ func main() {
 				exit = 1
 			}
 		}
+	}
+	if *serving {
+		ssw := bench.RunServingSweep(threads, *runs, progress)
+		if !*quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		fmt.Println(ssw.Table())
+		report.Serving = ssw
 	}
 	if *jsonOut {
 		path := fmt.Sprintf("BENCH_%s.json", class)

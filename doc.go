@@ -101,6 +101,31 @@
 // goto out of the nest; continue and labels in duplicated unroll bodies)
 // is rejected at preprocessing time.
 //
+// # Runtime architecture — hot teams, wait policy, fork fast path
+//
+// The paper's runtime never leaves one HPC kernel per process; this
+// reproduction also targets the serving shape — thousands of concurrent
+// requests each opening small parallel regions — which makes fork/join
+// overhead and per-region garbage the governing costs. The runtime
+// (internal/kmp) answers with hot teams: a finished region's team parks
+// its worker goroutines and is cached in two tiers — a goroutine-affinity
+// map returning the same team to the same forking goroutine, and a sharded
+// global pool for teams whose owner moved on — so a warm omp.Parallel
+// performs no goroutine spawns, no global-lock acquisitions, and zero heap
+// allocations (asserted in CI by testing.AllocsPerRun). Workers between
+// regions spin on an atomic generation word, then park on a
+// flag-guarded channel; OMP_WAIT_POLICY (and the ICV) selects the spin
+// budget — passive parks quickly and suits oversubscribed hosts, active
+// holds the CPU longer for latency. Cancellation latches, barriers (central
+// and tree), and the one-thread serial path are all allocation-free by the
+// same discipline; omp.TrimTeams hands the cached teams back when a
+// process goes quiet. Both caches are capped and nested regions debit a
+// global thread-limit reservation, so the serving shape cannot
+// oversubscribe. BenchmarkForkOverhead and BenchmarkServingRegions (and
+// the npbsuite serving section of BENCH_<class>.json) measure the path;
+// internal/kmp's package doc details the protocol and its memory-model
+// argument.
+//
 // # Observability
 //
 // The paper's future-work item ("add support for profiling …

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"gomp/omp"
+)
+
+// The serving benchmark: the workload shape the hot-team fork fast path
+// exists for. Many concurrent "request" goroutines each open small private
+// parallel regions back to back — a server parallelising per-request work —
+// so the measured quantity is fork/join round-trip under concurrency, not
+// kernel FLOPs. Throughput is reported as regions per second and the
+// per-region cost in microseconds; with the affinity cache working, cost
+// should stay flat as concurrency grows and allocations stay at zero
+// (asserted separately by TestParallelWarmZeroAlloc).
+
+// Serving workload parameters, shared with BenchmarkServingRegions in the
+// root package so the npbsuite table and `go test -bench` measure the
+// identical configuration.
+const (
+	// ServingSpan is the per-request array length summed inside each region.
+	ServingSpan = 256
+	// ServingRegionsPerG is how many regions each concurrent requester
+	// opens per measured run.
+	ServingRegionsPerG = 2000
+	// ServingWarmup is the per-goroutine region count run before timing to
+	// populate the team pools.
+	ServingWarmup = 64
+)
+
+// ServingConcurrency is the ladder of concurrent requester counts.
+var ServingConcurrency = []int{4, 32}
+
+// ServingPoint is one (team size, concurrency) cell of the serving sweep.
+type ServingPoint struct {
+	Team       int     // threads per region
+	Conc       int     // concurrent requester goroutines
+	Regions    int     // total regions per run (Conc × ServingRegionsPerG)
+	Seconds    float64 // mean wall time per run
+	NsPerReg   float64 // mean fork/join round trip, nanoseconds
+	RegionsSec float64 // throughput, regions per second
+	Runs       int
+}
+
+// ServingSweep is the full serving experiment.
+type ServingSweep struct {
+	Teams          []int
+	Points         []ServingPoint
+	Oversubscribed map[int]bool
+}
+
+// servingRequest is one requester's life: regions regions, each summing a
+// private array through a worksharing loop. The body is hoisted so the
+// measured loop allocates nothing of its own.
+func servingRequest(team, regions int) float64 {
+	var data [ServingSpan]float64
+	for i := range data {
+		data[i] = float64(i)
+	}
+	sums := make([]struct {
+		v float64
+		_ [56]byte
+	}, team)
+	body := func(t *omp.Thread) {
+		tid := t.Tid
+		omp.ForRange(t, ServingSpan, func(lo, hi int64) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			sums[tid].v += s
+		})
+	}
+	total := 0.0
+	for r := 0; r < regions; r++ {
+		for i := range sums {
+			sums[i].v = 0
+		}
+		omp.Parallel(body, omp.NumThreads(team))
+		for i := range sums {
+			total += sums[i].v
+		}
+	}
+	return total
+}
+
+// RunServingSweep measures concurrent fork/join throughput for each team
+// size across the concurrency ladder, runs times each, reporting means —
+// the same protocol as RunSweep.
+func RunServingSweep(teams []int, runs int, progress func(string)) *ServingSweep {
+	if runs < 1 {
+		runs = 1
+	}
+	sw := &ServingSweep{Teams: teams, Oversubscribed: map[int]bool{}}
+	want := float64(ServingSpan*(ServingSpan-1)/2) * float64(ServingRegionsPerG)
+	for _, team := range teams {
+		sw.Oversubscribed[team] = team > runtime.NumCPU()
+		for _, conc := range ServingConcurrency {
+			p := ServingPoint{Team: team, Conc: conc, Regions: conc * ServingRegionsPerG, Runs: runs}
+			for r := 0; r < runs; r++ {
+				if progress != nil {
+					progress(fmt.Sprintf("serving: team=%d conc=%d run %d/%d", team, conc, r+1, runs))
+				}
+				var wg sync.WaitGroup
+				for g := 0; g < conc; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						servingRequest(team, ServingWarmup)
+					}()
+				}
+				wg.Wait()
+				start := omp.GetWtime()
+				for g := 0; g < conc; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if got := servingRequest(team, ServingRegionsPerG); got != want {
+							panic(fmt.Sprintf("bench: serving checksum %g, want %g", got, want))
+						}
+					}()
+				}
+				wg.Wait()
+				p.Seconds += omp.GetWtime() - start
+			}
+			p.Seconds /= float64(runs)
+			if p.Seconds > 0 {
+				p.NsPerReg = p.Seconds * 1e9 / float64(p.Regions)
+				p.RegionsSec = float64(p.Regions) / p.Seconds
+			}
+			sw.Points = append(sw.Points, p)
+		}
+	}
+	return sw
+}
+
+// Table renders the serving section, markdown formatted like the
+// Table I–III analogues.
+func (sw *ServingSweep) Table() string {
+	var b strings.Builder
+	runs := 1
+	if len(sw.Points) > 0 {
+		runs = sw.Points[0].Runs
+	}
+	fmt.Fprintf(&b, "Serving — concurrent fork/join throughput, %d regions per requester over %d-element spans (mean of %d runs)\n\n",
+		ServingRegionsPerG, ServingSpan, runs)
+	b.WriteString("| Team | Concurrency | regions/s | µs/region |\n")
+	b.WriteString("|---:|---:|---:|---:|\n")
+	oversub := false
+	for _, p := range sw.Points {
+		note := ""
+		if sw.Oversubscribed[p.Team] {
+			note, oversub = " *", true
+		}
+		fmt.Fprintf(&b, "| %d%s | %d | %.0f | %.2f |\n",
+			p.Team, note, p.Conc, p.RegionsSec, p.NsPerReg/1e3)
+	}
+	if oversub {
+		b.WriteString("\n\\* team larger than the processor count on this host\n")
+	}
+	return b.String()
+}

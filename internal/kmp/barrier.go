@@ -2,7 +2,6 @@ package kmp
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -30,11 +29,15 @@ func NewBarrier(kind BarrierKind, n int, policy WaitPolicy) Barrier {
 	}
 	switch kind {
 	case BarrierTree:
-		return newTreeBarrier(n)
+		b := newTreeBarrier(n)
+		b.policy = policy
+		return b
 	case BarrierDissemination:
 		return newDisseminationBarrier(n, policy)
 	default:
-		return newCentralBarrier(n)
+		b := newCentralBarrier(n)
+		b.policy = policy
+		return b
 	}
 }
 
@@ -66,19 +69,21 @@ func spinThenYield(policy WaitPolicy, cond func() bool) {
 
 // ---------------------------------------------------------------- central
 
-// centralBarrier counts arrivals under a mutex and releases each generation
-// by closing that generation's channel. O(n) serialised arrivals, but
-// park/wake is handled entirely by the Go scheduler, making it the safest
-// default at any oversubscription level.
+// centralBarrier is a sense-reversing central counter: the last thread to
+// arrive resets the count and bumps the generation word, releasing waiters
+// spinning (then sleeping, with bounded backoff) on it. O(n) arrivals on one
+// hot counter, but allocation-free — its channel-per-generation predecessor
+// put one make(chan) on every barrier of every warm region, which the
+// zero-allocation serving path cannot afford.
 type centralBarrier struct {
-	n     int
-	mu    sync.Mutex
-	count int
-	gen   chan struct{}
+	n      int
+	policy WaitPolicy
+	count  atomic.Int64
+	seq    atomic.Uint64
 }
 
 func newCentralBarrier(n int) *centralBarrier {
-	return &centralBarrier{n: n, gen: make(chan struct{})}
+	return &centralBarrier{n: n}
 }
 
 func (b *centralBarrier) Size() int { return b.n }
@@ -87,18 +92,15 @@ func (b *centralBarrier) Wait(int) {
 	if b.n == 1 {
 		return
 	}
-	b.mu.Lock()
-	ch := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen = make(chan struct{})
-		b.mu.Unlock()
-		close(ch)
+	s := b.seq.Load()
+	if b.count.Add(1) == int64(b.n) {
+		// Reset before release: a released thread may re-arrive at the
+		// next barrier generation immediately.
+		b.count.Store(0)
+		b.seq.Add(1)
 		return
 	}
-	b.mu.Unlock()
-	<-ch
+	spinThenYield(b.policy, func() bool { return b.seq.Load() != s })
 }
 
 // ------------------------------------------------------------------ tree
@@ -114,19 +116,18 @@ type treeNode struct {
 
 // treeBarrier arrives up an arity-4 reduction tree: the last thread into
 // each node climbs to the parent, and the thread that completes the root
-// releases everyone by closing the generation channel. Arrival is O(log n)
-// contention instead of one hot counter.
+// releases everyone by bumping the generation word. Arrival is O(log n)
+// contention instead of one hot counter, and release is allocation-free.
 type treeBarrier struct {
-	n     int
-	nodes []treeNode
-	leaf  []int32 // leaf node index per tid
-	gen   atomic.Pointer[chan struct{}]
+	n      int
+	policy WaitPolicy
+	nodes  []treeNode
+	leaf   []int32 // leaf node index per tid
+	seq    atomic.Uint64
 }
 
 func newTreeBarrier(n int) *treeBarrier {
 	b := &treeBarrier{n: n}
-	ch := make(chan struct{})
-	b.gen.Store(&ch)
 
 	// Level 0: group threads by treeArity.
 	levelStart := 0
@@ -182,16 +183,14 @@ func (b *treeBarrier) Wait(tid int) {
 	if b.n == 1 {
 		return
 	}
-	// The generation channel must be sampled before arrival: after our
-	// increment another thread may complete the root and swap it.
-	myGen := *b.gen.Load()
+	// The generation word must be sampled before arrival: after our
+	// increment another thread may complete the root and bump it.
+	s := b.seq.Load()
 	if b.arrive(b.leaf[tid]) {
-		next := make(chan struct{})
-		old := b.gen.Swap(&next)
-		close(*old)
+		b.seq.Add(1)
 		return
 	}
-	<-myGen
+	spinThenYield(b.policy, func() bool { return b.seq.Load() != s })
 }
 
 // --------------------------------------------------------- dissemination

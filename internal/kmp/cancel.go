@@ -1,6 +1,6 @@
 package kmp
 
-import "sync"
+import "sync/atomic"
 
 // OpenMP cancellation (OpenMP 5.2 §11): the runtime half of the
 // `cancel {parallel|for|taskgroup}` and `cancellation point` directives, and
@@ -48,15 +48,13 @@ func (k CancelKind) String() string {
 	return "?"
 }
 
-// cancel activates region-level cancellation for the team, waking any thread
-// parked at a cancellable barrier. Idempotent and safe from any goroutine
-// (the context watcher calls it from outside the team).
+// cancel activates region-level cancellation for the team. Idempotent and
+// safe from any goroutine (the context watcher calls it from outside the
+// team). Threads parked at a cancellable barrier observe the flag in their
+// wait condition — no channel latch to close, so cancellable regions
+// allocate nothing per fork.
 func (tm *Team) cancel() {
-	if tm.cancelRegion.CompareAndSwap(false, true) {
-		if tm.cancelCh != nil {
-			close(tm.cancelCh)
-		}
-	}
+	tm.cancelRegion.Store(true)
 }
 
 // Cancellable reports whether cancellation can be activated for this
@@ -168,20 +166,24 @@ func (n *taskNode) discarded() bool {
 }
 
 // cancelBarrier is the rendezvous used by cancellable teams in place of the
-// configured barrier algorithm: a central counter whose waiters select on
-// the generation channel and the team's cancel channel, so activation of
-// region cancellation releases every parked thread immediately — barriers
-// are cancellation points, and a cancelled team must not deadlock waiting
-// for threads that already branched to the region's end.
+// configured barrier algorithm: a sense-reversing central counter whose
+// waiters watch the generation word *and* the team's cancellation flag, so
+// activation of region cancellation releases every parked thread
+// immediately — barriers are cancellation points, and a cancelled team must
+// not deadlock waiting for threads that already branched to the region's
+// end. Unlike its channel-based predecessor it is allocation-free: re-arming
+// it between regions is two atomic stores, which is what keeps cancellable
+// (context-bound / error-propagating) regions on the zero-allocation fork
+// fast path.
 type cancelBarrier struct {
-	mu    sync.Mutex
-	count int
-	gen   chan struct{}
+	count atomic.Int64
+	seq   atomic.Uint64
 }
 
 func (b *cancelBarrier) reset() {
-	b.count = 0
-	b.gen = make(chan struct{})
+	b.count.Store(0)
+	// seq is left running: waiters compare against the value they sampled
+	// at arrival, not against zero.
 }
 
 // wait blocks until all tm.n threads arrive or the region is cancelled.
@@ -189,23 +191,19 @@ func (b *cancelBarrier) wait(tm *Team) {
 	if tm.cancelRegion.Load() {
 		return
 	}
-	b.mu.Lock()
-	ch := b.gen
-	b.count++
-	if b.count == tm.n {
-		b.count = 0
-		b.gen = make(chan struct{})
-		b.mu.Unlock()
+	s := b.seq.Load()
+	if b.count.Add(1) == int64(tm.n) {
 		// Every thread is inside the barrier, so none is inside a loop:
 		// the releaser can safely retire the loop-cancellation slot for
-		// the next batch of worksharing instances (see Thread.Cancel).
+		// the next batch of worksharing instances (see Thread.Cancel),
+		// then reset the arrival count before bumping the generation —
+		// a released thread may re-arrive at the next barrier instantly.
 		tm.cancelledLoop.Store(0)
-		close(ch)
+		b.count.Store(0)
+		b.seq.Add(1)
 		return
 	}
-	b.mu.Unlock()
-	select {
-	case <-ch:
-	case <-tm.cancelCh:
-	}
+	spinThenYield(tm.waitPolicy(), func() bool {
+		return b.seq.Load() != s || tm.cancelRegion.Load()
+	})
 }

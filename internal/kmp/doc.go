@@ -18,8 +18,46 @@
 //
 // This package provides those entry points natively: goroutine worker teams
 // stand in for the pthread teams of libomp. Teams are "hot" — workers are
-// created once and parked between parallel regions, exactly as libomp keeps
-// its hot team — so fork/join cost is a channel wake-up, not a spawn.
+// created once and kept between parallel regions, exactly as libomp keeps
+// its hot team — and the fork fast path is engineered so that a warm region
+// costs zero heap allocations and no global locks (see the next section).
+//
+// # Hot teams and the fork fast path
+//
+// Team reuse is two-tiered (hotteam.go). The affinity tier maps the forking
+// goroutine's id to the team it released last, in a sharded map, so a
+// serving goroutine that opens region after region gets its own team back —
+// workers already spawned, barrier already sized, caches already warm. The
+// pool tier is a sharded free list that catches teams whose owner moved on
+// and hands them to whichever root forks next, scanning the home shard
+// first. Both tiers are capped (affinityCap, hotPoolCap, scaled by
+// GOMAXPROCS); overflow is disposed rather than cached, and TrimTeams
+// drains both tiers on demand for processes that have gone quiet.
+//
+// Between regions each worker goroutine sits in a spin-then-park wait
+// (team.go): it spins on the team's generation word — bounded iterations
+// under OMP_WAIT_POLICY=passive, a much longer budget under active — and
+// then parks on a buffered channel guarded by a parked flag, Dekker-style,
+// so the master's wake never blocks and never misses a sleeper. The
+// generation word packs region counter and team size into one uint64, so a
+// single atomic load tells a worker both "a new region started" and
+// "whether it participates"; non-participating workers (the region shrank)
+// go straight back to waiting without touching any region state.
+//
+// A warm fork therefore performs: one goroutine-id read (an assembly g
+// pointer read on amd64/arm64, validated at init against the portable
+// stack parse — goid_fast.go), one affinity-map hit, field stores for the
+// region closure, one atomic generation publish, and wake sends to however
+// many workers actually parked. Nothing allocates: the cancellation latch
+// is a generation counter (cancel.go), barriers are sense-reversing atomic
+// words (barrier.go), the serial one-thread path runs from a sync.Pool,
+// and the error box is embedded in the team. TestWarmRegionZeroAlloc and
+// BenchmarkForkJoin assert the invariant.
+//
+// Nested parallelism forks real inner teams (when max-active-levels
+// allows) through the same pools, with team sizes debited against
+// thread-limit-var by a global reservation counter (reserveThreads), so a
+// contention group never oversubscribes its configured budget.
 //
 // # Explicit tasking
 //

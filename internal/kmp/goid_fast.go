@@ -1,0 +1,108 @@
+//go:build amd64 || arm64
+
+package kmp
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// Fast goroutine identity. The portable goidParse pays a runtime.Stack
+// traceback (~microseconds) on every call, which would dominate a warm fork;
+// here the id is read straight out of the runtime.g struct instead: two
+// loads, single-digit nanoseconds.
+//
+// The runtime does not export the g layout, and hard-coding the goid field
+// offset per Go version is a maintenance trap. So the offset is discovered
+// at init by probing: several live goroutines each scan their own g for a
+// word equal to their parsed id, and only an offset on which *every* probe
+// agrees — unambiguously — is trusted. A new Go version that moves the
+// field, clears it, or grows a colliding word degrades to the portable
+// parser instead of misbehaving; TestGoidFastMatchesParse pins the two
+// paths together.
+
+// getg returns the current goroutine's runtime.g pointer (assembly;
+// goid_fast_*.s).
+func getg() unsafe.Pointer
+
+// goidOffset is the byte offset of the goid field inside runtime.g, or -1
+// when probing failed and goid falls back to the stack parse. Written once
+// at init, before any fork can run.
+var goidOffset = probeGoidOffset()
+
+// goidProbeLimit bounds the scan. It must satisfy two pressures: large
+// enough to cover where runtime.g keeps goid (offset ~152 on 64-bit,
+// stable for many releases), and small enough that every probe read stays
+// inside the g allocation — the struct is ~450 bytes, and checkptr (enabled
+// under -race) faults reads past the object's end. If a future runtime
+// moves the field beyond this window the probe misses and goid degrades to
+// the portable parser, which is the designed failure mode.
+const goidProbeLimit = 240
+
+// selfGoidOffsets scans the calling goroutine's own g for words equal to
+// its parsed id. Must run on the goroutine being probed, while it is alive:
+// a dead goroutine's g may be recycled or cleared.
+func selfGoidOffsets() []int {
+	g := getg()
+	id := goidParse()
+	var offs []int
+	for off := 0; off+8 <= goidProbeLimit; off += 8 {
+		if *(*uint64)(unsafe.Add(g, off)) == id {
+			offs = append(offs, off)
+		}
+	}
+	return offs
+}
+
+func probeGoidOffset() int {
+	const probes = 8
+	results := make([][]int, 0, probes+1)
+	results = append(results, selfGoidOffsets())
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < probes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			offs := selfGoidOffsets()
+			mu.Lock()
+			results = append(results, offs)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	match := -1
+	for _, off := range results[0] {
+		inAll := true
+		for _, offs := range results[1:] {
+			found := false
+			for _, o := range offs {
+				if o == off {
+					found = true
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			if match >= 0 {
+				return -1 // ambiguous: two candidate fields, trust neither
+			}
+			match = off
+		}
+	}
+	return match
+}
+
+// goid returns the current goroutine's id: the direct g read when the probe
+// succeeded, the portable stack parse otherwise.
+func goid() uint64 {
+	if off := goidOffset; off >= 0 {
+		return *(*uint64)(unsafe.Add(getg(), off))
+	}
+	return goidParse()
+}

@@ -1,0 +1,11 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func getg() uintptr
+//
+// arm64 dedicates a register to the current g (the assembler's g alias).
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVD g, R0
+	MOVD R0, ret+0(FP)
+	RET

@@ -1,0 +1,55 @@
+//go:build amd64 || arm64
+
+package kmp
+
+import (
+	"sync"
+	"testing"
+)
+
+// The assembly fast path and the portable stack parse must agree on every
+// goroutine — this is the invariant the init-time offset probe certifies,
+// re-checked here across a crowd of concurrent goroutines (including ones
+// born after the probe ran, with ids the probe never saw).
+func TestGoidFastMatchesParse(t *testing.T) {
+	if goidOffset < 0 {
+		t.Skip("offset probe fell back to the portable parser on this runtime")
+	}
+	if fast, parsed := goid(), goidParse(); fast != parsed {
+		t.Fatalf("main goroutine: goid()=%d goidParse()=%d", fast, parsed)
+	}
+	const crowd = 64
+	var wg sync.WaitGroup
+	for i := 0; i < crowd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if fast, parsed := goid(), goidParse(); fast != parsed {
+					t.Errorf("goid()=%d goidParse()=%d", fast, parsed)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// goid must be stable across yields and stack growth: the scheduler may
+// migrate the goroutine between Ms and the runtime may move its stack, but
+// the id read through getg() must not change.
+func TestGoidStableAcrossStackGrowth(t *testing.T) {
+	var grow func(depth int) uint64
+	grow = func(depth int) uint64 {
+		var pad [256]byte
+		_ = pad
+		if depth == 0 {
+			return goid()
+		}
+		return grow(depth - 1)
+	}
+	before := goid()
+	if after := grow(64); after != before {
+		t.Fatalf("goid changed across stack growth: %d → %d", before, after)
+	}
+}

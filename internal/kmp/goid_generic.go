@@ -1,0 +1,7 @@
+//go:build !(amd64 || arm64)
+
+package kmp
+
+// goid returns the current goroutine's id. Architectures without the
+// assembly getg (goid_fast.go) pay the portable stack-header parse.
+func goid() uint64 { return goidParse() }

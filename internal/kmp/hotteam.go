@@ -1,0 +1,218 @@
+package kmp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Hot-team pooling: where parallel regions get their teams from, and the
+// heart of the allocation-free fork fast path.
+//
+// Two tiers:
+//
+//   - A per-goroutine affinity cache, keyed by goroutine id through the same
+//     sharded registry machinery as Current(). A serving goroutine that
+//     repeatedly opens regions parks its team here at join and takes it back
+//     at the next fork without touching any shared free list — the
+//     steady-state path of a request handler is one shard-mutex map
+//     operation, no allocation, no contention with other goroutines (each
+//     gid owns its slot).
+//
+//   - A sharded global free list behind it, for goroutines forking for the
+//     first time and for affinity overflow. Acquisition starts at the
+//     caller's home shard (gid-hashed) and scans the others only on a miss,
+//     so concurrent root forks spread across shards instead of convoying on
+//     one mutex the way the old single-mutex pool did.
+//
+// Both tiers are capped: a burst of ten thousand concurrent regions must not
+// permanently pin ten thousand teams of parked worker goroutines. Overflow
+// teams are disposed — their workers observe the dispose generation, drop
+// their registry bindings and exit.
+
+const (
+	affinityShards = 64
+	poolShards     = 8
+)
+
+type affinitySlot struct {
+	mu sync.Mutex
+	m  map[uint64]*Team
+	_  pad
+}
+
+var (
+	affinityReg   [affinityShards]affinitySlot
+	affinityCount atomic.Int64
+
+	hotPool [poolShards]struct {
+		mu   sync.Mutex
+		free []*Team
+		_    pad
+	}
+	hotPoolCount atomic.Int64
+)
+
+func init() {
+	for i := range affinityReg {
+		affinityReg[i].m = make(map[uint64]*Team)
+	}
+}
+
+// affinityCap bounds the number of teams parked in per-goroutine slots.
+// Goroutines die silently in Go, so a slot whose owner exited can only be
+// reclaimed by TrimTeams or by capping admission; the cap keeps the worst
+// case (many short-lived forking goroutines) at a bounded goroutine count.
+func affinityCap() int64 {
+	n := int64(runtime.GOMAXPROCS(0)) * 8
+	if n < 32 {
+		n = 32
+	}
+	return n
+}
+
+func hotPoolCap() int64 {
+	n := int64(runtime.GOMAXPROCS(0)) * 2
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// affinityGet removes and returns the team parked by goroutine gid, nil on
+// miss. Delete-then-reinsert of the same key reuses the map cell, so the
+// warm cycle allocates nothing.
+func affinityGet(gid uint64) *Team {
+	s := &affinityReg[gid%affinityShards]
+	s.mu.Lock()
+	tm := s.m[gid]
+	if tm != nil {
+		delete(s.m, gid)
+	}
+	s.mu.Unlock()
+	if tm != nil {
+		affinityCount.Add(-1)
+	}
+	return tm
+}
+
+// affinityPut parks tm in gid's slot; false when the slot is taken or the
+// cache is full (the cap check races benignly — a transient overshoot of a
+// few entries is fine, unbounded growth is not).
+func affinityPut(gid uint64, tm *Team) bool {
+	if affinityCount.Load() >= affinityCap() {
+		return false
+	}
+	s := &affinityReg[gid%affinityShards]
+	s.mu.Lock()
+	if _, ok := s.m[gid]; ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.m[gid] = tm
+	s.mu.Unlock()
+	affinityCount.Add(1)
+	return true
+}
+
+// acquireTeam returns a hot team for the forking goroutine: its own parked
+// team if it has one, else a pooled team, else a fresh shell.
+func acquireTeam(gid uint64, v ICV) *Team {
+	if tm := affinityGet(gid); tm != nil {
+		return tm
+	}
+	home := int(gid % poolShards)
+	for i := 0; i < poolShards; i++ {
+		s := &hotPool[(home+i)%poolShards]
+		s.mu.Lock()
+		if n := len(s.free); n > 0 {
+			tm := s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			s.mu.Unlock()
+			hotPoolCount.Add(-1)
+			return tm
+		}
+		s.mu.Unlock()
+	}
+	return newTeam(v)
+}
+
+// releaseTeam parks tm for reuse: affinity slot first, shared shard second,
+// dispose on overflow so the free lists stay capped.
+func releaseTeam(gid uint64, tm *Team) {
+	if affinityPut(gid, tm) {
+		return
+	}
+	if hotPoolCount.Load() >= hotPoolCap() {
+		tm.dispose()
+		return
+	}
+	s := &hotPool[gid%poolShards]
+	s.mu.Lock()
+	s.free = append(s.free, tm)
+	s.mu.Unlock()
+	hotPoolCount.Add(1)
+}
+
+// TrimTeams drains both pooling tiers, disposing every parked team: their
+// worker goroutines unregister and exit, and the memory becomes collectable.
+// Useful for servers scaling down after a burst and for tests that assert on
+// goroutine counts. Regions in flight are unaffected — their teams are not
+// in any pool.
+func TrimTeams() {
+	for i := range affinityReg {
+		s := &affinityReg[i]
+		s.mu.Lock()
+		for gid, tm := range s.m {
+			delete(s.m, gid)
+			affinityCount.Add(-1)
+			tm.dispose()
+		}
+		s.mu.Unlock()
+	}
+	for i := range hotPool {
+		s := &hotPool[i]
+		s.mu.Lock()
+		free := s.free
+		s.free = nil
+		s.mu.Unlock()
+		for _, tm := range free {
+			hotPoolCount.Add(-1)
+			tm.dispose()
+		}
+	}
+}
+
+// Contention-group thread accounting: thread-limit-var caps the *total*
+// number of threads alive across all active regions of the contention group
+// (OpenMP 5.2 §2.4), not just one team's size. liveExtra counts non-master
+// threads currently granted to active regions; a fork reserves up to its
+// request and shrinks to what it got, which is what lets nested
+// non-serialised regions share the limit honestly.
+var liveExtra atomic.Int64
+
+// reserveThreads grants up to want extra threads under limit, returning the
+// grant (possibly 0).
+func reserveThreads(want, limit int64) int64 {
+	for {
+		cur := liveExtra.Load()
+		avail := limit - cur
+		if avail <= 0 {
+			return 0
+		}
+		grant := want
+		if grant > avail {
+			grant = avail
+		}
+		if liveExtra.CompareAndSwap(cur, cur+grant) {
+			return grant
+		}
+	}
+}
+
+func unreserveThreads(n int64) {
+	if n > 0 {
+		liveExtra.Add(-n)
+	}
+}

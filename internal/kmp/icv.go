@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // WaitPolicy controls how threads behave while waiting at barriers and
@@ -71,10 +72,14 @@ type ICV struct {
 	ThreadLimit int
 }
 
+// The live ICV set is published through an atomic pointer to an immutable
+// copy: readers (every fork) pay one atomic load and a struct copy, no lock
+// acquisition — the old RWMutex read path was one of the two global locks on
+// the fork fast path. Writers clone, mutate and swap under icvMu, which only
+// serialises concurrent updaters.
 var (
-	icvMu  sync.RWMutex
-	icv    ICV
-	icvSet bool
+	icvMu  sync.Mutex
+	icvPtr atomic.Pointer[ICV]
 )
 
 // defaultICV builds the boot ICV set from the environment, mirroring
@@ -149,40 +154,40 @@ func parseBool(s string) bool {
 }
 
 // GetICV returns a copy of the current global ICV set, initialising it from
-// the environment on first use.
+// the environment on first use. Lock-free after initialisation.
 func GetICV() ICV {
-	icvMu.RLock()
-	if icvSet {
-		v := icv
-		icvMu.RUnlock()
-		return v
+	if p := icvPtr.Load(); p != nil {
+		return *p
 	}
-	icvMu.RUnlock()
 	icvMu.Lock()
 	defer icvMu.Unlock()
-	if !icvSet {
-		icv = defaultICV()
-		icvSet = true
+	if p := icvPtr.Load(); p != nil {
+		return *p
 	}
-	return icv
+	v := defaultICV()
+	icvPtr.Store(&v)
+	return v
 }
 
-// UpdateICV applies f to the global ICV set under the ICV lock. It backs
-// omp_set_num_threads, omp_set_schedule, omp_set_dynamic and friends.
+// UpdateICV applies f to a clone of the global ICV set and publishes it. It
+// backs omp_set_num_threads, omp_set_schedule, omp_set_dynamic and friends.
 func UpdateICV(f func(*ICV)) {
 	icvMu.Lock()
 	defer icvMu.Unlock()
-	if !icvSet {
-		icv = defaultICV()
-		icvSet = true
+	var v ICV
+	if p := icvPtr.Load(); p != nil {
+		v = *p
+	} else {
+		v = defaultICV()
 	}
-	f(&icv)
-	if icv.NumThreads < 1 {
-		icv.NumThreads = 1
+	f(&v)
+	if v.NumThreads < 1 {
+		v.NumThreads = 1
 	}
-	if icv.MaxActiveLevels < 0 {
-		icv.MaxActiveLevels = 0 // 0 is legal: every region serialises
+	if v.MaxActiveLevels < 0 {
+		v.MaxActiveLevels = 0 // 0 is legal: every region serialises
 	}
+	icvPtr.Store(&v)
 }
 
 // ResetICV re-reads the environment, discarding programmatic changes.
@@ -190,6 +195,6 @@ func UpdateICV(f func(*ICV)) {
 func ResetICV() {
 	icvMu.Lock()
 	defer icvMu.Unlock()
-	icv = defaultICV()
-	icvSet = true
+	v := defaultICV()
+	icvPtr.Store(&v)
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package kmp
+
+// raceEnabled reports whether the binary was built with the race detector.
+const raceEnabled = false

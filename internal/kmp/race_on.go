@@ -1,0 +1,9 @@
+//go:build race
+
+package kmp
+
+// raceEnabled reports whether the binary was built with the race detector.
+// Alloc-count assertions skip under race: the detector's instrumentation
+// allocates, and sync.Pool deliberately drops items at random to widen the
+// schedules it can observe.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package kmp
 import (
 	"context"
 	"fmt"
+	"runtime"
 	rtrace "runtime/trace"
 	"sync"
 	"sync/atomic"
@@ -31,16 +32,47 @@ func (id Ident) String() string {
 // ordinary closure captures in Go; Thread carries gtid/tid.
 type Microtask func(t *Thread)
 
+// Region publication: the master hands a region to its workers through one
+// atomic generation word instead of a channel send per worker. The word
+// packs a monotonically increasing counter in the high bits and the region's
+// team size in the low genNBits, so a worker learns "there is a new region"
+// and "am I in it" from a single load — a worker whose Tid is outside the
+// active size must not touch any other team field, since the master only
+// joins on participating workers and may already be preparing the next
+// region. Size 0 is the dispose sentinel: workers unregister and exit.
+const (
+	genNBits    = 16
+	genNMask    = 1<<genNBits - 1
+	maxTeamSize = genNMask
+)
+
 // Team is a set of cooperating threads executing one parallel region: the
 // analog of libomp's kmp_team_t. Teams are pooled ("hot teams"): workers
-// park on their task channels between regions instead of exiting.
+// spin briefly on the generation word and then park between regions instead
+// of exiting, so a warm fork is a few atomic stores and (for parked workers)
+// one channel token — no allocation, no global lock.
 type Team struct {
 	n       int       // active size for the current region
 	threads []*Thread // len == capacity grown so far; [0] is the master slot
 	workers []*worker // workers[i] drives threads[i+1]
 	barrier Barrier
 	bKind   BarrierKind
-	policy  WaitPolicy
+	// policy is wait-policy-var as of the current region, read atomically
+	// because idle workers consult it while the master re-arms the team.
+	policy atomic.Int32
+
+	// gen is the region-publication word (see genNBits above). Written only
+	// by the goroutine that owns the team (the master of the region being
+	// started, or the pool disposing it); read by workers.
+	gen atomic.Uint64
+
+	// The outlined body of the current region, installed by forkCall before
+	// the gen publish. Exactly one of fnV/fnE is set: fnV for plain regions
+	// (ForkCall/ForkCallCtx), fnE when catch is set (ForkCallErr). Keeping
+	// both avoids wrapping the user's Microtask in a fresh closure per fork.
+	fnV   Microtask
+	fnE   func(*Thread) error
+	catch bool
 
 	// Worksharing state shared by the team (see dispatch.go, sync.go).
 	disp    [dispatchRing]dispatchBuf
@@ -57,23 +89,23 @@ type Team struct {
 
 	// Cancellation state (cancel.go). cancellable is decided at fork: the
 	// cancel-var ICV is set, or the region was launched through the
-	// error/context entry point. cancelCh is closed exactly once when
-	// region cancellation activates, releasing barrier waiters; cbar is the
-	// cancellation-aware barrier cancellable teams synchronise with.
-	// cancelledLoop holds the worksharing sequence number of a loop
-	// instance cancelled by `cancel for` (0 = none).
+	// error/context entry point. cbar is the cancellation-aware barrier
+	// cancellable teams synchronise with; it is allocation-free and re-armed
+	// by reset. cancelledLoop holds the worksharing sequence number of a
+	// loop instance cancelled by `cancel for` (0 = none).
 	cancellable   bool
 	cancelRegion  atomic.Bool
 	cancelledLoop atomic.Uint64
-	cancelCh      chan struct{}
 	cbar          cancelBarrier
 
 	// eb is the error collector of a catch-mode (ForkCallErr) region, nil
 	// otherwise. Task execution consults it so a panic inside an explicit
 	// task — which may run at any scheduling point, including the
 	// region-end drain — converts to the team's error instead of killing
-	// the process.
-	eb *errBox
+	// the process. It points at the team-embedded ebox so catch regions
+	// allocate nothing per fork.
+	eb   *errBox
+	ebox errBox
 
 	// loc is the source location of the region being executed, so
 	// barrier events can be attributed to their region by the profiler.
@@ -81,6 +113,10 @@ type Team struct {
 
 	// join counts region completions (implicit barrier at region end).
 	join sync.WaitGroup
+
+	// reserved is the contention-group thread grant held for the current
+	// region (hotteam.go), returned at join.
+	reserved int64
 
 	serial bool // team of 1 created for a serialised nested region
 }
@@ -91,17 +127,127 @@ func (tm *Team) NumThreads() int { return tm.n }
 // BarrierKind returns the barrier algorithm this team synchronises with.
 func (tm *Team) BarrierKind() BarrierKind { return tm.bKind }
 
+func (tm *Team) waitPolicy() WaitPolicy { return WaitPolicy(tm.policy.Load()) }
+
+// worker is one persistent team goroutine. Between regions it waits on the
+// team's generation word: a short spin (longer under OMP_WAIT_POLICY=active)
+// and then a park on its buffered token channel, which the master tops up
+// after publishing — the Dekker-style parked flag keeps the no-wake race
+// closed without the master paying a send to workers that are still
+// spinning.
 type worker struct {
-	tasks chan Microtask
-	th    *Thread
+	th     *Thread
+	parked atomic.Uint32
+	park   chan struct{} // cap 1: at most one stale token, consumed harmlessly
 }
 
-func (w *worker) loop(tm *Team) {
-	registerCurrent(w.th)
-	for task := range w.tasks {
-		task(w.th)
-		tm.join.Done()
+// await returns the next generation word differing from last.
+func (w *worker) await(tm *Team, last uint64) uint64 {
+	spins := 128
+	if tm.waitPolicy() == WaitActive {
+		spins = 16384
 	}
+	for i := 0; i < spins; i++ {
+		if g := tm.gen.Load(); g != last {
+			return g
+		}
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		w.parked.Store(1)
+		if g := tm.gen.Load(); g != last {
+			w.parked.Store(0)
+			return g
+		}
+		<-w.park
+		w.parked.Store(0)
+		if g := tm.gen.Load(); g != last {
+			return g
+		}
+	}
+}
+
+// wake unparks the worker if (and only if) it may be parked. The token
+// channel is buffered and the send non-blocking: a worker that raced past
+// the parked flag leaves at most one stale token behind, which the next
+// park consumes and rechecks.
+func (w *worker) wake() {
+	if w.parked.Load() != 0 {
+		select {
+		case w.park <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// loop is the persistent worker body. last is the generation word at spawn
+// time, sampled by the master before publishing the worker's first region.
+func (w *worker) loop(tm *Team, last uint64) {
+	gid, _ := registerCurrent(w.th)
+	for {
+		g := w.await(tm, last)
+		last = g
+		n := int(g & genNMask)
+		if n == 0 { // dispose sentinel: the pool is retiring this team
+			unregister(gid, nil)
+			return
+		}
+		if w.th.Tid < n {
+			tm.runRegion(w.th)
+			tm.join.Done()
+		}
+	}
+}
+
+// runRegion executes the published region body on th, including the
+// region-end task drain: the implicit barrier at region end must also
+// complete every explicit task spawned in the region (task.go). In catch
+// mode the drain moves into the deferred recovery so a panicking thread
+// still helps (or discards) outstanding tasks before leaving.
+func (tm *Team) runRegion(th *Thread) {
+	if tm.catch {
+		defer func() {
+			if r := recover(); r != nil {
+				tm.ebox.set(fmt.Errorf("omp: panic in parallel region: %v", r))
+				tm.cancel()
+			}
+			th.taskDrain()
+		}()
+		if err := tm.fnE(th); err != nil {
+			tm.ebox.set(err)
+			tm.cancel()
+		}
+		return
+	}
+	tm.fnV(th)
+	th.taskDrain()
+}
+
+// publish starts the next region generation and wakes its parked workers.
+// All region state (body, loc, thread levels, join count) must be written
+// before the call: the gen store is the release edge workers synchronise on.
+func (tm *Team) publish(n int) {
+	c := tm.gen.Load() >> genNBits
+	tm.gen.Store((c+1)<<genNBits | uint64(n))
+	for _, w := range tm.workers[:n-1] {
+		w.wake()
+	}
+}
+
+// dispose retires the team: workers observe the sentinel generation,
+// unregister and exit. Must only be called by a goroutine owning the team
+// outside any region (the pool caps, TrimTeams).
+func (tm *Team) dispose() {
+	c := tm.gen.Load() >> genNBits
+	tm.gen.Store((c + 1) << genNBits)
+	for _, w := range tm.workers {
+		w.wake()
+	}
+	tm.workers = nil
+	tm.threads = nil
+	tm.barrier = nil
 }
 
 // newTeam allocates a team shell; threads/workers are grown on demand.
@@ -109,7 +255,8 @@ func (w *worker) loop(tm *Team) {
 // initial thread's 0) so concurrent teams' masters stay distinguishable
 // on per-thread timeline tracks.
 func newTeam(v ICV) *Team {
-	tm := &Team{bKind: v.Barrier, policy: v.WaitPolicy}
+	tm := &Team{bKind: v.Barrier}
+	tm.policy.Store(int32(v.WaitPolicy))
 	master := &Thread{Gtid: nextGtid(), Tid: 0, team: tm}
 	tm.threads = []*Thread{master}
 	for i := range tm.disp {
@@ -119,18 +266,20 @@ func newTeam(v ICV) *Team {
 }
 
 // resize prepares the team to run a region of n threads, spawning workers
-// and rebuilding the barrier as needed.
-func (tm *Team) resize(n int) {
+// and rebuilding the barrier as needed. Only the owning master calls it,
+// between regions.
+func (tm *Team) resize(n int, v ICV) {
+	tm.policy.Store(int32(v.WaitPolicy))
 	for len(tm.threads) < n {
 		th := &Thread{Gtid: nextGtid(), Tid: len(tm.threads), team: tm}
-		w := &worker{tasks: make(chan Microtask, 1), th: th}
+		w := &worker{th: th, park: make(chan struct{}, 1)}
 		tm.threads = append(tm.threads, th)
 		tm.workers = append(tm.workers, w)
-		go w.loop(tm)
+		go w.loop(tm, tm.gen.Load())
 	}
-	if tm.barrier == nil || tm.barrier.Size() != n || tm.bKind != GetICV().Barrier {
-		tm.bKind = GetICV().Barrier
-		tm.barrier = NewBarrier(tm.bKind, n, tm.policy)
+	if tm.barrier == nil || tm.barrier.Size() != n || tm.bKind != v.Barrier {
+		tm.bKind = v.Barrier
+		tm.barrier = NewBarrier(tm.bKind, n, v.WaitPolicy)
 	}
 	tm.n = n
 }
@@ -149,10 +298,9 @@ func (tm *Team) reset() {
 	tm.cancellable = false
 	tm.cancelRegion.Store(false)
 	tm.cancelledLoop.Store(0)
-	tm.cancelCh = nil
-	// cbar is re-armed at fork only for cancellable regions — the hot-team
-	// fast path must not pay a channel allocation per region.
+	tm.cbar.reset()
 	tm.eb = nil
+	tm.ebox.err = nil
 	for _, th := range tm.threads {
 		th.dispatchSeq = 0
 		th.singleSeq = 0
@@ -168,30 +316,6 @@ func (tm *Team) reset() {
 		// dropping the ring releases them and any growth.
 		th.deque.release()
 	}
-}
-
-// Global pool of hot teams. Concurrent root forks (e.g. parallel tests) each
-// draw their own team, so independent parallel regions never share barriers.
-var teamPool struct {
-	mu   sync.Mutex
-	free []*Team
-}
-
-func acquireTeam(v ICV) *Team {
-	teamPool.mu.Lock()
-	defer teamPool.mu.Unlock()
-	if n := len(teamPool.free); n > 0 {
-		tm := teamPool.free[n-1]
-		teamPool.free = teamPool.free[:n-1]
-		return tm
-	}
-	return newTeam(v)
-}
-
-func releaseTeam(tm *Team) {
-	teamPool.mu.Lock()
-	defer teamPool.mu.Unlock()
-	teamPool.free = append(teamPool.free, tm)
 }
 
 // errBox collects the first error a team reports. First writer wins, as
@@ -226,11 +350,10 @@ func (b *errBox) set(err error) {
 // Nested parallel regions — fn itself calling ForkCall — serialise to a team
 // of one once the active nesting depth reaches the max-active-levels ICV
 // (default 1), matching the OpenMP default of disabled nested parallelism.
+// With the cap lifted (SetMaxActiveLevels), inner regions fork real teams,
+// bounded collectively by thread-limit-var across the contention group.
 func ForkCall(loc Ident, nthreads int, fn Microtask) {
-	forkCall(loc, nthreads, nil, false, func(t *Thread) error {
-		fn(t)
-		return nil
-	})
+	forkCall(loc, nthreads, nil, false, fn, nil)
 }
 
 // ForkCallErr is the error- and context-aware fork behind omp.ParallelErr
@@ -246,7 +369,7 @@ func ForkCall(loc Ident, nthreads int, fn Microtask) {
 //
 // The serialised-region and hot-team mechanics are shared with ForkCall.
 func ForkCallErr(loc Ident, nthreads int, ctx context.Context, fn func(*Thread) error) error {
-	return forkCall(loc, nthreads, ctx, true, fn)
+	return forkCall(loc, nthreads, ctx, true, nil, fn)
 }
 
 // ForkCallCtx is ForkCall with a context bound: ctx cancellation tears the
@@ -254,52 +377,64 @@ func ForkCallErr(loc Ident, nthreads int, ctx context.Context, fn func(*Thread) 
 // error is reported — the void-construct variant of ForkCallErr, backing
 // omp.Parallel+WithContext.
 func ForkCallCtx(loc Ident, nthreads int, ctx context.Context, fn Microtask) {
-	forkCall(loc, nthreads, ctx, false, func(t *Thread) error {
-		fn(t)
-		return nil
-	})
+	forkCall(loc, nthreads, ctx, false, fn, nil)
 }
 
-func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fn func(*Thread) error) error {
+// forkCall is the common fork path. Exactly one of fnV/fnE is non-nil:
+// fnE when catch is set. Keeping the two shapes separate (instead of
+// wrapping fnV in an adapter closure) is what lets a warm fork run without
+// allocating.
+func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fnV Microtask, fnE func(*Thread) error) error {
 	v := GetICV()
 	n := nthreads
 	if n <= 0 {
 		n = v.NumThreads
 	}
-	if v.ThreadLimit > 0 && n > v.ThreadLimit {
-		n = v.ThreadLimit
-	}
 	if n < 1 {
 		n = 1
 	}
+	if n > maxTeamSize {
+		n = maxTeamSize
+	}
 
+	// One stack-header parse per fork: the gid keys the current-thread
+	// lookup, the master registration and the team-affinity cache.
+	gid := goid()
+	cur := lookupThread(gid)
 	level := 1
 	curActive := 0
-	if cur := Current(); cur != nil {
+	if cur != nil {
 		level = cur.Level + 1
 		curActive = cur.ActiveLevel
 	}
 	if curActive+1 > v.MaxActiveLevels {
 		n = 1 // serialised region: max-active-levels-var reached
 	}
+	// thread-limit-var caps the contention group's total live threads: the
+	// fork keeps the master and reserves the extras, shrinking to whatever
+	// the group has left (hotteam.go). A region that gets nothing
+	// serialises, which is the conforming minimum.
+	var reserved int64
+	if n > 1 && v.ThreadLimit > 0 {
+		reserved = reserveThreads(int64(n-1), int64(v.ThreadLimit-1))
+		n = int(reserved) + 1
+	}
 	cancellable := catch || ctx != nil || v.Cancellation
 
 	if n == 1 {
-		return forkSerial(level, curActive, ctx, catch, cancellable, fn)
+		return forkSerial(gid, level, curActive, ctx, catch, cancellable, fnV, fnE)
 	}
 
-	tm := acquireTeam(v)
-	tm.resize(n)
+	tm := acquireTeam(gid, v)
+	tm.resize(n, v)
 	tm.reset()
 	tm.loc = loc
 	tm.cancellable = cancellable
-	if cancellable {
-		tm.cancelCh = make(chan struct{})
-		tm.cbar.reset()
-	}
-	var eb errBox
+	tm.catch = catch
+	tm.fnV, tm.fnE = fnV, fnE
+	tm.reserved = reserved
 	if catch {
-		tm.eb = &eb
+		tm.eb = &tm.ebox
 	}
 	for _, th := range tm.threads[:n] {
 		th.Level = level
@@ -319,39 +454,13 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fn func(
 
 	stopWatch, watchDone := watchContext(ctx, tm)
 
-	// The implicit barrier at region end must also complete every explicit
-	// task spawned in the region, so each thread drains the team's task
-	// pool after the region body returns (task.go). In catch mode the drain
-	// moves into the deferred recovery so a panicking thread still helps
-	// (or discards) outstanding tasks before leaving.
-	run := func(th *Thread) {
-		if catch {
-			defer func() {
-				if r := recover(); r != nil {
-					eb.set(fmt.Errorf("omp: panic in parallel region: %v", r))
-					tm.cancel()
-				}
-				th.taskDrain()
-			}()
-			if err := fn(th); err != nil {
-				eb.set(err)
-				tm.cancel()
-			}
-			return
-		}
-		fn(th)
-		th.taskDrain()
-	}
-
 	tm.join.Add(n - 1)
-	for i := 1; i < n; i++ {
-		tm.workers[i-1].tasks <- run
-	}
+	tm.publish(n)
 
 	// The caller runs as the master. Its goroutine may already be
 	// registered (nested enabled); stack the registration for the region.
-	gid, prev := registerCurrent(master)
-	run(master)
+	prev := registerThread(gid, master)
+	tm.runRegion(master)
 	unregister(gid, prev)
 
 	tm.join.Wait()
@@ -373,10 +482,15 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fn func(
 		<-watchDone
 	}
 	if ctx != nil && tm.cancelRegion.Load() {
-		eb.set(ctx.Err())
+		tm.ebox.set(ctx.Err())
 	}
-	err := eb.err
-	releaseTeam(tm)
+	err := tm.ebox.err
+	// Drop the body references before pooling: a parked team must not keep
+	// the caller's captures alive.
+	tm.fnV, tm.fnE = nil, nil
+	unreserveThreads(tm.reserved)
+	tm.reserved = 0
+	releaseTeam(gid, tm)
 	return err
 }
 
@@ -384,35 +498,55 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fn func(
 // cancelled, region cancellation activates. The caller must stop the
 // returned watcher (and, if stopping lost the race, wait on done) before
 // recycling the team.
-func watchContext(ctx context.Context, tm *Team) (stop func() bool, done chan struct{}) {
+func watchContext(ctx context.Context, tm *Team) (func() bool, chan struct{}) {
+	// The locals live inside the non-nil branch: were they named returns,
+	// the closure capture would heap-allocate their cells at function entry
+	// and put an allocation on the ctx-less fast path too.
 	if ctx == nil {
 		return nil, nil
 	}
-	done = make(chan struct{})
-	stop = context.AfterFunc(ctx, func() {
+	done := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
 		tm.cancel()
 		close(done)
 	})
 	return stop, done
 }
 
-// forkSerial runs fn as a team of one on the calling goroutine: the lowering
-// of a serialised (nested or single-thread) parallel region — libomp's
-// __kmpc_serialized_parallel.
-func forkSerial(level, curActive int, ctx context.Context, catch, cancellable bool, fn func(*Thread) error) (err error) {
-	tm := &Team{n: 1, serial: true, policy: GetICV().WaitPolicy}
-	tm.cancellable = cancellable
-	if cancellable {
-		tm.cancelCh = make(chan struct{})
-	}
-	th := &Thread{Gtid: nextGtid(), Tid: 0, Level: level, ActiveLevel: curActive, team: tm}
+// serialTeams pools the team-of-one shells serialised regions run on: the
+// path every region takes once max-active-levels is reached, and every
+// region on a single-processor host. Before pooling, each such region paid
+// a fresh Team, Thread, barrier and dispatch-ring setup — the dominant cost
+// of a serialised fork.
+var serialTeams = sync.Pool{New: func() any { return newSerialTeam() }}
+
+// serialBarrier is shared by all serial teams: a one-thread barrier is
+// stateless (Wait returns immediately), so one instance serves every team.
+var serialBarrier = newCentralBarrier(1)
+
+func newSerialTeam() *Team {
+	tm := &Team{n: 1, serial: true}
+	th := &Thread{Gtid: nextGtid(), Tid: 0, team: tm}
 	tm.threads = []*Thread{th}
-	tm.barrier = newCentralBarrier(1)
+	tm.barrier = serialBarrier
 	for i := range tm.disp {
 		tm.disp[i].init()
 	}
+	return tm
+}
+
+// forkSerial runs the body as a team of one on the calling goroutine: the
+// lowering of a serialised (nested or single-thread) parallel region —
+// libomp's __kmpc_serialized_parallel — on a pooled shell.
+func forkSerial(gid uint64, level, curActive int, ctx context.Context, catch, cancellable bool, fnV Microtask, fnE func(*Thread) error) (err error) {
+	tm := serialTeams.Get().(*Team)
+	tm.reset()
+	tm.cancellable = cancellable
+	th := tm.threads[0]
+	th.Level = level
+	th.ActiveLevel = curActive
 	stopWatch, watchDone := watchContext(ctx, tm)
-	gid, prev := registerCurrent(th)
+	prev := registerThread(gid, th)
 	defer func() {
 		unregister(gid, prev)
 		if catch {
@@ -426,8 +560,13 @@ func forkSerial(level, curActive int, ctx context.Context, catch, cancellable bo
 		if err == nil && ctx != nil && tm.cancelRegion.Load() {
 			err = ctx.Err()
 		}
+		serialTeams.Put(tm)
 	}()
-	return fn(th)
+	if catch {
+		return fnE(th)
+	}
+	fnV(th)
+	return nil
 }
 
 // Barrier blocks until every thread of the team has reached it: the lowering

@@ -1,9 +1,7 @@
 package kmp
 
 import (
-	"bytes"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -119,35 +117,51 @@ func init() {
 	}
 }
 
-// goid extracts the current goroutine's id from the runtime stack header
-// ("goroutine 123 [running]:"). There is no supported API for this; the
-// parse is confined to registration and the implicit-lookup fallback.
-func goid() uint64 {
-	var buf [40]byte
-	n := runtime.Stack(buf[:], false)
-	// Skip "goroutine ".
-	b := buf[:n]
-	if i := bytes.IndexByte(b, ' '); i >= 0 {
-		b = b[i+1:]
+// goidParse extracts the current goroutine's id from the runtime stack
+// header ("goroutine 123 [running]:"). There is no supported API for this;
+// the parse is confined to registration, the implicit-lookup fallback and
+// validation of the fast path (goid_fast.go), which replaces it on
+// amd64/arm64 — a runtime.Stack traceback costs microseconds, which would
+// dominate a warm fork.
+//
+// goidParse can sit on the zero-allocation fork fast path (as goid() on
+// architectures without the assembly getg), which dictates two details: the
+// scratch buffer is pooled, because runtime.Stack parks its argument in the
+// g's write buffer and thereby forces it to escape; and the digits are
+// decoded by hand, because strconv.ParseUint would force a heap-escaping
+// []byte→string conversion (its error path retains the input).
+var goidBufs = sync.Pool{New: func() any { return new([64]byte) }}
+
+func goidParse() uint64 {
+	p := goidBufs.Get().(*[64]byte)
+	n := runtime.Stack(p[:], false)
+	b := p[:n]
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < len(b) && b[i] >= '0' && b[i] <= '9'; i++ {
+		id = id*10 + uint64(b[i]-'0')
 	}
-	if i := bytes.IndexByte(b, ' '); i >= 0 {
-		b = b[:i]
-	}
-	id, _ := strconv.ParseUint(string(b), 10, 64)
+	goidBufs.Put(p)
 	return id
 }
 
-// registerCurrent binds the calling goroutine to t and returns the goroutine
-// id plus the previous binding, so nested regions (the master goroutine is
-// already a worker of the outer team) can be stacked and unwound.
-func registerCurrent(t *Thread) (uint64, *Thread) {
-	id := goid()
+// registerThread binds goroutine id to t and returns the previous binding,
+// so nested regions (the master goroutine is already a worker of the outer
+// team) can be stacked and unwound. The caller supplies the id so the fork
+// path parses the stack header exactly once.
+func registerThread(id uint64, t *Thread) *Thread {
 	s := &goidReg[id%goidShards]
 	s.mu.Lock()
 	prev := s.m[id]
 	s.m[id] = t
 	s.mu.Unlock()
-	return id, prev
+	return prev
+}
+
+// registerCurrent binds the calling goroutine to t; see registerThread.
+func registerCurrent(t *Thread) (uint64, *Thread) {
+	id := goid()
+	return id, registerThread(id, t)
 }
 
 // unregister restores the previous binding of goroutine id (nil removes it).
@@ -162,15 +176,17 @@ func unregister(id uint64, prev *Thread) {
 	s.mu.Unlock()
 }
 
-// Current returns the *Thread of the calling goroutine, or nil when the
-// caller is not part of any team (it is then the "initial thread" in OpenMP
-// terms). This backs the implicit omp_get_thread_num-style API; generated
-// code passes *Thread explicitly instead and never pays this lookup.
-func Current() *Thread {
-	id := goid()
+// lookupThread returns the *Thread bound to goroutine id, or nil.
+func lookupThread(id uint64) *Thread {
 	s := &goidReg[id%goidShards]
 	s.mu.RLock()
 	t := s.m[id]
 	s.mu.RUnlock()
 	return t
 }
+
+// Current returns the *Thread of the calling goroutine, or nil when the
+// caller is not part of any team (it is then the "initial thread" in OpenMP
+// terms). This backs the implicit omp_get_thread_num-style API; generated
+// code passes *Thread explicitly instead and never pays this lookup.
+func Current() *Thread { return lookupThread(goid()) }

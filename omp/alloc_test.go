@@ -1,0 +1,61 @@
+package omp
+
+import (
+	"fmt"
+	"runtime/debug"
+	"testing"
+)
+
+// The serving guarantee at the public API: once a team is warm, a
+// non-cancellable Parallel region — with or without the common options —
+// allocates nothing per region. This is the property that lets a
+// request-per-region server run at a steady heap size. CI runs this test;
+// it is the regression guard for the whole fork fast path (pooled teams,
+// pooled configs, cached options, hoisted closures).
+func TestParallelWarmZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and sync.Pool drops items at random under -race")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, n := range []int{1, 2} {
+		n := n
+		t.Run(fmt.Sprintf("threads=%d", n), func(t *testing.T) {
+			body := func(t *Thread) {}
+			Parallel(body, NumThreads(n)) // spawn workers, prime pools
+			if got := testing.AllocsPerRun(100, func() {
+				Parallel(body, NumThreads(n))
+			}); got != 0 {
+				t.Fatalf("warm Parallel(NumThreads(%d)): %.1f allocs/region, want 0", n, got)
+			}
+		})
+	}
+}
+
+// The no-options path and a worksharing loop inside the region must also
+// stay allocation-free: ForRange's implicit barrier and static scheduling
+// run entirely on team-owned state.
+func TestParallelForRangeWarmZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and sync.Pool drops items at random under -race")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var data [256]float64
+	sums := [2]struct {
+		v float64
+		_ [56]byte
+	}{}
+	body := func(t *Thread) {
+		tid := t.Tid
+		ForRange(t, int64(len(data)), func(lo, hi int64) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			sums[tid].v += s
+		})
+	}
+	Parallel(body, NumThreads(2))
+	if got := testing.AllocsPerRun(100, func() { Parallel(body, NumThreads(2)) }); got != 0 {
+		t.Fatalf("warm Parallel+ForRange: %.1f allocs/region, want 0", got)
+	}
+}

@@ -189,3 +189,13 @@ func GetCancellation() bool { return kmp.GetICV().Cancellation }
 // OpenMP exposes cancel-var only through the environment, but a library API
 // has no reason to force a re-exec to flip it.
 func SetCancellation(on bool) { kmp.UpdateICV(func(v *kmp.ICV) { v.Cancellation = on }) }
+
+// TrimTeams releases every idle cached team: worker goroutines exit and the
+// team structures become garbage. The runtime keeps finished teams warm
+// (goroutines parked, structures pooled) so the next Parallel forks without
+// allocating; a server that has gone quiet can call TrimTeams to hand that
+// memory back. Teams serving in-flight regions are untouched, and the next
+// region simply rebuilds from cold. An extension — libomp has no equivalent
+// (its kmp_set_defaults knob is close in spirit), but a long-lived Go
+// process benefits from an explicit drain.
+func TrimTeams() { kmp.TrimTeams() }

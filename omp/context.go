@@ -45,8 +45,10 @@ func WithContext(ctx context.Context) Option {
 // team thread is recovered and returned as an error instead of crashing the
 // process. The team is always cancellable, regardless of OMP_CANCELLATION.
 func ParallelErr(body func(t *Thread) error, opts ...Option) error {
-	var c config
-	c.apply(opts)
+	if len(opts) == 0 {
+		return kmp.ForkCallErr(kmp.Ident{Region: "parallel"}, 0, nil, body)
+	}
+	c := getConfig(opts)
 	n := c.numThreads
 	if c.hasIf && !c.ifClause {
 		n = 1
@@ -54,7 +56,9 @@ func ParallelErr(body func(t *Thread) error, opts ...Option) error {
 	if c.loc.Region == "" {
 		c.loc.Region = "parallel"
 	}
-	return kmp.ForkCallErr(c.loc, n, c.ctx, body)
+	loc, ctx := c.loc, c.ctx
+	putConfig(c)
+	return kmp.ForkCallErr(loc, n, ctx, body)
 }
 
 // ParallelForErr fuses ParallelErr and For: body receives each iteration of

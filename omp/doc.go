@@ -154,6 +154,29 @@
 // collapse can consume (at most its depth), unroll consumes the loop
 // structure entirely and leaves a trip%factor scalar remainder loop.
 //
+// # Serving: warm regions and the fork fast path
+//
+// Parallel is cheap enough to sit on a request path. After the first
+// region from a given goroutine, the runtime's team affinity hands the
+// same warm team back on every subsequent fork: workers are already
+// spawned (parked on an atomic generation word between regions), the
+// barrier is already sized, and the whole fork/join round trip allocates
+// nothing — including the common options (NumThreads up to 64, NoWait,
+// OrderedClause, If), which are cached singletons, and worksharing loops
+// inside the region. TestParallelWarmZeroAlloc pins the property;
+// BenchmarkServingRegions measures many concurrent goroutines each
+// running private regions, the serving shape.
+//
+// Two knobs matter for servers. OMP_WAIT_POLICY chooses how long a
+// worker spins before parking between regions — passive (default) parks
+// quickly and coexists with oversubscription; active trades CPU for
+// latency. TrimTeams releases every idle cached team (workers exit,
+// structures become garbage) for processes that have gone quiet; the
+// next Parallel simply rebuilds from cold. Cancellable regions
+// (SetCancellation(true)) and context-bound regions (WithContext) stay on
+// the fast path; only the context watcher goroutine is an extra cost, paid
+// per region, and only when a context is actually supplied.
+//
 // # Migrating from the v1 internal API
 //
 // The old import path gomp/internal/omp remains a forwarding shim, so v1

@@ -2,6 +2,7 @@ package omp
 
 import (
 	"context"
+	"sync"
 
 	"gomp/internal/kmp"
 )
@@ -40,8 +41,44 @@ func (c *config) apply(opts []Option) {
 	}
 }
 
+// Because every Option is an opaque func(*config), applying one forces the
+// config to escape; a heap-allocated config per construct would put an
+// allocation on the fork fast path that the runtime below works hard to
+// keep at zero. Constructs therefore draw their config from a pool (and the
+// common clause constructors below hand out cached Options, so the clause
+// spelling `omp.Parallel(body, omp.NumThreads(4))` allocates nothing).
+var cfgPool = sync.Pool{New: func() any { return new(config) }}
+
+func getConfig(opts []Option) *config {
+	c := cfgPool.Get().(*config)
+	*c = config{}
+	c.apply(opts)
+	return c
+}
+
+func putConfig(c *config) {
+	*c = config{} // drop ctx/deps references before pooling
+	cfgPool.Put(c)
+}
+
+// numThreadsOpts caches the small team-size requests so the num_threads
+// clause is allocation-free for every size a real machine has.
+var numThreadsOpts = func() [65]Option {
+	var a [65]Option
+	for i := range a {
+		n := i
+		a[i] = func(c *config) { c.numThreads = n }
+	}
+	return a
+}()
+
 // NumThreads is the num_threads clause: request a team of n.
-func NumThreads(n int) Option { return func(c *config) { c.numThreads = n } }
+func NumThreads(n int) Option {
+	if n >= 0 && n < len(numThreadsOpts) {
+		return numThreadsOpts[n]
+	}
+	return func(c *config) { c.numThreads = n }
+}
 
 // Schedule is the schedule clause. chunk 0 means unspecified, as in the
 // packed encoding of Section III-A2. mods carries the optional
@@ -69,19 +106,31 @@ func Schedule(kind SchedKind, chunk int64, mods ...SchedModifier) Option {
 
 // NoWait is the nowait clause: skip the implicit barrier at the end of a
 // worksharing construct.
-func NoWait() Option { return func(c *config) { c.nowait = true } }
+func NoWait() Option { return noWaitOpt }
+
+var noWaitOpt Option = func(c *config) { c.nowait = true }
 
 // OrderedClause is the ordered clause of a worksharing loop: the loop's
 // chunks dispatch monotonically (the compliance path stealing must not
 // reorder) and its body may contain Ordered regions, which then execute in
 // sequential iteration order.
-func OrderedClause() Option { return func(c *config) { c.ordered = true } }
+func OrderedClause() Option { return orderedOpt }
+
+var orderedOpt Option = func(c *config) { c.ordered = true }
 
 // If is the if clause: when cond is false the parallel region executes on a
 // team of one.
 func If(cond bool) Option {
-	return func(c *config) { c.ifClause = cond; c.hasIf = true }
+	if cond {
+		return ifTrueOpt
+	}
+	return ifFalseOpt
 }
+
+var (
+	ifTrueOpt  Option = func(c *config) { c.ifClause = true; c.hasIf = true }
+	ifFalseOpt Option = func(c *config) { c.ifClause = false; c.hasIf = true }
+)
 
 // Loc attaches the pragma's source position; generated code passes it so
 // runtime traces point at the user's directive.
@@ -93,8 +142,11 @@ func Loc(file string, line int, region string) Option {
 // `//omp parallel`. body executes once on every team thread; the call
 // returns after the implicit join barrier.
 func Parallel(body func(t *Thread), opts ...Option) {
-	var c config
-	c.apply(opts)
+	if len(opts) == 0 {
+		kmp.ForkCall(kmp.Ident{Region: "parallel"}, 0, body)
+		return
+	}
+	c := getConfig(opts)
 	n := c.numThreads
 	if c.hasIf && !c.ifClause {
 		n = 1
@@ -102,11 +154,13 @@ func Parallel(body func(t *Thread), opts ...Option) {
 	if c.loc.Region == "" {
 		c.loc.Region = "parallel"
 	}
-	if c.ctx != nil {
-		kmp.ForkCallCtx(c.loc, n, c.ctx, body)
+	loc, ctx := c.loc, c.ctx
+	putConfig(c)
+	if ctx != nil {
+		kmp.ForkCallCtx(loc, n, ctx, body)
 		return
 	}
-	kmp.ForkCall(c.loc, n, body)
+	kmp.ForkCall(loc, n, body)
 }
 
 // For runs a worksharing loop of trip iterations inside a parallel region:
@@ -130,8 +184,26 @@ func For(t *Thread, trip int64, body func(i int64), opts ...Option) {
 // the construct — binds to a team of one and runs the whole range, as the
 // OpenMP standard specifies.
 func ForRange(t *Thread, trip int64, body func(lo, hi int64), opts ...Option) {
-	var c config
-	c.apply(opts)
+	if len(opts) == 0 {
+		// The common schedule(static) loop with the implicit barrier:
+		// skipped config machinery keeps the per-loop cost allocation-free.
+		if t == nil || !t.InParallel() {
+			if trip <= 0 {
+				return
+			}
+			if t.Cancellable() {
+				kmp.ForStatic(t, trip, 0, body)
+				return
+			}
+			body(0, trip)
+			return
+		}
+		kmp.ForStatic(t, trip, 0, body)
+		t.Barrier()
+		return
+	}
+	c := getConfig(opts)
+	defer putConfig(c)
 	if t == nil || !t.InParallel() {
 		if trip <= 0 {
 			return
@@ -216,12 +288,16 @@ func Critical(name string, body func()) { kmp.Critical(name, body) }
 // Single runs body on exactly one team thread: the single directive, with
 // the implicit barrier unless NoWait.
 func Single(t *Thread, body func(), opts ...Option) {
-	var c config
-	c.apply(opts)
+	nowait := false
+	if len(opts) > 0 {
+		c := getConfig(opts)
+		nowait = c.nowait
+		putConfig(c)
+	}
 	if t.Single() {
 		body()
 	}
-	if !c.nowait {
+	if !nowait {
 		t.Barrier()
 	}
 }
@@ -238,8 +314,8 @@ func Masked(t *Thread, body func()) {
 // directive, one section per function, with the implicit barrier unless
 // NoWait.
 func Sections(t *Thread, blocks []func(), opts ...Option) {
-	var c config
-	c.apply(opts)
+	c := getConfig(opts)
+	defer putConfig(c)
 	if t == nil || !t.InParallel() {
 		for _, b := range blocks { // orphaned: team of one runs them all
 			b()

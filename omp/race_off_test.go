@@ -1,0 +1,5 @@
+//go:build !race
+
+package omp
+
+const raceEnabled = false

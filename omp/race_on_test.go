@@ -1,0 +1,8 @@
+//go:build race
+
+package omp
+
+// raceEnabled mirrors internal/kmp's constant for test use: alloc-count
+// assertions skip under the race detector, whose instrumentation allocates
+// and whose sync.Pool deliberately drops items at random.
+const raceEnabled = true
