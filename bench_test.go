@@ -136,7 +136,10 @@ func BenchmarkTable1CGTraced(b *testing.B) {
 		})
 	}
 	b.StopTimer()
-	if p.Metrics().Forks.Value() == 0 {
+	// Serialised (team-of-one) regions emit no fork events, so on a
+	// single-CPU host — where benchThreads() is just {1} — zero forks is
+	// the expected outcome, not a broken collector.
+	if p.Metrics().Forks.Value() == 0 && len(benchThreads()) > 1 {
 		b.Fatal("collector installed but no fork events recorded")
 	}
 }

@@ -20,6 +20,11 @@
 // func main gains the profiler lifecycle, so the built program prints a
 // flat profile naming the user's pragma locations on exit (see the omp
 // package's Profile for the GOMP_TRACE_JSON / GOMP_METRICS switches).
+// Setting GOMP_DEBUG_ADDR on such a binary additionally serves the live
+// /debug/gomp endpoint suite — worker states, OpenMetrics scrape,
+// on-demand profile/timeline windows, imbalance analysis — for its
+// whole run, so a long-lived instrumented program is monitorable
+// without rebuilding.
 //
 // -module hands the whole tree to the build driver (internal/driver): a
 // crawl that respects build tags and skips vendor/testdata/generated

@@ -177,6 +177,36 @@
 // documented <10% budget; disabled collection is the one atomic load
 // per site and does not move the benchmark.
 //
+// # Live monitoring
+//
+// A serving process is inspectable over HTTP while it runs. Every
+// pooled runtime thread maintains a packed atomic state word — activity
+// (running / in-barrier / stealing / spinning / parked) plus an
+// interned region-location id — updated with single owner-side stores
+// on paths the thread already executes, so a sampler snapshots the
+// whole runtime without stopping the world and without perturbing the
+// allocation-free fork fast path. omp.ServeDebug (or GOMP_DEBUG_ADDR on
+// a `gompcc -profile` build, or `npbsuite -serve`) mounts the suite:
+//
+//	/debug/gomp/status    live teams and per-worker state words (JSON)
+//	/debug/gomp/metrics   the metrics registry in OpenMetrics /
+//	                      Prometheus text exposition format
+//	/debug/gomp/profile   ?seconds=N on-demand capture window → the
+//	                      text report
+//	/debug/gomp/timeline  ?seconds=N capture window → Chrome trace JSON
+//	/debug/gomp/regions   per-region imbalance / blame analysis
+//	/debug/vars           standard expvar, including the "gomp"
+//	                      registry snapshot
+//
+// The analysis layer splits each region's busy time (loop participation
+// plus task bodies) by worker and reports (max−mean)/mean imbalance,
+// the straggler's global thread id with the teammate idle time it
+// caused, measured barrier wait, and the what-if speedup (max/mean) a
+// balanced redistribution would recover — the difference between "this
+// region is slow" and "thread 4's block of the triangular loop makes
+// everyone else wait, dynamic scheduling would buy 1.7x". See
+// examples/monitor for a self-scraping demonstration.
+//
 // # Build integration
 //
 // The paper's preprocessor story ends at single files; the module

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The demo must self-verify every endpoint against its own live
+// workload: status JSON, OpenMetrics text, timeline and profile capture
+// windows, and the skewed-vs-balanced imbalance separation on /regions.
+func TestMonitorExample(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"status:   ok",
+		"metrics:  ok",
+		"timeline: ok",
+		"profile:  ok",
+		"skewed triangular",
+		"balanced sweep",
+		"all endpoints ok",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

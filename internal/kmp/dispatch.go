@@ -327,6 +327,8 @@ func (t *Thread) grabSteal(b *dispatchBuf) (int64, int64, bool) {
 	if lo, hi, ok := b.popLocal(t.Tid, &t.chunkIdx); ok {
 		return lo, hi, true
 	}
+	t.setWait(StateStealing)
+	defer t.setWait(StateRunning)
 	n := int(b.nth)
 	for i := 1; i < n; i++ {
 		victim := (t.Tid + i) % n

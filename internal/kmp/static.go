@@ -98,7 +98,26 @@ func ForStatic(t *Thread, trip, chunk int64, body func(begin, end int64)) {
 		// a finished instance.
 		t.wsSeq++
 		t.curWsSeq = t.wsSeq
-		defer func() { t.curWsSeq = 0 }()
+		// Static shares need no shared dispatch state, but their
+		// per-thread participation span is what lets the profiler's
+		// imbalance analysis see a skewed static partition; attributed to
+		// the enclosing region (static loops carry no own Ident).
+		var col *Collector
+		var start int64
+		if nth > 1 {
+			if col = ActiveCollector(); col != nil {
+				start = TraceNow()
+			}
+		}
+		defer func() {
+			t.curWsSeq = 0
+			if col != nil {
+				t.emit(col, TraceEvent{
+					Kind: TraceLoopFini, Loc: t.team.loc,
+					When: start, Dur: TraceNow() - start,
+				})
+			}
+		}()
 		cancellable = t.team.cancellable
 	}
 	if cancellable {

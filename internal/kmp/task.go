@@ -277,6 +277,7 @@ func (t *Thread) runOneTask() bool {
 	col := ActiveCollector()
 	if node == nil && t.team != nil {
 		tm := t.team
+		t.setWait(StateStealing)
 		for i := 1; i < tm.n; i++ {
 			victim := tm.threads[(t.Tid+i)%tm.n]
 			if node = victim.deque.steal(); node != nil {
@@ -289,6 +290,7 @@ func (t *Thread) runOneTask() bool {
 				break
 			}
 		}
+		t.setWait(StateRunning)
 	}
 	if node == nil {
 		return false

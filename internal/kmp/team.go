@@ -111,6 +111,17 @@ type Team struct {
 	// barrier events can be attributed to their region by the profiler.
 	loc Ident
 
+	// Sampler-visible mirrors (state.go): the active size, the interned
+	// id of loc, and a copy-on-write snapshot of the threads slice, all
+	// written by the owning master so ReadStatus can walk the team
+	// without racing resize. lastLoc/lastLocID cache the intern lookup —
+	// a warm fork from the same callsite pays one struct compare.
+	sizeA     atomic.Int32
+	locA      atomic.Uint32
+	thrA      atomic.Pointer[[]*Thread]
+	lastLoc   Ident
+	lastLocID uint32
+
 	// join counts region completions (implicit barrier at region end).
 	join sync.WaitGroup
 
@@ -143,6 +154,7 @@ type worker struct {
 
 // await returns the next generation word differing from last.
 func (w *worker) await(tm *Team, last uint64) uint64 {
+	w.th.setIdle(StateSpinning)
 	spins := 128
 	if tm.waitPolicy() == WaitActive {
 		spins = 16384
@@ -161,7 +173,9 @@ func (w *worker) await(tm *Team, last uint64) uint64 {
 			w.parked.Store(0)
 			return g
 		}
+		w.th.setIdle(StateParked)
 		<-w.park
+		w.th.setIdle(StateSpinning)
 		w.parked.Store(0)
 		if g := tm.gen.Load(); g != last {
 			return g
@@ -195,7 +209,9 @@ func (w *worker) loop(tm *Team, last uint64) {
 			return
 		}
 		if w.th.Tid < n {
+			w.th.setRunning(tm.locA.Load())
 			tm.runRegion(w.th)
+			w.th.setIdle(StateIdle)
 			tm.join.Done()
 		}
 	}
@@ -248,6 +264,9 @@ func (tm *Team) dispose() {
 	tm.workers = nil
 	tm.threads = nil
 	tm.barrier = nil
+	tm.thrA.Store(nil)
+	tm.sizeA.Store(0)
+	unregisterTeam(tm)
 }
 
 // newTeam allocates a team shell; threads/workers are grown on demand.
@@ -262,6 +281,9 @@ func newTeam(v ICV) *Team {
 	for i := range tm.disp {
 		tm.disp[i].init()
 	}
+	snap := []*Thread{master}
+	tm.thrA.Store(&snap)
+	registerTeam(tm)
 	return tm
 }
 
@@ -270,13 +292,20 @@ func newTeam(v ICV) *Team {
 // between regions.
 func (tm *Team) resize(n int, v ICV) {
 	tm.policy.Store(int32(v.WaitPolicy))
+	grew := false
 	for len(tm.threads) < n {
 		th := &Thread{Gtid: nextGtid(), Tid: len(tm.threads), team: tm}
 		w := &worker{th: th, park: make(chan struct{}, 1)}
 		tm.threads = append(tm.threads, th)
 		tm.workers = append(tm.workers, w)
 		go w.loop(tm, tm.gen.Load())
+		grew = true
 	}
+	if grew {
+		snap := append([]*Thread(nil), tm.threads...)
+		tm.thrA.Store(&snap)
+	}
+	tm.sizeA.Store(int32(n))
 	if tm.barrier == nil || tm.barrier.Size() != n || tm.bKind != v.Barrier {
 		tm.bKind = v.Barrier
 		tm.barrier = NewBarrier(tm.bKind, n, v.WaitPolicy)
@@ -429,6 +458,15 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fnV Micr
 	tm.resize(n, v)
 	tm.reset()
 	tm.loc = loc
+	// Publish the region location for state words and status samplers.
+	// The per-team cache keeps the warm same-callsite fork off the
+	// intern table entirely (one struct compare).
+	locID := tm.lastLocID
+	if locID == 0 || tm.lastLoc != loc {
+		locID = internLoc(loc)
+		tm.lastLoc, tm.lastLocID = loc, locID
+	}
+	tm.locA.Store(locID)
 	tm.cancellable = cancellable
 	tm.catch = catch
 	tm.fnV, tm.fnE = fnV, fnE
@@ -455,6 +493,7 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fnV Micr
 	stopWatch, watchDone := watchContext(ctx, tm)
 
 	tm.join.Add(n - 1)
+	master.setRunning(locID)
 	tm.publish(n)
 
 	// The caller runs as the master. Its goroutine may already be
@@ -464,6 +503,7 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fnV Micr
 	unregister(gid, prev)
 
 	tm.join.Wait()
+	master.setIdle(StateIdle)
 	if col != nil {
 		end := TraceNow()
 		master.emit(col, TraceEvent{
@@ -592,11 +632,13 @@ func (t *Thread) Barrier() {
 	// through the cancellation-aware barrier, which a region cancel
 	// releases immediately — threads that already branched to the region's
 	// end will never arrive, and waiting for them would deadlock.
+	t.setWait(StateInBarrier)
 	if t.team.cancellable {
 		t.team.cbar.wait(t.team)
 	} else {
 		t.team.barrier.Wait(t.Tid)
 	}
+	t.setWait(StateRunning)
 	if col != nil {
 		// Emitted at barrier exit so Dur covers the whole wait (task
 		// drain included): the barrier-wait-time payload the profiler's

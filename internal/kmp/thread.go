@@ -74,6 +74,15 @@ type Thread struct {
 	trcRing  *traceRing
 	trcOwner *Collector
 	loopNs   int64
+
+	// Live-state word (state.go): a WorkerState in the low 32 bits and
+	// the interned id of the current region's location in the high 32.
+	// Written with single atomic stores by the owning thread on its
+	// fork/barrier/steal/park transitions; read by status samplers
+	// without stopping the world. stateLoc caches the location id for
+	// the same-region transitions (owner-only).
+	state    atomic.Uint64
+	stateLoc uint32
 	_        pad
 }
 

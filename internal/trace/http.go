@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"gomp/internal/kmp"
+)
+
+// The /debug/gomp HTTP surface: live production observability without
+// stopping the workload. Five endpoints hang off the handler returned
+// by Handler (conventionally mounted at /debug/gomp by omp.ServeDebug):
+//
+//	/status   instantaneous runtime state — every live team and the
+//	          packed per-worker state word (running/in-barrier/
+//	          stealing/spinning/parked) with its current region
+//	/metrics  the registry in OpenMetrics/Prometheus text format
+//	/profile  capture ?seconds=N (default 1) of events, return the
+//	          text Report with flat profile and imbalance analysis
+//	/timeline capture ?seconds=N and return a Chrome trace-event JSON
+//	          loadable in chrome://tracing or Perfetto
+//	/regions  per-region imbalance/blame rows as JSON (?format=text
+//	          for the aligned table); uses the default profiler's
+//	          accumulated data, or a fresh ?seconds=N window
+//
+// Sampling /status reads only the atomic mirrors the runtime maintains
+// on its normal paths, so scraping never stops the world and never
+// perturbs the zero-allocation fork fast path.
+
+// Resume reinstalls the profiler's collector as the runtime's active
+// tool without resetting its aggregates — the inverse of Stop, used to
+// hand the event stream back after a windowed capture superseded it.
+func (p *Profiler) Resume() { kmp.SetCollector(p.col) }
+
+// captureMu serialises windowed captures: the collector pointer is
+// process-global, so two overlapping /profile requests would otherwise
+// steal each other's event streams mid-window.
+var captureMu sync.Mutex
+
+// captureWindow records a fresh profiler for window d (or until ctx is
+// done), then restores whichever profiler was active before. The
+// returned profiler is stopped and ready for Report/WriteTimeline.
+func captureWindow(ctx context.Context, d time.Duration, opts ...Option) *Profiler {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	prev := Default()
+	p := New(opts...)
+	p.Start()
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+	p.Stop()
+	if prev != nil {
+		prev.Resume()
+	}
+	return p
+}
+
+// seconds parses the request's ?seconds=N (float, default def), clamped
+// to [10ms, 60s] so a typo cannot wedge the capture lock for an hour.
+func seconds(r *http.Request, def float64) time.Duration {
+	s := def
+	if q := r.URL.Query().Get("seconds"); q != "" {
+		if v, err := strconv.ParseFloat(q, 64); err == nil {
+			s = v
+		}
+	}
+	if s > 60 {
+		s = 60
+	}
+	d := time.Duration(s * float64(time.Second))
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Handler returns the /debug/gomp endpoint suite rooted at "/". Mount
+// it under a prefix with http.StripPrefix, or use omp.ServeDebug /
+// GOMP_DEBUG_ADDR which do the mounting and serving.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", serveIndex)
+	mux.HandleFunc("/status", serveStatus)
+	mux.HandleFunc("/metrics", serveMetrics)
+	mux.HandleFunc("/profile", serveProfile)
+	mux.HandleFunc("/timeline", serveTimeline)
+	mux.HandleFunc("/regions", serveRegions)
+	return mux
+}
+
+func serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `gomp runtime debug surface
+
+  status              live teams and per-worker states (JSON)
+  metrics             registry in OpenMetrics text format
+  profile?seconds=N   capture a window, return the text report
+  timeline?seconds=N  capture a window, return Chrome trace JSON
+  regions[?format=text][&seconds=N]
+                      per-region imbalance and blame analysis
+`)
+}
+
+// serveStatus snapshots the runtime's live team/worker state from the
+// sampler-visible atomics — no locks shared with the fork path, no
+// stop-the-world.
+func serveStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, kmp.ReadStatus())
+}
+
+// serveMetrics renders the default profiler's registry; with profiling
+// disabled it still serves a valid exposition reporting
+// gomp_profiler_active 0.
+func serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", OpenMetricsContentType)
+	WriteOpenMetrics(w)
+}
+
+func serveProfile(w http.ResponseWriter, r *http.Request) {
+	p := captureWindow(r.Context(), seconds(r, 1))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, p.Report())
+}
+
+func serveTimeline(w http.ResponseWriter, r *http.Request) {
+	p := captureWindow(r.Context(), seconds(r, 1), WithTimeline(1<<20))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Disposition", `attachment; filename="gomp-timeline.json"`)
+	p.WriteTimeline(w)
+}
+
+// serveRegions reports imbalance/blame rows. Without ?seconds it reads
+// the default profiler's whole accumulated history (free — no capture);
+// with ?seconds=N, or when no profiler is active, it captures a fresh
+// window so the answer reflects what the workload is doing now.
+func serveRegions(w http.ResponseWriter, r *http.Request) {
+	p := Default()
+	if p == nil || r.URL.Query().Get("seconds") != "" {
+		p = captureWindow(r.Context(), seconds(r, 1))
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, p.AnalysisReport())
+		return
+	}
+	rows := p.Analyses()
+	if rows == nil {
+		rows = []RegionAnalysis{}
+	}
+	writeJSON(w, rows)
+}

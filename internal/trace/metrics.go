@@ -83,12 +83,15 @@ type HistSnapshot struct {
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
-// Snapshot captures the histogram's non-empty buckets.
+// Snapshot captures the histogram's non-empty buckets. Bucket b holds
+// the values of bit length b — [2^(b-1), 2^b − 1] — so its inclusive
+// upper bound is 2^b − 1 (bucket 0 holds only clamped non-positive
+// observations, upper bound 0).
 func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{Count: h.count.Load(), SumNs: h.sum.Load()}
 	for b := 0; b < histBuckets; b++ {
 		if n := h.buckets[b].Load(); n > 0 {
-			le := int64(1) << b >> 1 // bucket b holds (2^(b-2), 2^(b-1)]
+			le := int64(1)<<b - 1
 			if b == 0 {
 				le = 0
 			}
@@ -250,8 +253,19 @@ var (
 )
 
 // PublishExpvar exposes this registry as the expvar variable "gomp"
-// (the standard /debug/vars endpoint). The variable always reflects the
-// most recently published registry.
+// (the standard /debug/vars endpoint).
+//
+// Re-targeting semantics: expvar forbids publishing the same name
+// twice, so the "gomp" variable is registered exactly once and reads
+// through an atomic pointer to the most recently published registry —
+// calling PublishExpvar on a second Metrics (a new profiler after the
+// first was stopped) atomically re-targets the existing variable rather
+// than panicking. The variable therefore always reflects the registry
+// of the newest publisher, even after that profiler is disabled (its
+// final counts remain readable). When no registry has been published —
+// or profiling is disabled and the last registry is gone — the variable
+// yields a zero MetricsSnapshot, never nil, so /debug/vars consumers
+// always see a well-formed object.
 func (m *Metrics) PublishExpvar() {
 	expvarTarget.Store(m)
 	expvarOnce.Do(func() {
@@ -259,7 +273,8 @@ func (m *Metrics) PublishExpvar() {
 			if t := expvarTarget.Load(); t != nil {
 				return t.Snapshot()
 			}
-			return nil
+			// Nil-safe: profiling disabled or nothing published yet.
+			return MetricsSnapshot{}
 		}))
 	})
 }

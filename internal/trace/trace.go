@@ -46,6 +46,30 @@ type regionStats struct {
 	taskTime    time.Duration
 	depStalls   int64
 	depReleases int64
+
+	// perWorker splits this region's activity by emitting thread (gtid):
+	// the raw material of the imbalance/blame analysis (analysis.go).
+	// Busy time is loop participation plus task bodies — the span kinds
+	// each thread reports for its own share of the region's work.
+	perWorker map[int]*workerLoad
+}
+
+// workerLoad is one thread's share of a region's activity.
+type workerLoad struct {
+	busy    time.Duration // loop participation + task body time
+	barWait time.Duration // explicit-barrier wait (incl. task drain)
+}
+
+func (st *regionStats) worker(gtid int) *workerLoad {
+	if st.perWorker == nil {
+		st.perWorker = make(map[int]*workerLoad)
+	}
+	w := st.perWorker[gtid]
+	if w == nil {
+		w = &workerLoad{}
+		st.perWorker[gtid] = w
+	}
+	return w
 }
 
 // zoneSpan is one closed explicit zone retained for the timeline.
@@ -190,6 +214,7 @@ func (p *Profiler) consume(batch []kmp.TraceEvent) {
 		case kmp.TraceBarrier:
 			st.barriers++
 			st.barrierWait += time.Duration(ev.Dur)
+			st.worker(ev.Gtid).barWait += time.Duration(ev.Dur)
 			p.met.Barriers.Add(1)
 			p.met.BarrierWaitNs.Add(ev.Dur)
 			p.met.BarrierWait.Observe(ev.Dur)
@@ -198,6 +223,7 @@ func (p *Profiler) consume(batch []kmp.TraceEvent) {
 			p.met.LoopInits.Add(1)
 		case kmp.TraceLoopFini:
 			st.loopTime += time.Duration(ev.Dur)
+			st.worker(ev.Gtid).busy += time.Duration(ev.Dur)
 			p.met.LoopNs.Add(ev.Dur)
 		case kmp.TraceLoopSteal:
 			st.steals++
@@ -209,6 +235,7 @@ func (p *Profiler) consume(batch []kmp.TraceEvent) {
 		case kmp.TraceTaskRun:
 			st.tasks++
 			st.taskTime += time.Duration(ev.Dur)
+			st.worker(ev.Gtid).busy += time.Duration(ev.Dur)
 			p.met.TaskRuns.Add(1)
 			p.met.TaskNs.Add(ev.Dur)
 			p.met.TaskRun.Observe(ev.Dur)
@@ -337,7 +364,9 @@ func (p *Profiler) Summaries() []RegionSummary {
 	return out
 }
 
-// Report renders the gprof-style flat profile.
+// Report renders the gprof-style flat profile, followed by the
+// per-region imbalance/blame analysis (when multi-worker data exists)
+// and a ring-overflow warning footer when events were dropped.
 func (p *Profiler) Report() string {
 	sums := p.Summaries()
 	var total time.Duration
@@ -354,6 +383,15 @@ func (p *Profiler) Report() string {
 		fmt.Fprintf(&b, "  %5.1f  %8.3fms  %8d  %8.3fms  %4d  %8d  %7.3fms  %5d  %6d  %5d  %s\n",
 			pct, ms(s.Total), s.Calls, ms(s.Mean), s.MaxTeam, s.Barriers, ms(s.BarrierWait),
 			s.Loops, s.Steals, s.Tasks, s.Name)
+	}
+	if rows := p.Analyses(); len(rows) > 0 {
+		b.WriteString("\n")
+		b.WriteString(renderAnalyses(rows))
+	}
+	// Silent event loss must not stay buried in the registry: when rings
+	// overflowed between drains, the counts above undercount activity.
+	if drops := p.met.RingDrops.Value(); drops > 0 {
+		fmt.Fprintf(&b, "\nWARNING: %d trace events dropped on full rings — counts above undercount activity; widen trace.WithRingSize or drain more often.\n", drops)
 	}
 	return b.String()
 }

@@ -1,0 +1,61 @@
+package omp
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+
+	"gomp/internal/trace"
+)
+
+// Live observability: ServeDebug mounts the runtime's /debug/gomp
+// endpoint suite on a background HTTP server, so a serving workload can
+// be inspected — worker states, OpenMetrics scrape, on-demand profile
+// and timeline windows, imbalance analysis — while it runs. The same
+// surface starts automatically when GOMP_DEBUG_ADDR is set and the
+// program was built with `gompcc -profile` (see Profile).
+
+// DebugServer is a running debug endpoint server, returned by
+// ServeDebug. Close it to stop serving; Addr holds the bound address
+// (useful with ":0").
+type DebugServer struct {
+	// Addr is the listener's resolved address, e.g. "127.0.0.1:46013".
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Close shuts the debug server's listener down. In-flight capture
+// windows (/profile, /timeline) finish their window before the
+// connection drops.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts an HTTP server on addr (host:port; use ":0" for an
+// ephemeral port) exposing:
+//
+//	/debug/gomp/status    live teams and per-worker states (JSON)
+//	/debug/gomp/metrics   runtime metrics, OpenMetrics text format
+//	/debug/gomp/profile   ?seconds=N windowed capture, text report
+//	/debug/gomp/timeline  ?seconds=N windowed capture, Chrome JSON
+//	/debug/gomp/regions   per-region imbalance/blame analysis
+//	/debug/vars           standard expvar (includes "gomp" once a
+//	                      profiler has published its registry)
+//
+// The server runs on a background goroutine until Close. /status and
+// /metrics work without an active profiler; enable one (omp.Profile,
+// trace.Enable, or a windowed ?seconds capture) for region history.
+func ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("omp: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/gomp/", http.StripPrefix("/debug/gomp", trace.Handler()))
+	mux.Handle("/debug/gomp", http.RedirectHandler("/debug/gomp/", http.StatusMovedPermanently))
+	mux.Handle("/debug/vars", expvar.Handler())
+	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln)
+	return d, nil
+}

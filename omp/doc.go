@@ -236,4 +236,35 @@
 // collection appends fixed-size events to per-thread ring buffers
 // drained at region joins (measured within noise, budget <10%, on NPB
 // CG class S).
+//
+// # Live monitoring
+//
+// ServeDebug mounts the runtime's /debug/gomp endpoint suite on a
+// background HTTP server, so a long-running serving workload is
+// scrapeable and inspectable without stopping it:
+//
+//	dbg, err := omp.ServeDebug("localhost:6060")
+//	defer dbg.Close()
+//
+// endpoints: /debug/gomp/status (live teams and per-worker states,
+// JSON), /debug/gomp/metrics (OpenMetrics / Prometheus text format),
+// /debug/gomp/profile?seconds=N and /debug/gomp/timeline?seconds=N
+// (on-demand capture windows), /debug/gomp/regions (per-region load
+// imbalance and straggler blame), /debug/vars (expvar). Setting
+// GOMP_DEBUG_ADDR=<addr> on a `gompcc -profile` build starts the same
+// server automatically for the program's lifetime; ":0" picks an
+// ephemeral port printed to stderr.
+//
+// A Prometheus scrape against /debug/gomp/metrics needs nothing
+// special:
+//
+//	scrape_configs:
+//	  - job_name: gomp
+//	    metrics_path: /debug/gomp/metrics
+//	    static_configs:
+//	      - targets: ["localhost:6060"]
+//
+// Status sampling reads only per-thread atomic state words maintained
+// on paths the runtime already executes, so scraping neither stops the
+// world nor disturbs the allocation-free fork fast path.
 package omp

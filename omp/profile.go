@@ -30,6 +30,12 @@ import (
 //	GOMP_METRICS=1          also print the runtime metrics snapshot
 //	                        (fork/barrier/steal/task counters, wait-time
 //	                        histograms).
+//	GOMP_DEBUG_ADDR=<addr>  additionally serve the live /debug/gomp
+//	                        endpoint suite (status, OpenMetrics, profile
+//	                        and timeline windows, imbalance analysis) on
+//	                        <addr> for the lifetime of the program — see
+//	                        ServeDebug. ":0" picks an ephemeral port;
+//	                        the bound address is printed to stderr.
 func Profile() func() {
 	jsonPath := os.Getenv("GOMP_TRACE_JSON")
 	var opts []trace.Option
@@ -37,7 +43,20 @@ func Profile() func() {
 		opts = append(opts, trace.WithTimeline(0))
 	}
 	p := trace.Enable(opts...)
+	var dbg *DebugServer
+	if addr := os.Getenv("GOMP_DEBUG_ADDR"); addr != "" {
+		var err error
+		if dbg, err = ServeDebug(addr); err != nil {
+			fmt.Fprintf(os.Stderr, "gomp: %v\n", err)
+		} else {
+			p.Metrics().PublishExpvar()
+			fmt.Fprintf(os.Stderr, "gomp: debug server on http://%s/debug/gomp/\n", dbg.Addr)
+		}
+	}
 	return func() {
+		if dbg != nil {
+			dbg.Close()
+		}
 		if trace.Default() == p {
 			trace.Disable()
 		} else {
