@@ -50,6 +50,7 @@ type jsonReport struct {
 	Runs       int              `json:"runs"`
 	NumCPU     int              `json:"num_cpu"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
+	Host       hostInfo         `json:"host"`
 	Kernels    []*bench.Sweep   `json:"kernels"`
 	Tasks      *bench.TaskSweep `json:"tasks,omitempty"`
 	LU         *bench.LUSweep   `json:"lu,omitempty"`
@@ -64,6 +65,46 @@ type jsonReport struct {
 	// the timed sweeps so the runtime columns stay comparable across
 	// revisions.
 	Metrics map[string]*trace.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// hostInfo pins the measurement environment into the report: numbers
+// from two BENCH json files are only comparable when this block
+// matches, and perf-trajectory tooling can refuse to diff across hosts.
+type hostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// CPUModel is the host CPU's marketing name ("model name" from
+	// /proc/cpuinfo on Linux), empty where unavailable.
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+func readHostInfo() hostInfo {
+	return hostInfo{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel extracts the CPU's model name from /proc/cpuinfo; empty on
+// hosts without one (non-Linux, restricted /proc).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
 }
 
 func main() {
@@ -125,6 +166,7 @@ func main() {
 		Runs:       *runs,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       readHostInfo(),
 	}
 
 	exit := 0

@@ -189,12 +189,18 @@
 // a `gompcc -profile` build, or `npbsuite -serve`) mounts the suite:
 //
 //	/debug/gomp/status    live teams and per-worker state words (JSON)
+//	/debug/gomp/health    watchdog / stuck-worker / dependence-cycle
+//	                      diagnosis (JSON; ?strict=1 turns unhealthy
+//	                      into HTTP 503 for liveness probes)
+//	/debug/gomp/flight    always-on flight-recorder event history
 //	/debug/gomp/metrics   the metrics registry in OpenMetrics /
 //	                      Prometheus text exposition format
 //	/debug/gomp/profile   ?seconds=N on-demand capture window → the
 //	                      text report
 //	/debug/gomp/timeline  ?seconds=N capture window → Chrome trace JSON
 //	/debug/gomp/regions   per-region imbalance / blame analysis
+//	/debug/pprof/         standard Go pprof, with omp_region/omp_gtid
+//	                      labels when region labelling is on
 //	/debug/vars           standard expvar, including the "gomp"
 //	                      registry snapshot
 //
@@ -206,6 +212,20 @@
 // region is slow" and "thread 4's block of the triangular loop makes
 // everyone else wait, dynamic scheduling would buy 1.7x". See
 // examples/monitor for a self-scraping demonstration.
+//
+// For the process nobody instrumented in advance, three always-on
+// diagnostics remain available: a per-thread flight recorder (the most
+// recent trace events, readable with no profiler via
+// omp.DumpDiagnostics, /debug/gomp/flight, or kill -QUIT after
+// omp.HandleSIGQUIT), a hang/deadlock watchdog (GOMP_WATCHDOG,
+// omp.StartWatchdog) that samples the state words and proves task-
+// dependence deadlocks by finding cycles among withheld tasks — the
+// trip report names the cycle's pragma locations — and pprof region
+// labels (GOMP_PPROF_LABELS, omp.SetProfileLabels) that attribute CPU
+// and goroutine profile samples to pragma file:line. The
+// "Troubleshooting hangs" chapter in omp/doc.go walks the diagnosis
+// workflow; examples/diagnose demonstrates it against an injected
+// deadlock.
 //
 // # Build integration
 //

@@ -1,0 +1,211 @@
+// Always-on diagnostics: the black-box surfaces a wedged production
+// process exposes with no profiler installed, demonstrated end to end
+// and self-checked. The program:
+//
+//  1. runs parallel regions with NO collector active and reads the
+//     flight recorder — the most recent events must be there, because
+//     the recorder is always on;
+//  2. enables pprof region labels, parks a team inside a region and
+//     scrapes its own /debug/pprof/goroutine profile — the blocked
+//     worker must carry omp_region/omp_gtid labels resolving to the
+//     pragma's file:line;
+//  3. arms the hang watchdog, then INJECTS a dependence cycle (the
+//     deadlock `depend(inout:a)` ↔ `depend(inout:b)` tasks would form)
+//     — the watchdog must trip immediately, naming both pragma
+//     locations, /debug/gomp/health must report the cycle, and the
+//     OpenMetrics scrape must show gomp_health 0 with a trip counted;
+//  4. releases the cycle and checks health recovers.
+//
+// Exit status 0 and a final "all diagnostics ok" line mean every check
+// passed; CI runs this binary and greps for the cycle being named.
+//
+//	go run ./examples/diagnose
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gomp/internal/kmp"
+	"gomp/internal/trace"
+	"gomp/omp"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+}
+
+func get(base, path string) (string, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return string(body), nil
+}
+
+func run(w io.Writer) error {
+	// -- 1. flight recorder: history with no profiler anywhere --------
+	var sink [256]float64
+	for r := 0; r < 4; r++ {
+		omp.Parallel(func(t *omp.Thread) {
+			omp.ForRange(t, int64(len(sink)), func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					sink[i] += float64(i)
+				}
+			})
+		}, omp.NumThreads(4), omp.Loc("diagnose.go", 1, "flight smoke"))
+	}
+	evs := trace.FlightEvents()
+	found := false
+	for _, ev := range evs {
+		if strings.Contains(ev.Region, "diagnose.go:1") {
+			found = true
+			break
+		}
+	}
+	if len(evs) == 0 || !found {
+		return fmt.Errorf("flight recorder: %d events, workload region found=%v", len(evs), found)
+	}
+	fmt.Fprintf(w, "flight:   ok — %d events captured with no profiler installed\n", len(evs))
+
+	dbg, err := omp.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer dbg.Close()
+	base := "http://" + dbg.Addr
+
+	// -- 2. pprof labels: a parked region shows up attributed ---------
+	omp.SetProfileLabels(true)
+	defer omp.SetProfileLabels(false)
+	hold := make(chan struct{})
+	var labelErr error
+	omp.Parallel(func(t *omp.Thread) {
+		if t.Tid != 0 {
+			<-hold // park inside the region so the profile catches us
+			return
+		}
+		body, err := get(base, "/debug/pprof/goroutine?debug=1")
+		if err == nil {
+			switch {
+			case !strings.Contains(body, "omp_region"):
+				err = fmt.Errorf("goroutine profile carries no omp_region label")
+			case !strings.Contains(body, "diagnose.go:2"):
+				err = fmt.Errorf("omp_region label does not resolve to diagnose.go:2")
+			case !strings.Contains(body, "omp_gtid"):
+				err = fmt.Errorf("goroutine profile carries no omp_gtid label")
+			}
+		}
+		labelErr = err
+		close(hold)
+	}, omp.NumThreads(2), omp.Loc("diagnose.go", 2, "label check"))
+	if labelErr != nil {
+		return fmt.Errorf("pprof labels: %w", labelErr)
+	}
+	fmt.Fprintln(w, "labels:   ok — parked worker attributed to diagnose.go:2 in goroutine profile")
+
+	// -- 3. watchdog vs an injected dependence cycle -------------------
+	trips := make(chan *omp.HangReport, 1)
+	stopWd := omp.StartWatchdogConfig(omp.WatchdogConfig{
+		Threshold: time.Hour, // only the cycle detector may trip
+		Interval:  5 * time.Millisecond,
+		OnTrip: func(r *omp.HangReport) {
+			select {
+			case trips <- r:
+			default:
+			}
+		},
+	})
+	defer stopWd()
+
+	release := kmp.InjectDepCycle(
+		kmp.Ident{File: "diagnose.go", Line: 10, Region: "inout:a"},
+		kmp.Ident{File: "diagnose.go", Line: 20, Region: "inout:b"},
+	)
+
+	var report *omp.HangReport
+	select {
+	case report = <-trips:
+	case <-time.After(5 * time.Second):
+		release()
+		return fmt.Errorf("watchdog did not trip on injected cycle within 5s")
+	}
+	text := report.String()
+	if !strings.Contains(text, "deadlock") ||
+		!strings.Contains(text, "diagnose.go:10") || !strings.Contains(text, "diagnose.go:20") {
+		release()
+		return fmt.Errorf("trip report does not name the cycle:\n%s", text)
+	}
+	fmt.Fprintf(w, "watchdog: ok — tripped on injected cycle\n%s", indent(text))
+
+	body, err := get(base, "/debug/gomp/health")
+	if err != nil {
+		release()
+		return err
+	}
+	var h struct {
+		Healthy bool              `json:"healthy"`
+		Cycles  []json.RawMessage `json:"dep_cycles"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil || h.Healthy || len(h.Cycles) == 0 {
+		release()
+		return fmt.Errorf("/debug/gomp/health does not report the deadlock: err=%v body=%s", err, body)
+	}
+	if !strings.Contains(body, "diagnose.go:10") {
+		release()
+		return fmt.Errorf("/debug/gomp/health does not name the cycle: %s", body)
+	}
+	fmt.Fprintln(w, "health:   ok — /debug/gomp/health names the dependence cycle")
+
+	body, err = get(base, "/debug/gomp/metrics")
+	if err != nil {
+		release()
+		return err
+	}
+	if !strings.Contains(body, "gomp_health 0") || !strings.Contains(body, "gomp_watchdog_trips_total 1") {
+		release()
+		return fmt.Errorf("OpenMetrics scrape missing health metrics:\n%s", body)
+	}
+	fmt.Fprintln(w, "metrics:  ok — gomp_health 0, gomp_watchdog_trips_total 1 while deadlocked")
+
+	// -- 4. recovery ---------------------------------------------------
+	release()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h := omp.ReadHealth(); h.Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("health did not recover after cycle release")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Fprintln(w, "recovery: ok — healthy again after the cycle was released")
+
+	fmt.Fprintln(w, "all diagnostics ok")
+	return nil
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	return b.String()
+}

@@ -74,8 +74,8 @@ func (t *Thread) Cancel(kind CancelKind) bool {
 		return false
 	}
 	tm := t.team
-	if c := ActiveCollector(); c != nil {
-		t.emit(c, TraceEvent{Kind: TraceCancel, Loc: tm.loc, When: TraceNow(), Arg0: int64(kind)})
+	if col, rec := traceSinks(); rec {
+		t.record(col, TraceEvent{Kind: TraceCancel, Loc: tm.loc, When: TraceNow(), Arg0: int64(kind)})
 	}
 	switch kind {
 	case CancelParallel:

@@ -1,0 +1,237 @@
+package kmp
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Dependence-cycle detection: the diagnosis half of the taskdep
+// machinery (taskdep.go).
+//
+// A depend-clause cycle — task A waiting on B waiting on A — cannot be
+// built through the public API: dependence edges always point from an
+// earlier-spawned sibling to a later one (the last-writer/reader-set
+// tables only ever name already-registered tasks), so the DAG is acyclic
+// by program order. What users actually hit is the *moral equivalent*:
+// a depend chain whose head never completes (blocked on a channel, a
+// lock, an unsatisfied undeferred wait), leaving the region's barrier
+// draining forever with every withheld successor stuck. Either way the
+// symptom is a silent hang, and the question "which tasks, spawned
+// where, are waiting on what" has an exact answer in the runtime's own
+// bookkeeping.
+//
+// Every team therefore keeps a registry of its currently-withheld
+// dependent tasks (tasks whose unresolved-predecessor count has not
+// drained). The registry is maintained on the existing spawn/release
+// paths — a mutex-guarded map insert at dependent-task spawn and a
+// delete when the count reaches zero, both off the dependence-free fast
+// path and gated behind a size gauge everywhere a non-dependent code
+// path might touch it. DetectDepCycles walks the waits-on graph induced
+// on the withheld set: any cycle found there is a true deadlock (none of
+// its members can ever be released), and the report names each member's
+// pragma location and depend items.
+//
+// InjectDepCycle fabricates such a cycle so tests and examples/diagnose
+// can validate the detector, the watchdog trip and the report text
+// end-to-end without shipping a hang.
+
+// DepCycleTask is one participant of a detected dependence cycle.
+type DepCycleTask struct {
+	// Loc is the pragma location the task was spawned from, as
+	// "file.go:line region".
+	Loc string `json:"loc"`
+	// Deps are the task's depend items as "mode:name" strings.
+	Deps []string `json:"deps,omitempty"`
+}
+
+// DepCycle is one dependence cycle among withheld tasks: Tasks[i] waits
+// on Tasks[(i+1) % len], so the listing reads as the waits-on chain.
+type DepCycle struct {
+	Tasks []DepCycleTask `json:"tasks"`
+}
+
+// String renders the cycle as a waits-on chain:
+// "a.go:1 task -> a.go:2 task -> a.go:1 task".
+func (c DepCycle) String() string {
+	var b strings.Builder
+	for _, t := range c.Tasks {
+		b.WriteString(t.Loc)
+		b.WriteString(" -> ")
+	}
+	if len(c.Tasks) > 0 {
+		b.WriteString(c.Tasks[0].Loc)
+	}
+	return b.String()
+}
+
+// addWithheld registers a dependent task that is (or may be) withheld on
+// unresolved predecessors. Called at spawn, before edge registration, so
+// a predecessor completing mid-registration finds the node present.
+func (tm *Team) addWithheld(n *taskNode) {
+	tm.withheldMu.Lock()
+	if tm.withheld == nil {
+		tm.withheld = make(map[*taskNode]struct{})
+	}
+	tm.withheld[n] = struct{}{}
+	tm.withheldN.Add(1)
+	tm.withheldMu.Unlock()
+}
+
+// removeWithheld drops a task from the registry when its predecessor
+// count drains (or it turns out to have had none). Idempotent; the size
+// gauge keeps the no-dependences case lock-free.
+func (tm *Team) removeWithheld(n *taskNode) {
+	if tm.withheldN.Load() == 0 {
+		return
+	}
+	tm.withheldMu.Lock()
+	if _, ok := tm.withheld[n]; ok {
+		delete(tm.withheld, n)
+		tm.withheldN.Add(-1)
+	}
+	tm.withheldMu.Unlock()
+}
+
+// resetWithheld clears leftovers between regions (cancelled regions can
+// strand entries). Only safe with the team quiesced, like reset.
+func (tm *Team) resetWithheld() {
+	if tm.withheldN.Load() == 0 {
+		return
+	}
+	tm.withheldMu.Lock()
+	clear(tm.withheld)
+	tm.withheldN.Store(0)
+	tm.withheldMu.Unlock()
+}
+
+// DetectDepCycles scans every live team's withheld-task registry for
+// dependence cycles and returns one DepCycle per disjoint cycle found,
+// naming each participant's pragma location and depend items. The scan
+// is on-demand and cheap when no tasks are withheld (one atomic load
+// per team); a non-empty result is a proof of deadlock — no member of a
+// withheld cycle can ever be released.
+func DetectDepCycles() []DepCycle {
+	var out []DepCycle
+	for _, tm := range liveTeams() {
+		out = append(out, tm.detectCycles()...)
+	}
+	return out
+}
+
+func (tm *Team) detectCycles() []DepCycle {
+	if tm.withheldN.Load() < 2 {
+		return nil // a cycle needs at least two distinct tasks
+	}
+	tm.withheldMu.Lock()
+	nodes := make([]*taskNode, 0, len(tm.withheld))
+	for n := range tm.withheld {
+		nodes = append(nodes, n)
+	}
+	tm.withheldMu.Unlock()
+	if len(nodes) < 2 {
+		return nil
+	}
+	idx := make(map[*taskNode]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	// waits[s] lists the withheld predecessors task s waits on: each
+	// withheld p's successor list names the tasks withheld on p.
+	waits := make([][]int, len(nodes))
+	for i, p := range nodes {
+		p.dep.mu.Lock()
+		for _, s := range p.dep.successors {
+			if j, ok := idx[s]; ok {
+				waits[j] = append(waits[j], i)
+			}
+		}
+		p.dep.mu.Unlock()
+	}
+	// DFS over the waits-on graph; a grey-node back-edge closes a cycle,
+	// extracted from the stack so members come out in waits-on order.
+	const white, grey, black = 0, 1, 2
+	color := make([]int, len(nodes))
+	var stack []int
+	var cycles []DepCycle
+	seen := map[string]bool{} // dedupe cycles reached via duplicate edges
+	var dfs func(i int)
+	dfs = func(i int) {
+		color[i] = grey
+		stack = append(stack, i)
+		for _, p := range waits[i] {
+			switch color[p] {
+			case white:
+				dfs(p)
+			case grey:
+				for k := len(stack) - 1; k >= 0; k-- {
+					if stack[k] != p {
+						continue
+					}
+					var c DepCycle
+					var key strings.Builder
+					for _, m := range stack[k:] {
+						c.Tasks = append(c.Tasks, cycleTask(nodes[m]))
+						key.WriteString(strconv.Itoa(m))
+						key.WriteByte(',')
+					}
+					if !seen[key.String()] {
+						seen[key.String()] = true
+						cycles = append(cycles, c)
+					}
+					break
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[i] = black
+	}
+	for i := range nodes {
+		if color[i] == white {
+			dfs(i)
+		}
+	}
+	return cycles
+}
+
+func cycleTask(n *taskNode) DepCycleTask {
+	t := DepCycleTask{Loc: n.loc.String()}
+	for _, sp := range n.dep.specs {
+		t.Deps = append(t.Deps, sp.Mode.String()+":"+sp.Name)
+	}
+	return t
+}
+
+// InjectDepCycle fabricates a ring of withheld dependent tasks — one per
+// location, each waiting on the next — on a synthetic registered team,
+// and returns a release function that removes it. Real pragmas cannot
+// produce a dependence cycle (edges always point from earlier to later
+// spawns), so validating the detector, the watchdog trip and the report
+// text end-to-end requires fault injection. The fabricated tasks carry
+// no body and are invisible to schedulers: the shell team has no
+// threads, no deques and no published region.
+func InjectDepCycle(locs ...Ident) (release func()) {
+	if len(locs) < 2 {
+		panic("kmp: InjectDepCycle needs at least two locations")
+	}
+	tm := &Team{}
+	nodes := make([]*taskNode, len(locs))
+	for i := range locs {
+		nodes[i] = &taskNode{
+			team: tm,
+			loc:  locs[i],
+			dep:  &depState{specs: []DepSpec{{Name: "injected", Mode: DepInOut}}},
+		}
+		nodes[i].dep.npred.Store(1)
+	}
+	for i, n := range nodes {
+		pred := nodes[(i+1)%len(nodes)] // n waits on pred
+		pred.dep.successors = append(pred.dep.successors, n)
+	}
+	for _, n := range nodes {
+		tm.addWithheld(n)
+	}
+	registerTeam(tm)
+	var once sync.Once
+	return func() { once.Do(func() { unregisterTeam(tm) }) }
+}

@@ -154,9 +154,9 @@ func (t *Thread) DispatchInit(loc Ident, sched Sched, trip int64) {
 		}
 		sched = rs
 	}
-	if c := ActiveCollector(); c != nil {
+	if col, rec := traceSinks(); rec {
 		t.loopNs = TraceNow()
-		t.emit(c, TraceEvent{
+		t.record(col, TraceEvent{
 			Kind: TraceLoopInit, Loc: loc, When: t.loopNs,
 			Arg0: trip, Arg1: sched.Chunk,
 		})
@@ -336,8 +336,8 @@ func (t *Thread) grabSteal(b *dispatchBuf) (int64, int64, bool) {
 		if !ok {
 			continue
 		}
-		if c := ActiveCollector(); c != nil {
-			t.emit(c, TraceEvent{
+		if col, rec := traceSinks(); rec {
+			t.record(col, TraceEvent{
 				Kind: TraceLoopSteal, Loc: b.loc, When: TraceNow(),
 				Arg0: int64(t.team.threads[victim].Gtid), Arg1: shi - slo,
 			})
@@ -381,11 +381,11 @@ func (b *dispatchBuf) popLocal(tid int, idx *int64) (int64, int64, bool) {
 func (t *Thread) detach(buf *dispatchBuf) {
 	t.curLoop = nil
 	t.curWsSeq = 0 // the thread is no longer inside a worksharing loop
-	if c := ActiveCollector(); c != nil {
+	if col, rec := traceSinks(); rec {
 		// Attributed to the loop's own location (buf.loc) so the profiler
 		// never shows an unlocated loop-fini row; the span runs from this
 		// thread's DispatchInit to its drain.
-		t.emit(c, TraceEvent{
+		t.record(col, TraceEvent{
 			Kind: TraceLoopFini, Loc: buf.loc, When: t.loopNs,
 			Dur: TraceNow() - t.loopNs,
 		})

@@ -96,22 +96,36 @@ func affinityGet(gid uint64) *Team {
 	return tm
 }
 
+// reserveSlot claims one unit of a capped counter, false when full. The
+// CAS loop makes the cap hard: a flood of concurrent releases cannot
+// overshoot it the way a load-then-add check could.
+func reserveSlot(ctr *atomic.Int64, cap int64) bool {
+	for {
+		cur := ctr.Load()
+		if cur >= cap {
+			return false
+		}
+		if ctr.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
 // affinityPut parks tm in gid's slot; false when the slot is taken or the
-// cache is full (the cap check races benignly — a transient overshoot of a
-// few entries is fine, unbounded growth is not).
+// cache is full.
 func affinityPut(gid uint64, tm *Team) bool {
-	if affinityCount.Load() >= affinityCap() {
+	if !reserveSlot(&affinityCount, affinityCap()) {
 		return false
 	}
 	s := &affinityReg[gid%affinityShards]
 	s.mu.Lock()
 	if _, ok := s.m[gid]; ok {
 		s.mu.Unlock()
+		affinityCount.Add(-1)
 		return false
 	}
 	s.m[gid] = tm
 	s.mu.Unlock()
-	affinityCount.Add(1)
 	return true
 }
 
@@ -144,7 +158,7 @@ func releaseTeam(gid uint64, tm *Team) {
 	if affinityPut(gid, tm) {
 		return
 	}
-	if hotPoolCount.Load() >= hotPoolCap() {
+	if !reserveSlot(&hotPoolCount, hotPoolCap()) {
 		tm.dispose()
 		return
 	}
@@ -152,7 +166,6 @@ func releaseTeam(gid uint64, tm *Team) {
 	s.mu.Lock()
 	s.free = append(s.free, tm)
 	s.mu.Unlock()
-	hotPoolCount.Add(1)
 }
 
 // TrimTeams drains both pooling tiers, disposing every parked team: their

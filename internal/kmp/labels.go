@@ -1,0 +1,69 @@
+package kmp
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+)
+
+// pprof attribution: tag team workers with goroutine profiler labels so
+// the standard Go CPU/alloc/goroutine profiles break down by pragma
+// location instead of by anonymous worker goroutine. Two labels are
+// pushed when a thread enters a region and popped when it leaves:
+//
+//	omp_region  the region's source location ("file.go:42 parallel")
+//	omp_gtid    the worker's global thread id
+//
+// Labelling is off by default and gated behind one atomic load:
+// pprof.WithLabels and SetGoroutineLabels allocate and cost tens of
+// nanoseconds, which would break the zero-allocation warm-fork
+// guarantee if unconditional. With labelling on, the label context is
+// cached per thread and rebuilt only when the region location changes,
+// so a warm same-callsite fork pays two SetGoroutineLabels calls and no
+// context construction.
+//
+// Master caveat: the master slot runs on the forking user goroutine, so
+// popping its labels at join resets that goroutine's label set to empty
+// — Go's runtime/pprof can replace a goroutine's labels but not read
+// them back. Callers that set their own labels around parallel regions
+// lose them when labelling is enabled; worker goroutines are owned by
+// the runtime and have no such conflict.
+
+var profLabels atomic.Bool
+
+// SetProfLabels enables or disables pprof region labelling (also
+// enabled by GOMP_PPROF_LABELS and by omp.Profile).
+func SetProfLabels(on bool) { profLabels.Store(on) }
+
+// ProfLabelsEnabled reports whether pprof region labelling is on.
+func ProfLabelsEnabled() bool { return profLabels.Load() }
+
+// pushLabels applies the omp_region/omp_gtid labels for the region
+// interned as locID to the calling goroutine. Owner-only; no-op unless
+// labelling is enabled.
+func (t *Thread) pushLabels(locID uint32) {
+	if !profLabels.Load() {
+		return
+	}
+	if t.labelCtx == nil || t.labelLoc != locID {
+		t.labelCtx = pprof.WithLabels(context.Background(), pprof.Labels(
+			"omp_region", locByID(locID).String(),
+			"omp_gtid", strconv.Itoa(t.Gtid),
+		))
+		t.labelLoc = locID
+	}
+	pprof.SetGoroutineLabels(t.labelCtx)
+	t.labelOn = true
+}
+
+// popLabels clears the goroutine's labels if pushLabels set them —
+// checked through the owner-only flag, not the global switch, so labels
+// come off even when labelling was disabled mid-region.
+func (t *Thread) popLabels() {
+	if !t.labelOn {
+		return
+	}
+	pprof.SetGoroutineLabels(context.Background())
+	t.labelOn = false
+}

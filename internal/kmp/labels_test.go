@@ -1,0 +1,86 @@
+package kmp
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// With labelling on, a worker goroutine inside a region carries the
+// omp_region/omp_gtid pprof labels, visible in the goroutine profile.
+func TestProfLabelsVisibleInGoroutineProfile(t *testing.T) {
+	SetProfLabels(true)
+	defer SetProfLabels(false)
+
+	loc := Ident{File: "labels_test.go", Line: 42, Region: "parallel"}
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	var buf bytes.Buffer
+	ForkCall(loc, 2, func(th *Thread) {
+		if th.Tid == 1 {
+			close(inside)
+			<-release // hold the worker in-region while the profile is taken
+			return
+		}
+		<-inside
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			t.Errorf("goroutine profile: %v", err)
+		}
+		close(release)
+	})
+
+	text := buf.String()
+	if !strings.Contains(text, "omp_region") {
+		t.Fatalf("goroutine profile carries no omp_region label:\n%.2000s", text)
+	}
+	if !strings.Contains(text, "labels_test.go:42") {
+		t.Errorf("omp_region label does not resolve to the pragma location")
+	}
+	if !strings.Contains(text, "omp_gtid") {
+		t.Errorf("goroutine profile carries no omp_gtid label")
+	}
+}
+
+// With labelling off (the default), region entry/exit must not touch
+// goroutine labels at all — the warm fork stays allocation-free.
+func TestProfLabelsOffByDefault(t *testing.T) {
+	if ProfLabelsEnabled() {
+		t.Fatal("labelling enabled at test start")
+	}
+	loc := Ident{File: "labels_test.go", Line: 70, Region: "parallel"}
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	var buf bytes.Buffer
+	ForkCall(loc, 2, func(th *Thread) {
+		if th.Tid == 1 {
+			close(inside)
+			<-release
+			return
+		}
+		<-inside
+		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		close(release)
+	})
+	if strings.Contains(buf.String(), "omp_region") {
+		t.Error("labels applied while labelling is off")
+	}
+}
+
+// Labels come off at join: after the region, the master's goroutine (the
+// caller) has no omp labels left.
+func TestProfLabelsPoppedAtJoin(t *testing.T) {
+	SetProfLabels(true)
+	defer SetProfLabels(false)
+	loc := Ident{File: "labels_test.go", Line: 95, Region: "parallel"}
+	ForkCall(loc, 2, func(th *Thread) { th.Barrier() })
+
+	// The caller goroutine's labels are not inspectable directly; assert
+	// via the goroutine profile that no goroutine still wears this
+	// region's label after the join (workers are idle, master popped).
+	var buf bytes.Buffer
+	_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+	if strings.Contains(buf.String(), "labels_test.go:95") {
+		t.Error("omp_region label survived the region join")
+	}
+}

@@ -71,12 +71,26 @@ func (s WorkerState) String() string {
 	return "unknown"
 }
 
-func packStateWord(s WorkerState, locID uint32) uint64 {
-	return uint64(locID)<<32 | uint64(s)
+// State-word layout: WorkerState in the low 8 bits, a 24-bit transition
+// sequence in bits 8..31, and the interned region-location id in the
+// high 32. The sequence counter is bumped on every owner transition so
+// that two samples showing the same word mean the thread has not moved
+// at all in between — the hang watchdog's stuck test. Without it, a
+// worker that left a barrier and re-entered the same barrier between two
+// samples would be indistinguishable from one that never left.
+const (
+	stateBits    = 8
+	stateMask    = 1<<stateBits - 1
+	stateSeqBits = 24
+	stateSeqMask = 1<<stateSeqBits - 1
+)
+
+func packStateWord(s WorkerState, seq, locID uint32) uint64 {
+	return uint64(locID)<<32 | uint64(seq&stateSeqMask)<<stateBits | uint64(s)&stateMask
 }
 
 func unpackStateWord(w uint64) (WorkerState, uint32) {
-	return WorkerState(uint32(w)), uint32(w >> 32)
+	return WorkerState(w & stateMask), uint32(w >> 32)
 }
 
 // setRunning marks the thread as executing the region interned as locID
@@ -84,20 +98,23 @@ func unpackStateWord(w uint64) (WorkerState, uint32) {
 // Owner-only, like all state-word writers.
 func (t *Thread) setRunning(locID uint32) {
 	t.stateLoc = locID
-	t.state.Store(packStateWord(StateRunning, locID))
+	t.stateSeq++
+	t.state.Store(packStateWord(StateRunning, t.stateSeq, locID))
 }
 
 // setWait moves the thread to a transient wait state (in-barrier,
 // stealing) and back, keeping the cached region id.
 func (t *Thread) setWait(s WorkerState) {
-	t.state.Store(packStateWord(s, t.stateLoc))
+	t.stateSeq++
+	t.state.Store(packStateWord(s, t.stateSeq, t.stateLoc))
 }
 
 // setIdle clears the region association: the thread left its region and
 // is idle, spinning for the next one, or parked.
 func (t *Thread) setIdle(s WorkerState) {
 	t.stateLoc = 0
-	t.state.Store(uint64(s))
+	t.stateSeq++
+	t.state.Store(packStateWord(s, t.stateSeq, 0))
 }
 
 // StateWord returns the thread's current state and region location.
@@ -176,6 +193,18 @@ func unregisterTeam(tm *Team) {
 	teamReg.mu.Unlock()
 }
 
+// liveTeams snapshots the registry: the team list every sampler
+// (ReadStatus, ReadFlight, the watchdog, the cycle detector) walks.
+func liveTeams() []*Team {
+	teamReg.mu.Lock()
+	teams := make([]*Team, 0, len(teamReg.m))
+	for tm := range teamReg.m {
+		teams = append(teams, tm)
+	}
+	teamReg.mu.Unlock()
+	return teams
+}
+
 // ------------------------------------------------------------ snapshot
 
 // WorkerStatus is one thread's row in a status snapshot. Slot 0 of a
@@ -226,13 +255,7 @@ type Status struct {
 // one. Serialised (team-of-one) regions run on the caller's goroutine
 // and are not tracked.
 func ReadStatus() Status {
-	teamReg.mu.Lock()
-	teams := make([]*Team, 0, len(teamReg.m))
-	for tm := range teamReg.m {
-		teams = append(teams, tm)
-	}
-	teamReg.mu.Unlock()
-
+	teams := liveTeams()
 	st := Status{
 		AffinityTeams:   affinityCount.Load(),
 		PooledTeams:     hotPoolCount.Load(),

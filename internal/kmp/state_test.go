@@ -106,15 +106,38 @@ func TestWorkerStateStrings(t *testing.T) {
 	}
 }
 
-// The state word packs and unpacks losslessly.
+// The state word packs and unpacks losslessly, and the transition
+// sequence never bleeds into the state or location fields.
 func TestStateWordPacking(t *testing.T) {
 	for _, s := range []WorkerState{StateIdle, StateRunning, StateStealing} {
-		for _, id := range []uint32{0, 1, 1 << 20, 1<<32 - 1} {
-			gs, gid := unpackStateWord(packStateWord(s, id))
-			if gs != s || gid != id {
-				t.Errorf("pack/unpack(%v, %d) = (%v, %d)", s, id, gs, gid)
+		for _, seq := range []uint32{0, 1, stateSeqMask, stateSeqMask + 5} {
+			for _, id := range []uint32{0, 1, 1 << 20, 1<<32 - 1} {
+				gs, gid := unpackStateWord(packStateWord(s, seq, id))
+				if gs != s || gid != id {
+					t.Errorf("pack/unpack(%v, seq %d, %d) = (%v, %d)", s, seq, id, gs, gid)
+				}
 			}
 		}
+	}
+}
+
+// Every owner transition must change the packed word even when the state
+// and location are unchanged — the watchdog relies on word inequality to
+// tell "still in the same barrier" from "left and re-entered".
+func TestStateWordSeqAdvances(t *testing.T) {
+	th := &Thread{}
+	th.setWait(StateInBarrier)
+	w1 := th.state.Load()
+	th.setWait(StateRunning)
+	th.setWait(StateInBarrier)
+	w2 := th.state.Load()
+	if w1 == w2 {
+		t.Fatalf("re-entering the same state produced an identical word %#x", w1)
+	}
+	s1, _ := unpackStateWord(w1)
+	s2, _ := unpackStateWord(w2)
+	if s1 != StateInBarrier || s2 != StateInBarrier {
+		t.Fatalf("states = %v, %v, want in-barrier twice", s1, s2)
 	}
 }
 

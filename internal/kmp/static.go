@@ -103,16 +103,17 @@ func ForStatic(t *Thread, trip, chunk int64, body func(begin, end int64)) {
 		// imbalance analysis see a skewed static partition; attributed to
 		// the enclosing region (static loops carry no own Ident).
 		var col *Collector
+		var rec bool
 		var start int64
 		if nth > 1 {
-			if col = ActiveCollector(); col != nil {
+			if col, rec = traceSinks(); rec {
 				start = TraceNow()
 			}
 		}
 		defer func() {
 			t.curWsSeq = 0
-			if col != nil {
-				t.emit(col, TraceEvent{
+			if rec {
+				t.record(col, TraceEvent{
 					Kind: TraceLoopFini, Loc: t.team.loc,
 					When: start, Dur: TraceNow() - start,
 				})

@@ -46,9 +46,9 @@ type taskNode struct {
 	team   *Team
 	final  bool // final clause: all descendants execute undeferred
 
-	// loc is the spawning construct's source location, recorded only
-	// while a collector is installed so task-run spans and dependence
-	// releases can be attributed; zero otherwise.
+	// loc is the spawning construct's source location: task-run spans,
+	// dependence releases, flight-recorder rows and hang reports all
+	// attribute through it, so it is recorded unconditionally.
 	loc Ident
 
 	// priority is the priority clause value (0 = unprioritised): ready
@@ -169,24 +169,22 @@ func (t *Thread) SpawnTask(loc Ident, fn func(*Thread), o TaskOpts) {
 		// after the body. On a serial team every sibling ran to completion
 		// at its own spawn, so program order already satisfies any
 		// dependence DAG and the bookkeeping is skipped entirely.
-		node := &taskNode{parent: parent, group: t.curGroup, team: t.team, final: o.Final || inherit}
-		if c := ActiveCollector(); c != nil {
-			node.loc = loc
-		}
+		node := &taskNode{parent: parent, group: t.curGroup, team: t.team, final: o.Final || inherit, loc: loc}
 		serial := t.team == nil || t.team.n == 1
 		if len(o.Deps) > 0 && !serial {
-			node.dep = &depState{undeferred: true}
+			node.dep = &depState{undeferred: true, specs: o.Deps}
 			node.dep.npred.Store(1)
+			t.team.addWithheld(node)
 			registerDeps(parent, node, o.Deps)
-			if !node.releaseCreationRef() {
-				if c := ActiveCollector(); c != nil {
-					// The encountering thread itself stalls on the
-					// unresolved predecessors (OpenMP 5.2 §12.5).
-					t.emit(c, TraceEvent{
-						Kind: TraceTaskDepStall, Loc: loc, When: TraceNow(),
-						Arg0: int64(node.dep.npred.Load()),
-					})
-				}
+			if node.releaseCreationRef() {
+				t.team.removeWithheld(node)
+			} else if col, rec := traceSinks(); rec {
+				// The encountering thread itself stalls on the
+				// unresolved predecessors (OpenMP 5.2 §12.5).
+				t.record(col, TraceEvent{
+					Kind: TraceTaskDepStall, Loc: loc, When: TraceNow(),
+					Arg0: int64(node.dep.npred.Load()),
+				})
 			}
 			t.waitDeps(node)
 		}
@@ -194,16 +192,14 @@ func (t *Thread) SpawnTask(loc Ident, fn func(*Thread), o TaskOpts) {
 		node.depComplete(t)
 		return
 	}
-	node := &taskNode{fn: fn, parent: parent, group: t.curGroup, team: t.team, priority: o.Priority}
+	node := &taskNode{fn: fn, parent: parent, group: t.curGroup, team: t.team, priority: o.Priority, loc: loc}
 	parent.children.Add(1)
 	if node.group != nil {
 		node.group.pending.Add(1)
 	}
 	t.team.taskCount.Add(1)
-	col := ActiveCollector()
-	if col != nil {
-		node.loc = loc
-		t.emit(col, TraceEvent{
+	if col, rec := traceSinks(); rec {
+		t.record(col, TraceEvent{
 			Kind: TraceTaskSpawn, Loc: loc, When: TraceNow(),
 			Arg0: int64(len(o.Deps)), Arg1: int64(o.Priority),
 		})
@@ -215,15 +211,20 @@ func (t *Thread) SpawnTask(loc Ident, fn func(*Thread), o TaskOpts) {
 	// Dependent task: withhold from the queues until the predecessor count
 	// drains. The creation reference keeps concurrent predecessor
 	// completions from enqueueing the task before registration finishes.
-	node.dep = &depState{}
+	// The withheld registry entry goes in before edge registration so the
+	// cycle detector never misses a task whose predecessors are racing to
+	// complete.
+	node.dep = &depState{specs: o.Deps}
 	node.dep.npred.Store(1)
+	t.team.addWithheld(node)
 	registerDeps(parent, node, o.Deps)
 	if node.releaseCreationRef() {
+		t.team.removeWithheld(node)
 		t.enqueueReady(node)
-	} else if col != nil {
+	} else if col, rec := traceSinks(); rec {
 		// Withheld: the task stalls on unresolved predecessors — the
 		// dependence-stall signal the profiler's DAG metrics count.
-		t.emit(col, TraceEvent{
+		t.record(col, TraceEvent{
 			Kind: TraceTaskDepStall, Loc: loc, When: TraceNow(),
 			Arg0: int64(node.dep.npred.Load()),
 		})
@@ -274,15 +275,15 @@ func (t *Thread) runOneTask() bool {
 	if node == nil {
 		node = t.deque.pop()
 	}
-	col := ActiveCollector()
+	col, rec := traceSinks()
 	if node == nil && t.team != nil {
 		tm := t.team
 		t.setWait(StateStealing)
 		for i := 1; i < tm.n; i++ {
 			victim := tm.threads[(t.Tid+i)%tm.n]
 			if node = victim.deque.steal(); node != nil {
-				if col != nil {
-					t.emit(col, TraceEvent{
+				if rec {
+					t.record(col, TraceEvent{
 						Kind: TraceTaskSteal, Loc: node.loc, When: TraceNow(),
 						Arg0: int64(victim.Gtid),
 					})
@@ -305,9 +306,9 @@ func (t *Thread) runOneTask() bool {
 	}
 	var start int64
 	var reg *rtrace.Region
-	if col != nil {
+	if rec {
 		start = TraceNow()
-		if col.BridgeGoTrace && rtrace.IsEnabled() {
+		if col != nil && col.BridgeGoTrace && rtrace.IsEnabled() {
 			reg = rtrace.StartRegion(context.Background(), "omp:task "+node.loc.String())
 		}
 	}
@@ -319,10 +320,10 @@ func (t *Thread) runOneTask() bool {
 	if reg != nil {
 		reg.End()
 	}
-	if col != nil {
+	if rec {
 		// A complete task-execution span: When is the dequeue, Dur the
 		// body time, Loc the spawning construct.
-		t.emit(col, TraceEvent{
+		t.record(col, TraceEvent{
 			Kind: TraceTaskRun, Loc: node.loc, When: start, Dur: TraceNow() - start,
 		})
 	}
@@ -374,8 +375,8 @@ func (t *Thread) TaskgroupRun(loc Ident, body func()) {
 		body()
 		return
 	}
-	if c := ActiveCollector(); c != nil {
-		t.emit(c, TraceEvent{Kind: TraceTaskgroup, Loc: loc, When: TraceNow()})
+	if col, rec := traceSinks(); rec {
+		t.record(col, TraceEvent{Kind: TraceTaskgroup, Loc: loc, When: TraceNow()})
 	}
 	g := &taskGroup{parent: t.curGroup}
 	t.curGroup = g
@@ -407,8 +408,8 @@ func (t *Thread) Taskloop(loc Ident, trip, grainsize, numTasks int64, nogroup, u
 		body(t, 0, trip)
 		return
 	}
-	if c := ActiveCollector(); c != nil {
-		t.emit(c, TraceEvent{Kind: TraceTaskloop, Loc: loc, When: TraceNow(), Arg0: trip})
+	if col, rec := traceSinks(); rec {
+		t.record(col, TraceEvent{Kind: TraceTaskloop, Loc: loc, When: TraceNow(), Arg0: trip})
 	}
 	var chunks int64
 	switch {

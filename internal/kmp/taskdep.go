@@ -98,6 +98,9 @@ type depState struct {
 	// For deferred tasks the transition to zero — and only that
 	// transition — enqueues the task.
 	npred atomic.Int32
+	// specs retains the task's depend items for diagnostics: the cycle
+	// detector (depcycle.go) names them in hang reports.
+	specs []DepSpec
 }
 
 // depEntry is the per-address dependence record of one task-generating
@@ -184,16 +187,19 @@ func (n *taskNode) depComplete(t *Thread) {
 	for _, s := range succ {
 		if s.dep.npred.Add(-1) == 0 {
 			released++
+			if s.team != nil {
+				s.team.removeWithheld(s)
+			}
 			if !s.dep.undeferred {
 				t.enqueueReady(s)
 			}
 		}
 	}
-	if c := ActiveCollector(); c != nil && len(succ) > 0 {
+	if col, rec := traceSinks(); rec && len(succ) > 0 {
 		// Arg0 counts successors this completion made ready, Arg1 the
 		// dependence edges it resolved — the release half of the
 		// dependence-stall metric.
-		t.emit(c, TraceEvent{
+		t.record(col, TraceEvent{
 			Kind: TraceTaskDepRelease, Loc: n.loc, When: TraceNow(),
 			Arg0: released, Arg1: int64(len(succ)),
 		})

@@ -87,6 +87,14 @@ type Team struct {
 	// drains it before the work-stealing deques (taskdep.go).
 	prioQ taskPrioQ
 
+	// Withheld dependent tasks (depcycle.go): every spawned task with
+	// depend items whose predecessor count has not drained, the set the
+	// hang watchdog's dependence-cycle detector walks. The size gauge
+	// keeps dependence-free paths off the mutex.
+	withheldMu sync.Mutex
+	withheld   map[*taskNode]struct{}
+	withheldN  atomic.Int32
+
 	// Cancellation state (cancel.go). cancellable is decided at fork: the
 	// cancel-var ICV is set, or the region was launched through the
 	// error/context entry point. cbar is the cancellation-aware barrier
@@ -209,8 +217,11 @@ func (w *worker) loop(tm *Team, last uint64) {
 			return
 		}
 		if w.th.Tid < n {
-			w.th.setRunning(tm.locA.Load())
+			lid := tm.locA.Load()
+			w.th.setRunning(lid)
+			w.th.pushLabels(lid)
 			tm.runRegion(w.th)
+			w.th.popLabels()
 			w.th.setIdle(StateIdle)
 			tm.join.Done()
 		}
@@ -324,6 +335,7 @@ func (tm *Team) reset() {
 	tm.copyPB.reset()
 	tm.taskCount.Store(0)
 	tm.prioQ.reset()
+	tm.resetWithheld()
 	tm.cancellable = false
 	tm.cancelRegion.Store(false)
 	tm.cancelledLoop.Store(0)
@@ -480,12 +492,12 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fnV Micr
 	}
 
 	master := tm.threads[0]
-	col := ActiveCollector()
+	col, rec := traceSinks()
 	var regionStart int64
-	if col != nil {
+	if rec {
 		regionStart = TraceNow()
-		master.emit(col, TraceEvent{Kind: TraceForkBegin, Loc: loc, NThreads: n, When: regionStart})
-		if col.BridgeGoTrace && rtrace.IsEnabled() {
+		master.record(col, TraceEvent{Kind: TraceForkBegin, Loc: loc, NThreads: n, When: regionStart})
+		if col != nil && col.BridgeGoTrace && rtrace.IsEnabled() {
 			defer rtrace.StartRegion(context.Background(), "omp:"+loc.String()).End()
 		}
 	}
@@ -494,6 +506,7 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fnV Micr
 
 	tm.join.Add(n - 1)
 	master.setRunning(locID)
+	master.pushLabels(locID)
 	tm.publish(n)
 
 	// The caller runs as the master. Its goroutine may already be
@@ -503,17 +516,20 @@ func forkCall(loc Ident, nthreads int, ctx context.Context, catch bool, fnV Micr
 	unregister(gid, prev)
 
 	tm.join.Wait()
+	master.popLabels()
 	master.setIdle(StateIdle)
-	if col != nil {
+	if rec {
 		end := TraceNow()
-		master.emit(col, TraceEvent{
+		master.record(col, TraceEvent{
 			Kind: TraceForkEnd, Loc: loc, NThreads: n,
 			When: regionStart, Dur: end - regionStart,
 		})
-		// A region join is the natural drain point: every team thread is
-		// quiesced, so the collector hands the buffered history to its
-		// sink before the rings can overflow across regions.
-		col.Flush()
+		if col != nil {
+			// A region join is the natural drain point: every team thread
+			// is quiesced, so the collector hands the buffered history to
+			// its sink before the rings can overflow across regions.
+			col.Flush()
+		}
 	}
 	// Quiesce the context watcher before the team returns to the pool: a
 	// late cancel() must not hit a team already running someone else's
@@ -616,9 +632,9 @@ func (t *Thread) Barrier() {
 	if t == nil || t.team == nil || t.team.n == 1 {
 		return
 	}
-	col := ActiveCollector()
+	col, rec := traceSinks()
 	var arrive int64
-	if col != nil {
+	if rec {
 		arrive = TraceNow()
 	}
 	// A barrier is a task scheduling point: instead of spinning, arriving
@@ -639,11 +655,11 @@ func (t *Thread) Barrier() {
 		t.team.barrier.Wait(t.Tid)
 	}
 	t.setWait(StateRunning)
-	if col != nil {
+	if rec {
 		// Emitted at barrier exit so Dur covers the whole wait (task
 		// drain included): the barrier-wait-time payload the profiler's
 		// imbalance metrics aggregate.
-		t.emit(col, TraceEvent{Kind: TraceBarrier, Loc: t.team.loc, When: arrive, Dur: TraceNow() - arrive})
+		t.record(col, TraceEvent{Kind: TraceBarrier, Loc: t.team.loc, When: arrive, Dur: TraceNow() - arrive})
 	}
 }
 

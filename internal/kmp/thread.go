@@ -1,6 +1,7 @@
 package kmp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -75,14 +76,31 @@ type Thread struct {
 	trcOwner *Collector
 	loopNs   int64
 
-	// Live-state word (state.go): a WorkerState in the low 32 bits and
-	// the interned id of the current region's location in the high 32.
-	// Written with single atomic stores by the owning thread on its
-	// fork/barrier/steal/park transitions; read by status samplers
+	// Live-state word (state.go): a WorkerState plus a transition
+	// sequence in the low 32 bits and the interned id of the current
+	// region's location in the high 32. Written with single atomic
+	// stores by the owning thread on its fork/barrier/steal/park
+	// transitions; read by status samplers and the hang watchdog
 	// without stopping the world. stateLoc caches the location id for
-	// the same-region transitions (owner-only).
+	// the same-region transitions, stateSeq the owner-only transition
+	// counter (both owner-only plain fields).
 	state    atomic.Uint64
 	stateLoc uint32
+	stateSeq uint32
+
+	// Flight recorder (flight.go): the thread's always-on ring of its
+	// most recent events. Created lazily by the owner on first record,
+	// published through an atomic pointer so dump samplers can read it
+	// from any goroutine.
+	flight atomic.Pointer[flightRing]
+
+	// pprof labels (labels.go): the cached label context for the current
+	// region location, rebuilt only when the location changes. labelOn
+	// tracks whether this thread's goroutine currently wears the labels
+	// (owner-only).
+	labelCtx context.Context
+	labelLoc uint32
+	labelOn  bool
 	_        pad
 }
 

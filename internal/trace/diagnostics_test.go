@@ -1,0 +1,83 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"gomp/internal/kmp"
+	. "gomp/internal/trace"
+	"gomp/omp"
+)
+
+// WriteDiagnostics must emit every section of the black-box dump —
+// health header, live team status, flight tail — from always-on state,
+// with no profiler installed.
+func TestWriteDiagnosticsSections(t *testing.T) {
+	runContrastLoops(2)
+
+	var sb strings.Builder
+	if err := WriteDiagnostics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"=== gomp diagnostics ===",
+		"healthy:",
+		"watchdog:",
+		"flight recorder:",
+		"profiler active:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, out)
+		}
+	}
+	// The flight tail must show the regions just run.
+	if !strings.Contains(out, "skew.go") {
+		t.Errorf("diagnostics flight tail misses skew.go regions:\n%s", out)
+	}
+}
+
+// An injected dependence cycle must surface in ReadHealth, in the
+// diagnostics dump, and as a WARNING section in the profiler's report;
+// after release, health must recover.
+func TestReportWarnsOnDepCycle(t *testing.T) {
+	release := kmp.InjectDepCycle(
+		kmp.Ident{File: "deadlock.go", Line: 7, Region: "stage a"},
+		kmp.Ident{File: "deadlock.go", Line: 13, Region: "stage b"},
+	)
+
+	h := ReadHealth()
+	if h.Healthy || len(h.Cycles) == 0 {
+		release()
+		t.Fatalf("injected cycle not visible: healthy=%v cycles=%d", h.Healthy, len(h.Cycles))
+	}
+
+	var sb strings.Builder
+	if err := WriteDiagnostics(&sb); err != nil {
+		release()
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	if !strings.Contains(dump, "dependence cycles") ||
+		!strings.Contains(dump, "deadlock.go:7") || !strings.Contains(dump, "deadlock.go:13") {
+		release()
+		t.Fatalf("diagnostics dump does not name the cycle:\n%s", dump)
+	}
+
+	// A profiler report produced while the cycle exists must carry the
+	// health WARNING naming the pragma locations.
+	p := New()
+	p.Start()
+	omp.Parallel(func(th *omp.Thread) {}, omp.NumThreads(2))
+	p.Stop()
+	rep := p.Report()
+	if !strings.Contains(rep, "WARNING") || !strings.Contains(rep, "deadlock.go:7") {
+		release()
+		t.Fatalf("report missing health warning:\n%s", rep)
+	}
+
+	release()
+	if h := ReadHealth(); !h.Healthy || len(h.Cycles) != 0 {
+		t.Errorf("health did not recover after release: healthy=%v cycles=%d", h.Healthy, len(h.Cycles))
+	}
+}

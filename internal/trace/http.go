@@ -13,12 +13,16 @@ import (
 )
 
 // The /debug/gomp HTTP surface: live production observability without
-// stopping the workload. Five endpoints hang off the handler returned
+// stopping the workload. Seven endpoints hang off the handler returned
 // by Handler (conventionally mounted at /debug/gomp by omp.ServeDebug):
 //
 //	/status   instantaneous runtime state — every live team and the
 //	          packed per-worker state word (running/in-barrier/
 //	          stealing/spinning/parked) with its current region
+//	/health   runtime self-diagnosis — watchdog state, stuck workers,
+//	          dependence cycles detected right now (JSON)
+//	/flight   the flight recorder's merged most-recent event history,
+//	          JSON or ?format=text — works with no profiler installed
 //	/metrics  the registry in OpenMetrics/Prometheus text format
 //	/profile  capture ?seconds=N (default 1) of events, return the
 //	          text Report with flat profile and imbalance analysis
@@ -95,6 +99,8 @@ func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", serveIndex)
 	mux.HandleFunc("/status", serveStatus)
+	mux.HandleFunc("/health", serveHealth)
+	mux.HandleFunc("/flight", serveFlight)
 	mux.HandleFunc("/metrics", serveMetrics)
 	mux.HandleFunc("/profile", serveProfile)
 	mux.HandleFunc("/timeline", serveTimeline)
@@ -111,6 +117,9 @@ func serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `gomp runtime debug surface
 
   status              live teams and per-worker states (JSON)
+  health              watchdog/stuck-worker/dep-cycle self-diagnosis (JSON)
+  flight[?format=text]
+                      flight-recorder event history (always on)
   metrics             registry in OpenMetrics text format
   profile?seconds=N   capture a window, return the text report
   timeline?seconds=N  capture a window, return Chrome trace JSON
@@ -124,6 +133,39 @@ func serveIndex(w http.ResponseWriter, r *http.Request) {
 // stop-the-world.
 func serveStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, kmp.ReadStatus())
+}
+
+// serveHealth reports the runtime's self-diagnosis: watchdog state,
+// workers stuck past the threshold, and dependence cycles detected at
+// request time. A scrape of a hung process is exactly when this must
+// work, so it reads only sampler-visible atomics and the withheld-task
+// registries.
+func serveHealth(w http.ResponseWriter, r *http.Request) {
+	h := ReadHealth()
+	// Unhealthy still answers 200 — the scrape succeeded and the payload
+	// carries the verdict. Probes wanting a hard signal pass ?strict=1,
+	// which turns unhealthy into 503 (the header must precede the body).
+	if !h.Healthy && r.URL.Query().Get("strict") != "" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, h)
+}
+
+// serveFlight dumps the flight recorder: the always-on per-thread rings
+// of most recent events, merged and time-ordered. No capture window, no
+// profiler needed — the history already exists.
+func serveFlight(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteFlightText(w)
+		return
+	}
+	evs := FlightEvents()
+	if evs == nil {
+		evs = []FlightEvent{}
+	}
+	writeJSON(w, evs)
 }
 
 // serveMetrics renders the default profiler's registry; with profiling

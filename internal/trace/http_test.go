@@ -147,6 +147,37 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Errorf("/status: gtids_issued = %d after forking", status.GtidsIssued)
 	}
 
+	// /health: the runtime's self-diagnosis, healthy under normal load.
+	code, ctype, body = get(t, srv, "/health")
+	if code != 200 || !strings.Contains(ctype, "application/json") {
+		t.Errorf("/health: code %d content-type %q", code, ctype)
+	}
+	var health struct {
+		Healthy        bool `json:"healthy"`
+		FlightRecorder bool `json:"flight_recorder"`
+		ProfilerActive bool `json:"profiler_active"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Errorf("/health: invalid JSON: %v", err)
+	}
+	if !health.Healthy || !health.ProfilerActive {
+		t.Errorf("/health: healthy=%v profiler_active=%v, want true/true", health.Healthy, health.ProfilerActive)
+	}
+
+	// /flight: always-on event history; the loops above must appear.
+	code, _, body = get(t, srv, "/flight")
+	var flight []FlightEvent
+	if err := json.Unmarshal([]byte(body), &flight); err != nil {
+		t.Errorf("/flight: invalid JSON: %v", err)
+	}
+	if code != 200 || len(flight) == 0 {
+		t.Errorf("/flight: code %d, %d events, want history", code, len(flight))
+	}
+	_, _, ftext := get(t, srv, "/flight?format=text")
+	if !strings.Contains(ftext, "flight recorder") {
+		t.Errorf("/flight?format=text: %q", ftext)
+	}
+
 	// /metrics: OpenMetrics exposition fed by the live registry.
 	code, ctype, body = get(t, srv, "/metrics")
 	if code != 200 || ctype != OpenMetricsContentType {
@@ -157,6 +188,9 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(body, "gomp_profiler_active 1") {
 		t.Errorf("/metrics: profiler active gauge wrong:\n%s", body)
+	}
+	if !strings.Contains(body, "gomp_health 1") || !strings.Contains(body, "gomp_watchdog_trips_total ") {
+		t.Errorf("/metrics: health metrics missing:\n%s", body)
 	}
 
 	// /regions without ?seconds reads the default profiler's history.
@@ -236,9 +270,9 @@ func TestCaptureWindowCancel(t *testing.T) {
 	}
 }
 
-// Scraping /status and /metrics concurrently with fork/steal/cancel
-// churn must be race-free (run under -race in CI) and never corrupt
-// the exposition.
+// Scraping every always-on endpoint concurrently with fork/steal/
+// cancel/trim churn must be race-free (run under -race in CI) and
+// never corrupt the exposition.
 func TestScrapeDuringChurn(t *testing.T) {
 	srv := httptest.NewServer(Handler())
 	defer srv.Close()
@@ -270,6 +304,37 @@ func TestScrapeDuringChurn(t *testing.T) {
 			}
 		}(g)
 	}
+	// A fourth goroutine cancels its regions mid-loop and periodically
+	// trims the hot-team pool, so the scrapes race against team
+	// teardown and state-word churn, not just steady forking.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sink [64]float64
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			omp.Parallel(func(t *omp.Thread) {
+				omp.ForRange(t, 64, func(lo, hi int64) {
+					if lo == 0 {
+						omp.Cancel(t, omp.CancelFor)
+					}
+					for j := lo; j < hi; j++ {
+						if omp.CancellationPoint(t, omp.CancelFor) {
+							return
+						}
+						sink[j] += spinWork(j * 4)
+					}
+				}, omp.Schedule(omp.Dynamic, 4))
+			}, omp.NumThreads(2+i%3), omp.Loc("churn.go", 99, "cancel churn"))
+			if i%8 == 0 {
+				omp.TrimTeams()
+			}
+		}
+	}()
 
 	deadline := time.After(300 * time.Millisecond)
 scrape:
@@ -285,6 +350,14 @@ scrape:
 		}
 		if code, _, body := get(t, srv, "/metrics"); code != 200 || !strings.HasSuffix(body, "# EOF\n") {
 			t.Errorf("/metrics under churn: code %d", code)
+			break scrape
+		}
+		if code, _, body := get(t, srv, "/health"); code != 200 || !json.Valid([]byte(body)) {
+			t.Errorf("/health under churn: code %d", code)
+			break scrape
+		}
+		if code, _, body := get(t, srv, "/flight"); code != 200 || !json.Valid([]byte(body)) {
+			t.Errorf("/flight under churn: code %d", code)
 			break scrape
 		}
 	}

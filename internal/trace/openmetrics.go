@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"gomp/internal/kmp"
 )
 
 // OpenMetrics/Prometheus text exposition of the metrics registry: the
@@ -129,6 +131,17 @@ func writeExposition(w io.Writer, s *MetricsSnapshot, sums []RegionSummary, anal
 			fmt.Fprintf(&e.b, "gomp_region_imbalance{region=\"%s\"} %g\n", escapeLabel(a.Name), a.Imbalance)
 		}
 	}
+	// Health is exposed unconditionally, profiler or not: the watchdog
+	// and flight recorder are always-on subsystems, and an alert on
+	// gomp_health == 0 or a gomp_watchdog_trips_total increase must fire
+	// even when nobody is profiling.
+	h := kmp.ReadHealth()
+	healthy := int64(0)
+	if h.Healthy {
+		healthy = 1
+	}
+	e.gauge("gomp_health", "Runtime self-diagnosis: 1 healthy, 0 when workers are stuck past the watchdog threshold or a dependence cycle exists.", healthy)
+	e.counter("gomp_watchdog_trips", "Hang-watchdog trip episodes since process start.", int64(h.WatchdogTrips))
 	e.b.WriteString("# EOF\n")
 	_, err := io.WriteString(w, e.b.String())
 	return err

@@ -393,6 +393,17 @@ func (p *Profiler) Report() string {
 	if drops := p.met.RingDrops.Value(); drops > 0 {
 		fmt.Fprintf(&b, "\nWARNING: %d trace events dropped on full rings — counts above undercount activity; widen trace.WithRingSize or drain more often.\n", drops)
 	}
+	// Nor must a hang diagnosis: a report read off a wedged or recovered
+	// process should lead with what the watchdog knows.
+	if h := kmp.ReadHealth(); !h.Healthy || h.WatchdogTrips > 0 {
+		fmt.Fprintf(&b, "\nWARNING: runtime health — healthy=%v, watchdog trips=%d.\n", h.Healthy, h.WatchdogTrips)
+		for _, c := range h.Cycles {
+			fmt.Fprintf(&b, "  dependence cycle (deadlock): %s\n", c)
+		}
+		for _, s := range h.Stuck {
+			fmt.Fprintf(&b, "  worker g%d stuck %s in %s\n", s.Gtid, s.State, s.Region)
+		}
+	}
 	return b.String()
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 
 	"gomp/internal/trace"
 )
@@ -36,16 +37,23 @@ func (d *DebugServer) Close() error { return d.srv.Close() }
 // ephemeral port) exposing:
 //
 //	/debug/gomp/status    live teams and per-worker states (JSON)
+//	/debug/gomp/health    watchdog/stuck-worker/dep-cycle diagnosis
+//	/debug/gomp/flight    flight-recorder event history (always on)
 //	/debug/gomp/metrics   runtime metrics, OpenMetrics text format
 //	/debug/gomp/profile   ?seconds=N windowed capture, text report
 //	/debug/gomp/timeline  ?seconds=N windowed capture, Chrome JSON
 //	/debug/gomp/regions   per-region imbalance/blame analysis
+//	/debug/pprof/         standard Go pprof suite; CPU profiles carry
+//	                      omp_region/omp_gtid labels when region
+//	                      labelling is on (SetProfileLabels, Profile,
+//	                      GOMP_PPROF_LABELS=1)
 //	/debug/vars           standard expvar (includes "gomp" once a
 //	                      profiler has published its registry)
 //
-// The server runs on a background goroutine until Close. /status and
-// /metrics work without an active profiler; enable one (omp.Profile,
-// trace.Enable, or a windowed ?seconds capture) for region history.
+// The server runs on a background goroutine until Close. /status,
+// /health, /flight and /metrics work without an active profiler;
+// enable one (omp.Profile, trace.Enable, or a windowed ?seconds
+// capture) for region history.
 func ServeDebug(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -54,6 +62,13 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/gomp/", http.StripPrefix("/debug/gomp", trace.Handler()))
 	mux.Handle("/debug/gomp", http.RedirectHandler("/debug/gomp/", http.StatusMovedPermanently))
+	// The standard pprof suite, mounted explicitly (the net/http/pprof
+	// side-effect registration only touches http.DefaultServeMux).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
 	go d.srv.Serve(ln)

@@ -247,10 +247,12 @@
 //	defer dbg.Close()
 //
 // endpoints: /debug/gomp/status (live teams and per-worker states,
-// JSON), /debug/gomp/metrics (OpenMetrics / Prometheus text format),
-// /debug/gomp/profile?seconds=N and /debug/gomp/timeline?seconds=N
-// (on-demand capture windows), /debug/gomp/regions (per-region load
-// imbalance and straggler blame), /debug/vars (expvar). Setting
+// JSON), /debug/gomp/health (hang/deadlock diagnosis, JSON),
+// /debug/gomp/flight (always-on event history), /debug/gomp/metrics
+// (OpenMetrics / Prometheus text format), /debug/gomp/profile?seconds=N
+// and /debug/gomp/timeline?seconds=N (on-demand capture windows),
+// /debug/gomp/regions (per-region load imbalance and straggler blame),
+// /debug/pprof/ (standard Go pprof), /debug/vars (expvar). Setting
 // GOMP_DEBUG_ADDR=<addr> on a `gompcc -profile` build starts the same
 // server automatically for the program's lifetime; ":0" picks an
 // ephemeral port printed to stderr.
@@ -267,4 +269,56 @@
 // Status sampling reads only per-thread atomic state words maintained
 // on paths the runtime already executes, so scraping neither stops the
 // world nor disturbs the allocation-free fork fast path.
+//
+// # Troubleshooting hangs
+//
+// A parallel program that stops making progress is the one situation a
+// profiler you must enable in advance cannot help with, so the runtime
+// keeps three always-on diagnostics:
+//
+// The flight recorder. Every pooled runtime thread appends its trace
+// events (fork, barrier, loop steal, task run, dependence stall and
+// release) to a private fixed-size lock-free ring — 256 records per
+// thread by default, GOMP_FLIGHT=<n> resizes, GOMP_FLIGHT=off disables.
+// It runs with no profiler installed and is cheap enough that the
+// zero-allocation fork fast path stays zero-allocation. Snapshot it
+// with DumpDiagnostics(w), scrape /debug/gomp/flight, or — after
+// HandleSIGQUIT (or GOMP_SIGQUIT=1) — interrogate a wedged process the
+// classic way:
+//
+//	kill -QUIT <pid>    # full diagnostic dump to stderr
+//
+// The watchdog. StartWatchdog(threshold) (GOMP_WATCHDOG=30s from the
+// environment; 0 selects the 10s default) samples the per-worker state
+// words and the task-dependence tables. A worker sitting in one barrier
+// or steal sweep, unmoved, past the threshold trips it; a dependence
+// cycle among withheld tasks — two sibling tasks whose depend clauses
+// wait on each other, a proof of deadlock — trips it immediately. The
+// trip handler (yours via StartWatchdogConfig, or the default stderr
+// report) receives a HangReport naming each stuck worker's region and
+// each cycle's pragma locations:
+//
+//	hang report (threshold 10s):
+//	  dependence cycle (deadlock): lu.go:41 inout:a -> lu.go:47 inout:b -> lu.go:41 inout:a
+//
+// The same diagnosis is served continuously at /debug/gomp/health
+// (?strict=1 turns unhealthy into HTTP 503, for liveness probes),
+// exported as the gomp_health gauge and gomp_watchdog_trips_total
+// counter, and appended as a WARNING footer to any profiler report
+// produced while unhealthy. ReadHealth returns it in-process.
+//
+// pprof attribution. SetProfileLabels(true) (GOMP_PPROF_LABELS=1; also
+// enabled for the duration of Profile) labels team goroutines with
+// omp_region — the enclosing pragma's file:line — and omp_gtid, so
+// `go tool pprof` CPU and goroutine profiles break down by parallel
+// region. With ServeDebug mounted, /debug/pprof/goroutine?debug=1
+// shows at a glance which region every parked worker is in.
+//
+// The usual diagnosis workflow: arm GOMP_WATCHDOG in production; on a
+// trip, read the hang report for who is stuck where (a dependence
+// cycle is definitive — fix the depend clauses it names), then the
+// flight-recorder tail for what the runtime did in the seconds before
+// it wedged; /debug/pprof/goroutine tells you what the rest of the
+// process was doing. `go run ./examples/diagnose` walks the complete
+// loop against an injected deadlock.
 package omp

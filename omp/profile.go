@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"gomp/internal/kmp"
 	"gomp/internal/trace"
 )
 
@@ -43,6 +44,11 @@ func Profile() func() {
 		opts = append(opts, trace.WithTimeline(0))
 	}
 	p := trace.Enable(opts...)
+	// While profiling, also label team goroutines for pprof so a CPU
+	// profile taken during the run attributes samples to pragma
+	// locations; restored to its previous setting at stop.
+	prevLabels := kmp.ProfLabelsEnabled()
+	kmp.SetProfLabels(true)
 	var dbg *DebugServer
 	if addr := os.Getenv("GOMP_DEBUG_ADDR"); addr != "" {
 		var err error
@@ -54,6 +60,7 @@ func Profile() func() {
 		}
 	}
 	return func() {
+		kmp.SetProfLabels(prevLabels)
 		if dbg != nil {
 			dbg.Close()
 		}

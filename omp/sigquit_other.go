@@ -1,0 +1,8 @@
+//go:build !unix
+
+package omp
+
+// HandleSIGQUIT is a no-op on platforms without SIGQUIT; the returned
+// stop function does nothing. Use DumpDiagnostics or ServeDebug's
+// /debug/gomp/flight endpoint instead.
+func HandleSIGQUIT() (stop func()) { return func() {} }

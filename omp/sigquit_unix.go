@@ -1,0 +1,44 @@
+//go:build unix
+
+package omp
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// HandleSIGQUIT installs a SIGQUIT handler that writes the full
+// diagnostic dump (DumpDiagnostics) to stderr — the classic kill -QUIT
+// black-box interrogation of a wedged process. The returned stop
+// function uninstalls it.
+//
+// Caveat: registering any handler for SIGQUIT replaces Go's default
+// behaviour of dumping all goroutine stacks and exiting. The handler
+// here dumps gomp diagnostics and keeps the process running; send the
+// signal twice after calling stop (or use /debug/pprof/goroutine) if
+// the goroutine stacks are what you need. GOMP_SIGQUIT=1 installs the
+// handler from the environment.
+func HandleSIGQUIT() (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				DumpDiagnostics(os.Stderr)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}
